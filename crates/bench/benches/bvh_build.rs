@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark: BVH construction throughput for both split
+//! methods over the procedural scene suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rip_bvh::{BvhBuilder, SplitMethod};
+use rip_math::Triangle;
+use rip_scene::{SceneId, SceneScale};
+
+fn bvh_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvh_build");
+    for id in [SceneId::Sibenik, SceneId::CrytekSponza] {
+        let mesh = id.build_mesh(SceneScale::Tiny);
+        let tris: Vec<Triangle> = mesh.triangles().collect();
+        group.throughput(criterion::Throughput::Elements(tris.len() as u64));
+        for (label, method) in
+            [("binned_sah", SplitMethod::BinnedSah), ("median", SplitMethod::Median)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(label, id.code()),
+                &tris,
+                |b, tris| {
+                    b.iter(|| BvhBuilder::new().split_method(method).build(std::hint::black_box(tris)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bvh_build);
+criterion_main!(benches);

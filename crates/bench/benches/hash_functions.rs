@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark: ray hashing throughput for both hash
+//! functions — the operation sits on the RT unit's ray-entry path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rip_core::{HashFunction, RayHasher};
+use rip_math::{Aabb, Ray, Vec3};
+
+fn hash_functions(c: &mut Criterion) {
+    let bounds = Aabb::new(Vec3::ZERO, Vec3::splat(64.0));
+    let rays: Vec<Ray> = (0..1024)
+        .map(|i| {
+            let f = i as f32;
+            let o = Vec3::new((f * 0.37) % 64.0, (f * 0.13) % 64.0, (f * 0.71) % 64.0);
+            let d = rip_math::sampling::uniform_sphere((f * 0.017) % 1.0, (f * 0.031) % 1.0);
+            Ray::segment(o, d, 10.0)
+        })
+        .collect();
+    let mut group = c.benchmark_group("hash_functions");
+    group.throughput(criterion::Throughput::Elements(rays.len() as u64));
+    let functions = [
+        ("grid_spherical", HashFunction::GridSpherical { origin_bits: 5, direction_bits: 3 }),
+        ("two_point", HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.15 }),
+    ];
+    for (label, function) in functions {
+        let hasher = RayHasher::new(function, bounds);
+        group.bench_with_input(BenchmarkId::new("hash", label), &rays, |b, rays| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for ray in rays {
+                    acc ^= hasher.hash(std::hint::black_box(ray));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hash_functions);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `ext_dynamic_scenes` extension experiment.
+//! Usage: `cargo run --release -p rip-bench --bin ext_dynamic_scenes -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::ext_dynamic_scenes::run(&ctx);
+    println!("{report}");
+}

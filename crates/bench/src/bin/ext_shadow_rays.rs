@@ -1,0 +1,8 @@
+//! Binary wrapper for the `ext_shadow_rays` extension experiment.
+//! Usage: `cargo run --release -p rip-bench --bin ext_shadow_rays -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::ext_shadow_rays::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig01_memory_distribution` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig01_memory_distribution -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig01_memory_distribution::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig02_limit_study` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig02_limit_study -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig02_limit_study::run(&ctx);
+    println!("{report}");
+}

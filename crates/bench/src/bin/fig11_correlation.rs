@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig11_correlation` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig11_correlation -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig11_correlation::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig12_speedup` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig12_speedup -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig12_speedup::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig13_memory_accesses` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig13_memory_accesses -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig13_memory_accesses::run(&ctx);
+    println!("{report}");
+}

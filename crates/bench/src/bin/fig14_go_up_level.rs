@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig14_go_up_level` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig14_go_up_level -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig14_go_up_level::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig15_repacking` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig15_repacking -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig15_repacking::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig16_cache` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig16_cache -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig16_cache::run(&ctx);
+    println!("{report}");
+}

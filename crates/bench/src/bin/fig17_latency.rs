@@ -1,0 +1,8 @@
+//! Binary wrapper for the `fig17_latency` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin fig17_latency -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::fig17_latency::run(&ctx);
+    println!("{report}");
+}

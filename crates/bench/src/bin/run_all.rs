@@ -1,0 +1,14 @@
+//! Runs every reproduced table and figure in paper order.
+//! Usage: `cargo run --release -p rip-bench --bin run_all -- [--scale tiny|quick|paper] [--scenes N]`
+
+use std::time::Instant;
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    eprintln!("running all experiments at {:?} scale…", ctx.scale);
+    let start = Instant::now();
+    for report in rip_bench::experiments::run_all(&ctx) {
+        println!("{report}");
+        eprintln!("[{}] done at {:.1}s", report.id, start.elapsed().as_secs_f64());
+    }
+}

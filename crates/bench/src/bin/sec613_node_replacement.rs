@@ -1,0 +1,8 @@
+//! Binary wrapper for the `sec613_node_replacement` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin sec613_node_replacement -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::sec613_node_replacement::run(&ctx);
+    println!("{report}");
+}

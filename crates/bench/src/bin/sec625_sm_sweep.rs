@@ -1,0 +1,8 @@
+//! Binary wrapper for the `sec625_sm_sweep` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin sec625_sm_sweep -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::sec625_sm_sweep::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `sec64_gi` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin sec64_gi -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::sec64_gi::run(&ctx);
+    println!("{report}");
+}

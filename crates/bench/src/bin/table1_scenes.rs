@@ -1,0 +1,8 @@
+//! Binary wrapper for the `table1_scenes` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin table1_scenes -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::table1_scenes::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `table4_energy` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin table4_energy -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::table4_energy::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `table5_eq1` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin table5_eq1 -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::table5_eq1::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `table6_table_size` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin table6_table_size -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::table6_table_size::run(&ctx);
+    println!("{report}");
+}

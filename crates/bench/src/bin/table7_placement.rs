@@ -1,0 +1,8 @@
+//! Binary wrapper for the `table7_placement` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin table7_placement -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::table7_placement::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `table8_hash` experiment.
+//! Usage: `cargo run --release -p rip-bench --bin table8_hash -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::table8_hash::run(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,79 @@
+//! Figure 1: distribution of memory accesses for AO workloads (left) and
+//! speedups of varying L1 cache sizes without the predictor (right).
+
+use crate::{fmt_pct, Context, Report, Table};
+use rip_core::{FunctionalSim, PredictorConfig, SimOptions};
+use rip_gpusim::Simulator;
+
+/// Regenerates both panels of Figure 1.
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("Figure 1: AO memory-access distribution & L1 size sweep");
+
+    // Left panel: classify baseline accesses. The paper reports ~88%
+    // repeated BVH node accesses averaged over the seven scenes.
+    let mut left = Table::new(&[
+        "Scene",
+        "Repeated node",
+        "First-touch node",
+        "Repeated tri",
+        "First-touch tri",
+    ]);
+    let mut repeated_fracs = Vec::new();
+    for id in ctx.scene_ids() {
+        let case = ctx.build_case(id);
+        let workload = case.ao_workload();
+        let sim = FunctionalSim::new(
+            PredictorConfig::paper_default(),
+            SimOptions { classify_accesses: true, ..SimOptions::default() },
+        );
+        let r = sim.run(&case.bvh, &workload.rays);
+        let total = (r.first_touch_node_fetches
+            + r.repeated_node_fetches
+            + r.first_touch_tri_fetches
+            + r.repeated_tri_fetches) as f64;
+        let frac = |x: u64| if total == 0.0 { 0.0 } else { x as f64 / total };
+        left.row(&[
+            id.code().to_string(),
+            fmt_pct(frac(r.repeated_node_fetches)),
+            fmt_pct(frac(r.first_touch_node_fetches)),
+            fmt_pct(frac(r.repeated_tri_fetches)),
+            fmt_pct(frac(r.first_touch_tri_fetches)),
+        ]);
+        repeated_fracs.push(r.repeated_node_access_fraction());
+    }
+    let mean_repeated = repeated_fracs.iter().sum::<f64>() / repeated_fracs.len().max(1) as f64;
+    report.line("Left panel — per-unique-ray access classification (paper: ~88% repeated node):");
+    report.line(left.render());
+    report.line(format!("Average repeated-BVH-node fraction: {}", fmt_pct(mean_repeated)));
+    report.metric("mean_repeated_node_fraction", mean_repeated);
+
+    // Right panel: baseline speedup vs L1 size (relative to 64 KB), first
+    // scene subset to bound runtime.
+    let sizes_kb = [16usize, 32, 64, 128, 256, 384, 512, 1024];
+    let scene_ids = ctx.scene_ids();
+    let sweep_scenes = &scene_ids[..scene_ids.len().min(3)];
+    let mut right = Table::new(&["L1 size", "Speedup vs 64KB (geomean)"]);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes_kb.len()];
+    for &id in sweep_scenes {
+        let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
+        let rays = case.ao_workload().rays;
+        let mut cycles = Vec::new();
+        for &kb in &sizes_kb {
+            let mut cfg = ctx.gpu_baseline();
+            cfg.l1 = cfg.l1.with_size(kb * 1024);
+            cycles.push(Simulator::new(cfg).run(&case.bvh, &rays).cycles as f64);
+        }
+        let base = cycles[sizes_kb.iter().position(|&k| k == 64).expect("64KB present")];
+        for (i, c) in cycles.iter().enumerate() {
+            per_size[i].push(base / c);
+        }
+    }
+    for (i, &kb) in sizes_kb.iter().enumerate() {
+        let gm = super::geomean_or_one(per_size[i].iter().copied());
+        right.row(&[format!("{kb}KB"), format!("{gm:.3}")]);
+        report.metric(format!("l1_speedup_{kb}kb"), gm);
+    }
+    report.line("Right panel — baseline (no predictor) speedup vs L1 capacity:");
+    report.line(right.render());
+    report
+}

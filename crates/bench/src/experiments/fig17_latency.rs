@@ -1,0 +1,73 @@
+//! Figure 17: latency sensitivity — intersection-test latency, predictor
+//! access latency, and predictor bandwidth (§6.2.4).
+
+use crate::{Context, Report, Table};
+use rip_gpusim::Simulator;
+
+/// Regenerates Figure 17 (paper: intersection latency matters most; the
+/// predictor's own latency and bandwidth barely move the result because
+/// only one prediction is made per ray).
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("Figure 17: latency sensitivity");
+    let scene_ids = ctx.scene_ids();
+    let sweep = &scene_ids[..scene_ids.len().min(3)];
+
+    let isect_latencies = [1u64, 2, 4, 8, 16];
+    let pred_latencies = [1u64, 2, 4, 8];
+    let pred_ports = [1u64, 2, 4, 8];
+
+    let mut isect_speedups = vec![Vec::new(); isect_latencies.len()];
+    let mut lat_speedups = vec![Vec::new(); pred_latencies.len()];
+    let mut port_speedups = vec![Vec::new(); pred_ports.len()];
+
+    for &id in sweep {
+        let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
+        let rays = case.ao_workload().rays;
+
+        for (i, &lat) in isect_latencies.iter().enumerate() {
+            let mut base = ctx.gpu_baseline();
+            base.latency.intersection = lat;
+            let mut pred = ctx.gpu_predictor();
+            pred.latency.intersection = lat;
+            let b = Simulator::new(base).run(&case.bvh, &rays);
+            let p = Simulator::new(pred).run(&case.bvh, &rays);
+            isect_speedups[i].push(p.speedup_over(&b));
+        }
+        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        for (i, &lat) in pred_latencies.iter().enumerate() {
+            let mut pred = ctx.gpu_predictor();
+            pred.predictor_unit.access_latency = lat;
+            let p = Simulator::new(pred).run(&case.bvh, &rays);
+            lat_speedups[i].push(p.speedup_over(&baseline));
+        }
+        for (i, &ports) in pred_ports.iter().enumerate() {
+            let mut pred = ctx.gpu_predictor();
+            pred.predictor_unit.ports = ports;
+            let p = Simulator::new(pred).run(&case.bvh, &rays);
+            port_speedups[i].push(p.speedup_over(&baseline));
+        }
+    }
+
+    let mut table = Table::new(&["Parameter", "Value", "Predictor speedup (geomean)"]);
+    for (i, &lat) in isect_latencies.iter().enumerate() {
+        let gm = super::geomean_or_one(isect_speedups[i].iter().copied());
+        table.row(&["Intersection latency".to_string(), format!("{lat} cyc"), format!("{gm:.3}")]);
+        report.metric(format!("isect_lat_{lat}"), gm);
+    }
+    for (i, &lat) in pred_latencies.iter().enumerate() {
+        let gm = super::geomean_or_one(lat_speedups[i].iter().copied());
+        table.row(&["Predictor latency".to_string(), format!("{lat} cyc"), format!("{gm:.3}")]);
+        report.metric(format!("pred_lat_{lat}"), gm);
+    }
+    for (i, &ports) in pred_ports.iter().enumerate() {
+        let gm = super::geomean_or_one(port_speedups[i].iter().copied());
+        table.row(&["Predictor ports".to_string(), format!("{ports}/cyc"), format!("{gm:.3}")]);
+        report.metric(format!("pred_ports_{ports}"), gm);
+    }
+    report.line(table.render());
+    report.line(
+        "Paper: speedups fall as intersection latency grows; predictor latency/bandwidth \
+         have little effect (one lookup per ray vs many intersection tests).",
+    );
+    report
+}

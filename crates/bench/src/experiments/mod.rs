@@ -1,0 +1,61 @@
+//! One module per reproduced table/figure. Every experiment is a pure
+//! function `run(&Context) -> Report` so the binaries, `run_all` and the
+//! integration tests share one implementation.
+
+pub mod ext_adaptive_hash;
+pub mod ext_shadow_rays;
+pub mod ext_wide_bvh;
+pub mod ext_dynamic_scenes;
+pub mod fig01_memory_distribution;
+pub mod fig02_limit_study;
+pub mod fig11_correlation;
+pub mod fig12_speedup;
+pub mod fig13_memory_accesses;
+pub mod fig14_go_up_level;
+pub mod fig15_repacking;
+pub mod fig16_cache;
+pub mod fig17_latency;
+pub mod sec613_node_replacement;
+pub mod sec625_sm_sweep;
+pub mod sec64_gi;
+pub mod table1_scenes;
+pub mod table4_energy;
+pub mod table5_eq1;
+pub mod table6_table_size;
+pub mod table7_placement;
+pub mod table8_hash;
+
+use crate::{Context, Report};
+
+/// Runs every experiment in paper order.
+pub fn run_all(ctx: &Context) -> Vec<Report> {
+    vec![
+        table1_scenes::run(ctx),
+        fig01_memory_distribution::run(ctx),
+        fig02_limit_study::run(ctx),
+        fig11_correlation::run(ctx),
+        fig12_speedup::run(ctx),
+        fig13_memory_accesses::run(ctx),
+        table4_energy::run(ctx),
+        table5_eq1::run(ctx),
+        table6_table_size::run(ctx),
+        table7_placement::run(ctx),
+        table8_hash::run(ctx),
+        sec613_node_replacement::run(ctx),
+        fig14_go_up_level::run(ctx),
+        fig15_repacking::run(ctx),
+        fig16_cache::run(ctx),
+        fig17_latency::run(ctx),
+        sec625_sm_sweep::run(ctx),
+        sec64_gi::run(ctx),
+        ext_dynamic_scenes::run(ctx),
+        ext_adaptive_hash::run(ctx),
+        ext_shadow_rays::run(ctx),
+        ext_wide_bvh::run(ctx),
+    ]
+}
+
+/// Helper: geometric mean that tolerates empty input by returning 1.0.
+pub(crate) fn geomean_or_one(values: impl IntoIterator<Item = f64>) -> f64 {
+    rip_math::geometric_mean(values).unwrap_or(1.0)
+}

@@ -1,0 +1,43 @@
+//! Table 1: the benchmark scene suite (triangles, BVH depth, AO rays).
+
+use crate::{Context, Report, Table};
+
+/// Regenerates Table 1 from the built procedural scenes, alongside the
+/// paper's original numbers for comparison.
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("Table 1: Summary of benchmark scenes");
+    let mut table = Table::new(&[
+        "Scene",
+        "Code",
+        "Triangles",
+        "Paper tris",
+        "BVH depth",
+        "Paper depth",
+        "AO rays",
+        "Paper AO rays",
+    ]);
+    for id in ctx.scene_ids() {
+        let case = ctx.build_case(id);
+        let workload = case.ao_workload();
+        table.row(&[
+            id.name().to_string(),
+            id.code().to_string(),
+            format!("{}", case.bvh.triangle_count()),
+            format!("{}", id.paper_triangles()),
+            format!("{}", case.bvh.depth()),
+            format!("{}", id.paper_bvh_depth()),
+            format!("{}", workload.rays.len()),
+            format!("{}", id.paper_ao_rays()),
+        ]);
+        report.metric(format!("tris_{}", id.code()), case.bvh.triangle_count() as f64);
+        report.metric(format!("depth_{}", id.code()), case.bvh.depth() as f64);
+    }
+    report.line(table.render());
+    report.line(format!(
+        "Scale: {:?} (paper columns are the original models at full scale; \
+         procedural analogs track them at scale divisor {}).",
+        ctx.scale,
+        ctx.scale.divisor()
+    ));
+    report
+}

@@ -1,0 +1,83 @@
+//! Table 4: per-ray energy breakdown, baseline vs predictor.
+
+use crate::{Context, Report, Table};
+use rip_energy::EnergyModel;
+use rip_gpusim::Simulator;
+
+/// Regenerates Table 4 (paper: 296 nJ/ray baseline; −20 nJ/ray with the
+/// predictor, dominated by the base GPU's DRAM term while the predictor
+/// structures themselves cost well under 0.1 nJ/ray).
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("Table 4: energy analysis (nJ/ray)");
+    let model = EnergyModel::paper_45nm();
+    let mut base_total = rip_energy::EnergyBreakdown::default();
+    let mut pred_total = rip_energy::EnergyBreakdown::default();
+    let mut scenes = 0.0f64;
+    for id in ctx.scene_ids() {
+        let case = ctx.build_case(id);
+        let rays = case.ao_workload().rays;
+        let base = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        let pred = Simulator::new(ctx.gpu_predictor()).run(&case.bvh, &rays);
+        let bb = model.breakdown(&base);
+        let pb = model.breakdown(&pred);
+        base_total = add(&base_total, &bb);
+        pred_total = add(&pred_total, &pb);
+        scenes += 1.0;
+    }
+    let base_avg = scale(&base_total, 1.0 / scenes.max(1.0));
+    let pred_avg = scale(&pred_total, 1.0 / scenes.max(1.0));
+    let delta = pred_avg.delta(&base_avg);
+
+    let mut table = Table::new(&["Component", "Baseline RT unit", "Change from Predictor"]);
+    let rows: [(&str, f64, f64); 6] = [
+        ("Base GPU", base_avg.base_gpu, delta.base_gpu),
+        ("Predictor table", base_avg.predictor_table, delta.predictor_table),
+        ("Warp repacking", base_avg.warp_repacking, delta.warp_repacking),
+        ("Traversal stack", base_avg.traversal_stack, delta.traversal_stack),
+        ("Ray buffer", base_avg.ray_buffer, delta.ray_buffer),
+        ("Ray intersections", base_avg.ray_intersections, delta.ray_intersections),
+    ];
+    for (label, b, d) in rows {
+        table.row(&[label.to_string(), format!("{b:.2}"), format!("{d:+.2}")]);
+    }
+    table.row(&[
+        "Total".to_string(),
+        format!("{:.1} nJ/ray", base_avg.total_nj_per_ray()),
+        format!("{:+.1} nJ/ray", pred_avg.total_nj_per_ray() - base_avg.total_nj_per_ray()),
+    ]);
+    report.line(table.render());
+    let saving = 1.0 - pred_avg.total_nj_per_ray() / base_avg.total_nj_per_ray().max(1e-12);
+    report.line(format!(
+        "Energy saving: {:.1}% (paper: ~7%, with DRAM dominating both columns).",
+        saving * 100.0
+    ));
+    report.metric("baseline_nj_per_ray", base_avg.total_nj_per_ray());
+    report.metric("delta_nj_per_ray", pred_avg.total_nj_per_ray() - base_avg.total_nj_per_ray());
+    report.metric("energy_saving_fraction", saving);
+    report
+}
+
+fn add(
+    a: &rip_energy::EnergyBreakdown,
+    b: &rip_energy::EnergyBreakdown,
+) -> rip_energy::EnergyBreakdown {
+    rip_energy::EnergyBreakdown {
+        base_gpu: a.base_gpu + b.base_gpu,
+        predictor_table: a.predictor_table + b.predictor_table,
+        warp_repacking: a.warp_repacking + b.warp_repacking,
+        traversal_stack: a.traversal_stack + b.traversal_stack,
+        ray_buffer: a.ray_buffer + b.ray_buffer,
+        ray_intersections: a.ray_intersections + b.ray_intersections,
+    }
+}
+
+fn scale(a: &rip_energy::EnergyBreakdown, k: f64) -> rip_energy::EnergyBreakdown {
+    rip_energy::EnergyBreakdown {
+        base_gpu: a.base_gpu * k,
+        predictor_table: a.predictor_table * k,
+        warp_repacking: a.warp_repacking * k,
+        traversal_stack: a.traversal_stack * k,
+        ray_buffer: a.ray_buffer * k,
+        ray_intersections: a.ray_intersections * k,
+    }
+}

@@ -1,0 +1,60 @@
+//! Table 6: predictor table size sweep — entries × nodes-per-entry.
+
+use crate::{Context, Report, Table};
+use rip_core::PredictorConfig;
+use rip_gpusim::Simulator;
+
+/// Regenerates Table 6 (paper: best at 1024 entries × 1 node/entry;
+/// more nodes per entry raise verification but cost more per prediction).
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("Table 6: speedups for different table sizes");
+    let entry_counts = [512usize, 1024, 2048];
+    let node_counts = [1usize, 2, 4];
+    let scene_ids = ctx.scene_ids();
+    let sweep = &scene_ids[..scene_ids.len().min(3)];
+
+    // speedups[entries][nodes] per scene.
+    let mut speedups = vec![vec![Vec::new(); node_counts.len()]; entry_counts.len()];
+    for &id in sweep {
+        let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
+        let rays = case.ao_workload().rays;
+        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        for (ei, &entries) in entry_counts.iter().enumerate() {
+            for (ni, &nodes) in node_counts.iter().enumerate() {
+                let mut cfg = ctx.gpu_predictor();
+                cfg.predictor = Some(PredictorConfig {
+                    entries,
+                    nodes_per_entry: nodes,
+                    ..PredictorConfig::paper_default()
+                });
+                let r = Simulator::new(cfg).run(&case.bvh, &rays);
+                speedups[ei][ni].push(r.speedup_over(&baseline));
+            }
+        }
+    }
+    let mut table = Table::new(&["Entries", "1 node", "2 nodes", "4 nodes"]);
+    let mut best = (0usize, 0usize, f64::MIN);
+    for (ei, &entries) in entry_counts.iter().enumerate() {
+        let mut cells = vec![format!("{entries}")];
+        for (ni, _) in node_counts.iter().enumerate() {
+            let gm = super::geomean_or_one(speedups[ei][ni].iter().copied());
+            cells.push(format!("{:+.1}%", (gm - 1.0) * 100.0));
+            report.metric(format!("speedup_e{entries}_n{}", node_counts[ni]), gm);
+            if gm > best.2 {
+                best = (entries, node_counts[ni], gm);
+            }
+        }
+        table.row(&cells);
+    }
+    report.line(table.render());
+    report.line(format!(
+        "Best configuration: {} entries × {} node(s) per entry at {:+.1}% \
+         (paper: 1024 × 1 at +25.8%; the default table costs 5.5 KB per SM).",
+        best.0,
+        best.1,
+        (best.2 - 1.0) * 100.0
+    ));
+    report.metric("best_entries", best.0 as f64);
+    report.metric("best_nodes", best.1 as f64);
+    report
+}

@@ -1,0 +1,50 @@
+//! Table 7: placement-policy comparison (direct-mapped through 8-way).
+
+use crate::{fmt_pct, Context, Report, Table};
+use rip_core::PredictorConfig;
+use rip_gpusim::Simulator;
+
+/// Regenerates Table 7 (paper: 4-way set-associative is best — 25.8%
+/// speedup, 95.5% predicted, 24.6% verified; direct-mapped falls to 15.9%).
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("Table 7: comparison of placement policies");
+    let ways_options = [(1usize, "Direct-mapped"), (2, "2-way"), (4, "4-way"), (8, "8-way")];
+    let scene_ids = ctx.scene_ids();
+    let sweep = &scene_ids[..scene_ids.len().min(3)];
+    let mut speedups = vec![Vec::new(); ways_options.len()];
+    let mut predicted = vec![Vec::new(); ways_options.len()];
+    let mut verified = vec![Vec::new(); ways_options.len()];
+    for &id in sweep {
+        let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
+        let rays = case.ao_workload().rays;
+        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        for (i, &(ways, _)) in ways_options.iter().enumerate() {
+            let mut cfg = ctx.gpu_predictor();
+            cfg.predictor =
+                Some(PredictorConfig { ways, ..PredictorConfig::paper_default() });
+            let r = Simulator::new(cfg).run(&case.bvh, &rays);
+            speedups[i].push(r.speedup_over(&baseline));
+            predicted[i].push(r.prediction.predicted_rate());
+            verified[i].push(r.prediction.verified_rate());
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut table = Table::new(&["Policy", "Speedup", "Predicted", "Verified"]);
+    for (i, &(ways, label)) in ways_options.iter().enumerate() {
+        let gm = super::geomean_or_one(speedups[i].iter().copied());
+        table.row(&[
+            label.to_string(),
+            format!("{:+.1}%", (gm - 1.0) * 100.0),
+            fmt_pct(mean(&predicted[i])),
+            fmt_pct(mean(&verified[i])),
+        ]);
+        report.metric(format!("speedup_{ways}way"), gm);
+        report.metric(format!("verified_{ways}way"), mean(&verified[i]));
+    }
+    report.line(table.render());
+    report.line(
+        "Paper: 15.9% / 23.1% / 25.8% / 25.5% speedups; predicted rises with associativity \
+         (58.7% → 96.2%) while verified peaks at 4-way (24.6%).",
+    );
+    report
+}

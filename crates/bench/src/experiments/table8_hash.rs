@@ -1,0 +1,90 @@
+//! Table 8: hash-function parameter sweeps (Grid Spherical and Two Point).
+
+use crate::{Context, Report, Table};
+use rip_core::{HashFunction, PredictorConfig};
+use rip_gpusim::Simulator;
+
+/// Regenerates Tables 8a and 8b (paper: Grid Spherical with 5 origin /
+/// 3 direction bits is best at +25.8%; Two Point is comparable with
+/// 4 origin bits and ratio 0.15 at +24.7%).
+pub fn run(ctx: &Context) -> Report {
+    let mut report = Report::new("Table 8: hash function sweeps");
+    let scene_ids = ctx.scene_ids();
+    let sweep = &scene_ids[..scene_ids.len().min(2)];
+
+    // Gather the per-scene baselines once.
+    let mut cases = Vec::new();
+    for &id in sweep {
+        let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
+        let rays = case.ao_workload().rays;
+        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        cases.push((case, rays, baseline));
+    }
+    let run_hash = |hash: HashFunction| -> f64 {
+        let mut speedups = Vec::new();
+        for (case, rays, baseline) in &cases {
+            let mut cfg = ctx.gpu_predictor();
+            cfg.predictor = Some(PredictorConfig { hash, ..PredictorConfig::paper_default() });
+            let r = Simulator::new(cfg).run(&case.bvh, rays);
+            speedups.push(r.speedup_over(baseline));
+        }
+        super::geomean_or_one(speedups)
+    };
+
+    // Table 8a: Grid Spherical origin × direction bits.
+    let origin_bits = [3u32, 4, 5];
+    let direction_bits = [1u32, 2, 3, 4, 5];
+    let mut t8a = Table::new(&["Origin bits", "1 dir", "2 dir", "3 dir", "4 dir", "5 dir"]);
+    let mut best_a = (0u32, 0u32, f64::MIN);
+    for &ob in &origin_bits {
+        let mut cells = vec![format!("{ob}")];
+        for &db in &direction_bits {
+            let gm = run_hash(HashFunction::GridSpherical {
+                origin_bits: ob,
+                direction_bits: db,
+            });
+            cells.push(format!("{:+.1}%", (gm - 1.0) * 100.0));
+            report.metric(format!("gs_o{ob}_d{db}"), gm);
+            if gm > best_a.2 {
+                best_a = (ob, db, gm);
+            }
+        }
+        t8a.row(&cells);
+    }
+    report.line("Table 8a — Grid Spherical (paper best: 5 origin / 3 direction, +25.8%):");
+    report.line(t8a.render());
+    report.line(format!(
+        "Best Grid Spherical: {} origin / {} direction bits at {:+.1}%.",
+        best_a.0,
+        best_a.1,
+        (best_a.2 - 1.0) * 100.0
+    ));
+
+    // Table 8b: Two Point origin bits × estimated length ratio.
+    let ratios = [0.05f32, 0.15, 0.25, 0.35];
+    let mut t8b = Table::new(&["Origin bits", "r=0.05", "r=0.15", "r=0.25", "r=0.35"]);
+    let mut best_b = (0u32, 0.0f32, f64::MIN);
+    for &ob in &origin_bits {
+        let mut cells = vec![format!("{ob}")];
+        for &r in &ratios {
+            let gm = run_hash(HashFunction::TwoPoint { origin_bits: ob, length_ratio: r });
+            cells.push(format!("{:+.1}%", (gm - 1.0) * 100.0));
+            report.metric(format!("tp_o{ob}_r{r}"), gm);
+            if gm > best_b.2 {
+                best_b = (ob, r, gm);
+            }
+        }
+        t8b.row(&cells);
+    }
+    report.line("Table 8b — Two Point (paper best: 4 origin bits, ratio 0.15, +24.7%):");
+    report.line(t8b.render());
+    report.line(format!(
+        "Best Two Point: {} origin bits, ratio {:.2} at {:+.1}%.",
+        best_b.0,
+        best_b.1,
+        (best_b.2 - 1.0) * 100.0
+    ));
+    report.metric("best_gs", best_a.2);
+    report.metric("best_tp", best_b.2);
+    report
+}

@@ -1,0 +1,172 @@
+//! Shared experiment scaffolding: scales, scene cases, GPU configurations.
+
+use rip_bvh::Bvh;
+use rip_gpusim::GpuConfig;
+use rip_math::Triangle;
+use rip_render::{AoConfig, AoWorkload};
+use rip_scene::{Scene, SceneId, SceneScale, SCENE_IDS};
+
+/// Which benchmark scenes an experiment covers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SceneSelection {
+    /// All seven Table-1 scenes.
+    All,
+    /// The first `n` scenes (cheap smoke runs / parameter sweeps).
+    Subset(usize),
+    /// An explicit list.
+    Explicit(Vec<SceneId>),
+}
+
+/// Execution context shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct Context {
+    /// Geometry/workload scale.
+    pub scale: SceneScale,
+    /// Scene coverage.
+    pub selection: SceneSelection,
+}
+
+impl Context {
+    /// Creates a context.
+    pub fn new(scale: SceneScale, selection: SceneSelection) -> Self {
+        Context { scale, selection }
+    }
+
+    /// Parses a context from command-line arguments:
+    /// `--scale tiny|quick|paper` and `--scenes N` (first N scenes).
+    /// Unknown arguments are ignored so binaries can add their own.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = SceneScale::Quick;
+        let mut selection = SceneSelection::All;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    if let Some(v) = it.next() {
+                        scale = SceneScale::parse(v).unwrap_or_else(|| {
+                            eprintln!("unknown scale '{v}', using quick");
+                            SceneScale::Quick
+                        });
+                    }
+                }
+                "--scenes" => {
+                    if let Some(v) = it.next() {
+                        if let Ok(n) = v.parse::<usize>() {
+                            selection = SceneSelection::Subset(n.clamp(1, SCENE_IDS.len()));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Context { scale, selection }
+    }
+
+    /// The scene ids this context covers.
+    pub fn scene_ids(&self) -> Vec<SceneId> {
+        match &self.selection {
+            SceneSelection::All => SCENE_IDS.to_vec(),
+            SceneSelection::Subset(n) => SCENE_IDS[..(*n).min(SCENE_IDS.len())].to_vec(),
+            SceneSelection::Explicit(ids) => ids.clone(),
+        }
+    }
+
+    /// Viewport edge (square) for the main experiments. The paper renders
+    /// 1024×1024; lower scales shrink the viewport with the scene budget so
+    /// the ray density over the hash space stays comparable.
+    pub fn viewport(&self) -> u32 {
+        match self.scale {
+            SceneScale::Tiny => 48,
+            SceneScale::Quick => 256,
+            SceneScale::Paper => 1024,
+        }
+    }
+
+    /// Reduced viewport for parameter sweeps (quarter the ray count).
+    pub fn sweep_viewport(&self) -> u32 {
+        (self.viewport() / 2).max(32)
+    }
+
+    /// Builds a scene case (scene + BVH) at this context's scale.
+    pub fn build_case(&self, id: SceneId) -> Case {
+        self.build_case_with_viewport(id, self.viewport())
+    }
+
+    /// Builds a scene case with an explicit viewport edge.
+    pub fn build_case_with_viewport(&self, id: SceneId, viewport: u32) -> Case {
+        let scene = id.build_with_viewport(self.scale, viewport, viewport);
+        let tris: Vec<Triangle> = scene.mesh.triangles().collect();
+        let bvh = Bvh::build(&tris);
+        Case { id, scene, bvh }
+    }
+
+    /// The baseline Table-2 GPU configuration.
+    pub fn gpu_baseline(&self) -> GpuConfig {
+        GpuConfig::baseline()
+    }
+
+    /// The Table-3 predictor configuration with repacking.
+    pub fn gpu_predictor(&self) -> GpuConfig {
+        GpuConfig::with_predictor()
+    }
+}
+
+/// A built benchmark case.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Which scene.
+    pub id: SceneId,
+    /// Scene geometry and camera.
+    pub scene: Scene,
+    /// The acceleration structure.
+    pub bvh: Bvh,
+}
+
+impl Case {
+    /// Generates this case's AO workload with the §5.2 parameters.
+    pub fn ao_workload(&self) -> AoWorkload {
+        AoWorkload::generate(&self.scene, &self.bvh, &AoConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_expansion() {
+        let all = Context::new(SceneScale::Tiny, SceneSelection::All);
+        assert_eq!(all.scene_ids().len(), 7);
+        let two = Context::new(SceneScale::Tiny, SceneSelection::Subset(2));
+        assert_eq!(two.scene_ids(), vec![SceneId::Sibenik, SceneId::CrytekSponza]);
+        let explicit =
+            Context::new(SceneScale::Tiny, SceneSelection::Explicit(vec![SceneId::LostEmpire]));
+        assert_eq!(explicit.scene_ids(), vec![SceneId::LostEmpire]);
+    }
+
+    #[test]
+    fn viewports_scale() {
+        let tiny = Context::new(SceneScale::Tiny, SceneSelection::All);
+        let paper = Context::new(SceneScale::Paper, SceneSelection::All);
+        assert!(tiny.viewport() < paper.viewport());
+        assert_eq!(paper.viewport(), 1024);
+        assert_eq!(tiny.sweep_viewport(), 32);
+    }
+
+    #[test]
+    fn build_case_produces_consistent_bvh() {
+        let ctx = Context::new(SceneScale::Tiny, SceneSelection::All);
+        let case = ctx.build_case(SceneId::Sibenik);
+        assert_eq!(case.bvh.triangle_count(), case.scene.mesh.triangle_count());
+        case.bvh.validate().unwrap();
+    }
+
+    #[test]
+    fn ao_workload_generates() {
+        let ctx = Context::new(SceneScale::Tiny, SceneSelection::All);
+        let case = ctx.build_case_with_viewport(SceneId::FireplaceRoom, 16);
+        let w = case.ao_workload();
+        assert!(!w.rays.is_empty());
+    }
+}

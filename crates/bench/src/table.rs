@@ -1,0 +1,157 @@
+//! ASCII table rendering for experiment reports.
+
+/// A rendered experiment report: a title, free-form text (tables, notes)
+/// and the headline numbers other tooling may want.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Experiment identifier (e.g. `"Figure 12"`).
+    pub id: String,
+    /// Full rendered text.
+    pub text: String,
+    /// Named headline metrics (e.g. `("geomean_speedup", 1.26)`).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates a report with the given id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Report { id: id.into(), ..Default::default() }
+    }
+
+    /// Appends a line of text.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.text.push_str(s.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Records a headline metric.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Looks up a recorded metric.
+    pub fn get_metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== {} ===", self.id)?;
+        f.write_str(&self.text)
+    }
+}
+
+/// A simple aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bench::Table;
+///
+/// let mut t = Table::new(&["Scene", "Speedup"]);
+/// t.row(&["Sibenik", "1.26"]);
+/// assert!(t.render().contains("Sibenik"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage string (`0.26` → `"26.0%"`).
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a float to 3 decimal places.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["A", "Long header"]);
+        t.row(&["wide cell value", "x"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("Long header"));
+        assert!(lines[2].starts_with("wide cell value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["A", "B"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn report_metrics() {
+        let mut r = Report::new("Figure X");
+        r.metric("speedup", 1.26);
+        r.line("hello");
+        assert_eq!(r.get_metric("speedup"), Some(1.26));
+        assert_eq!(r.get_metric("absent"), None);
+        assert!(r.to_string().contains("=== Figure X ==="));
+        assert!(r.text.contains("hello"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_pct(0.2634), "26.3%");
+        assert_eq!(fmt_f64(1.23456), "1.235");
+    }
+}

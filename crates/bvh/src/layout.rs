@@ -1,0 +1,116 @@
+//! Byte-address layout of the BVH node and triangle buffers.
+//!
+//! The cache and DRAM models operate on byte addresses. We mirror the
+//! Aila–Laine layout the paper assumes: 64-byte node records (Figure 8) and
+//! 48-byte Woop-style triangle records, with the triangle buffer placed
+//! after the node buffer. The L1/L2 line size is 128 B (Table 2), so one
+//! line holds two nodes.
+
+use crate::node::NodeId;
+
+/// Size of one BVH node record in bytes (Figure 8).
+pub const NODE_SIZE: u64 = 64;
+/// Size of one Woop-format triangle record in bytes.
+pub const TRI_SIZE: u64 = 48;
+
+/// Address map for one BVH's buffers.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::{MemoryLayout, NodeId};
+///
+/// let layout = MemoryLayout::for_tree(100, 50);
+/// assert_eq!(layout.node_address(NodeId::new(2)), 128);
+/// assert!(layout.tri_address(0) >= 100 * 64);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryLayout {
+    node_base: u64,
+    tri_base: u64,
+    node_count: u64,
+    tri_count: u64,
+}
+
+impl MemoryLayout {
+    /// Lays out a tree with the given node and triangle counts: nodes at
+    /// address 0, triangles following (aligned to 128-byte lines).
+    pub fn for_tree(node_count: usize, tri_count: usize) -> Self {
+        let node_base = 0u64;
+        let nodes_end = node_base + node_count as u64 * NODE_SIZE;
+        let tri_base = nodes_end.next_multiple_of(128);
+        MemoryLayout { node_base, tri_base, node_count: node_count as u64, tri_count: tri_count as u64 }
+    }
+
+    /// Byte address of a node record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is out of range.
+    #[inline]
+    pub fn node_address(&self, id: NodeId) -> u64 {
+        assert!((id.index() as u64) < self.node_count, "{id} out of range");
+        self.node_base + id.index() as u64 * NODE_SIZE
+    }
+
+    /// Byte address of a triangle record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the triangle is out of range.
+    #[inline]
+    pub fn tri_address(&self, tri_index: u32) -> u64 {
+        assert!((tri_index as u64) < self.tri_count, "triangle {tri_index} out of range");
+        self.tri_base + tri_index as u64 * TRI_SIZE
+    }
+
+    /// Whether a byte address falls in the node buffer.
+    #[inline]
+    pub fn is_node_address(&self, addr: u64) -> bool {
+        addr >= self.node_base && addr < self.node_base + self.node_count * NODE_SIZE
+    }
+
+    /// Total footprint in bytes (nodes + triangles).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.tri_base + self.tri_count * TRI_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_before_triangles() {
+        let l = MemoryLayout::for_tree(10, 5);
+        assert!(l.node_address(NodeId::new(9)) < l.tri_address(0));
+        assert_eq!(l.tri_address(0) % 128, 0, "triangle buffer line-aligned");
+    }
+
+    #[test]
+    fn two_nodes_share_a_line() {
+        let l = MemoryLayout::for_tree(4, 1);
+        assert_eq!(l.node_address(NodeId::new(0)) / 128, l.node_address(NodeId::new(1)) / 128);
+        assert_ne!(l.node_address(NodeId::new(1)) / 128, l.node_address(NodeId::new(2)) / 128);
+    }
+
+    #[test]
+    fn address_classification() {
+        let l = MemoryLayout::for_tree(10, 5);
+        assert!(l.is_node_address(0));
+        assert!(l.is_node_address(10 * 64 - 1));
+        assert!(!l.is_node_address(l.tri_address(0)));
+    }
+
+    #[test]
+    fn footprint_covers_everything() {
+        let l = MemoryLayout::for_tree(10, 5);
+        assert_eq!(l.footprint_bytes(), l.tri_address(4) + TRI_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_address_bounds_checked() {
+        let _ = MemoryLayout::for_tree(2, 2).node_address(NodeId::new(2));
+    }
+}

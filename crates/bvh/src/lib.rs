@@ -1,0 +1,51 @@
+//! Bounding Volume Hierarchy substrate.
+//!
+//! Implements the acceleration structure the predictor operates on (§2.4):
+//!
+//! * a binned-SAH binary BVH builder ([`BvhBuilder`]),
+//! * an Aila–Laine-style node representation where fetching one interior
+//!   node yields both children's bounding boxes, and where each node carries
+//!   its parent index in the padded space (enabling the Go Up Level of §4.3
+//!   without extra memory traffic),
+//! * the while-while traversal loop of Algorithm 1 for both **any-hit**
+//!   (occlusion) and **closest-hit** queries, exposed as a *steppable*
+//!   state machine so the cycle-level simulator can interleave rays,
+//! * Morton-order ray sorting (the Aila–Laine quicksort baseline of §5.2),
+//! * the byte-address layout of the node/triangle buffers used for cache
+//!   simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use rip_bvh::{Bvh, TraversalKind};
+//! use rip_math::{Ray, Triangle, Vec3};
+//!
+//! let tris = vec![Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)];
+//! let bvh = Bvh::build(&tris);
+//! let ray = Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z);
+//! let result = bvh.intersect(&ray, TraversalKind::AnyHit);
+//! assert!(result.hit.is_some());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod builder;
+mod bvh;
+mod layout;
+mod node;
+pub mod sorting;
+pub mod stackless;
+mod wide;
+mod stack;
+mod stats;
+mod traversal;
+
+pub use builder::{BvhBuilder, SplitMethod};
+pub use bvh::Bvh;
+pub use layout::MemoryLayout;
+pub use node::{BvhNode, NodeId, NodeKind};
+pub use stack::TraversalStack;
+pub use stats::TraversalStats;
+pub use traversal::{Hit, StepEvent, Traversal, TraversalKind, TraversalResult};
+pub use wide::{WideBvh, WideResult, WIDE_ARITY};

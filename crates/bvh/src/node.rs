@@ -1,0 +1,147 @@
+//! BVH node representation.
+
+use rip_math::Aabb;
+
+/// Index of a node in the BVH's flat node array.
+///
+/// The predictor stores 27-bit node indices in its table entries (§4.1,
+/// "adequately manages BVH trees with up to 2²⁷ = 134 million nodes").
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::NodeId;
+///
+/// let root = NodeId::ROOT;
+/// assert_eq!(root.index(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The root node is always element 0 of the node array.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Number of bits a predictor table slot uses for a node index (§4.1).
+    pub const PREDICTOR_INDEX_BITS: u32 = 27;
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this id fits in the predictor's 27-bit slot.
+    #[inline]
+    pub const fn fits_predictor_slot(self) -> bool {
+        self.0 < (1 << Self::PREDICTOR_INDEX_BITS)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Payload of a BVH node: interior (two children with their bounds baked
+/// into this record, Aila–Laine style) or leaf (a contiguous triangle
+/// range in the BVH's permuted triangle index array).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NodeKind {
+    /// An interior node. Fetching this record yields both child boxes, so
+    /// one memory access funds two ray-box tests — matching the layout in
+    /// Figure 8 of the paper.
+    Interior {
+        /// Left child id.
+        left: NodeId,
+        /// Right child id.
+        right: NodeId,
+        /// Bounds of the left child.
+        left_bounds: Aabb,
+        /// Bounds of the right child.
+        right_bounds: Aabb,
+    },
+    /// A leaf node owning `count` triangles starting at `first` in the
+    /// BVH's triangle index array.
+    Leaf {
+        /// Offset of the first triangle index.
+        first: u32,
+        /// Number of triangles in this leaf.
+        count: u32,
+    },
+}
+
+/// One node of the BVH.
+///
+/// `parent` lives in what would be the padded space of a 64-byte
+/// Aila–Laine node (§4.3): retrieving an ancestor for the Go Up Level
+/// therefore costs no additional memory accesses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BvhNode {
+    /// Bounds of everything under this node.
+    pub bounds: Aabb,
+    /// Interior/leaf payload.
+    pub kind: NodeKind,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Depth below the root (root = 0).
+    pub depth: u32,
+}
+
+impl BvhNode {
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_index_zero() {
+        assert_eq!(NodeId::ROOT, NodeId::new(0));
+        assert_eq!(NodeId::ROOT.to_string(), "n0");
+    }
+
+    #[test]
+    fn predictor_slot_bound() {
+        assert!(NodeId::new((1 << 27) - 1).fits_predictor_slot());
+        assert!(!NodeId::new(1 << 27).fits_predictor_slot());
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let leaf = BvhNode {
+            bounds: Aabb::empty(),
+            kind: NodeKind::Leaf { first: 0, count: 1 },
+            parent: None,
+            depth: 0,
+        };
+        assert!(leaf.is_leaf());
+        let interior = BvhNode {
+            kind: NodeKind::Interior {
+                left: NodeId::new(1),
+                right: NodeId::new(2),
+                left_bounds: Aabb::empty(),
+                right_bounds: Aabb::empty(),
+            },
+            ..leaf
+        };
+        assert!(!interior.is_leaf());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(3) < NodeId::new(10));
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-ray traversal stack with hardware-capacity spill accounting.
+
+use crate::node::NodeId;
+
+/// The per-thread traversal stack of Algorithm 1.
+///
+/// The RT unit allocates an 8-entry hardware stack per ray which
+/// "occasionally overflows to thread-local memory" (§5.1.2). This type is
+/// functionally unbounded but counts pushes beyond the hardware capacity so
+/// the simulator and statistics can charge spill traffic.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::{NodeId, TraversalStack};
+///
+/// let mut stack = TraversalStack::new();
+/// stack.push(NodeId::new(3));
+/// assert_eq!(stack.pop(), Some(NodeId::new(3)));
+/// assert_eq!(stack.pop(), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraversalStack {
+    entries: Vec<NodeId>,
+    hw_capacity: usize,
+    spills: u64,
+    max_depth: usize,
+}
+
+/// Hardware stack entries per ray in the baseline RT unit (§5.1.2).
+pub const HW_STACK_CAPACITY: usize = 8;
+
+impl TraversalStack {
+    /// Creates an empty stack with the baseline 8-entry hardware capacity.
+    pub fn new() -> Self {
+        Self::with_hw_capacity(HW_STACK_CAPACITY)
+    }
+
+    /// Creates an empty stack with a custom hardware capacity.
+    pub fn with_hw_capacity(hw_capacity: usize) -> Self {
+        TraversalStack { entries: Vec::new(), hw_capacity, spills: 0, max_depth: 0 }
+    }
+
+    /// Pushes a node, counting a spill when the stack exceeds the hardware
+    /// capacity.
+    #[inline]
+    pub fn push(&mut self, id: NodeId) {
+        self.entries.push(id);
+        if self.entries.len() > self.hw_capacity {
+            self.spills += 1;
+        }
+        self.max_depth = self.max_depth.max(self.entries.len());
+    }
+
+    /// Pops the most recent node.
+    #[inline]
+    pub fn pop(&mut self) -> Option<NodeId> {
+        self.entries.pop()
+    }
+
+    /// Current depth.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stack is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pushes beyond hardware capacity observed so far.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Deepest the stack has been.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Removes everything (spill/max-depth counters are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = TraversalStack::new();
+        s.push(NodeId::new(1));
+        s.push(NodeId::new(2));
+        assert_eq!(s.pop(), Some(NodeId::new(2)));
+        assert_eq!(s.pop(), Some(NodeId::new(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn spills_counted_beyond_hw_capacity() {
+        let mut s = TraversalStack::with_hw_capacity(2);
+        for i in 0..5 {
+            s.push(NodeId::new(i));
+        }
+        assert_eq!(s.spills(), 3);
+        assert_eq!(s.max_depth(), 5);
+    }
+
+    #[test]
+    fn default_capacity_matches_baseline() {
+        let mut s = TraversalStack::new();
+        for i in 0..8 {
+            s.push(NodeId::new(i));
+        }
+        assert_eq!(s.spills(), 0);
+        s.push(NodeId::new(8));
+        assert_eq!(s.spills(), 1);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut s = TraversalStack::with_hw_capacity(1);
+        s.push(NodeId::new(0));
+        s.push(NodeId::new(1));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.spills(), 1);
+        assert_eq!(s.max_depth(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-traversal statistics.
+
+/// Counters collected by one BVH traversal.
+///
+/// These feed the paper's accounting: `n`, `m` of Equation 1 are node
+/// fetches ([`TraversalStats::node_fetches`]), Figure 1's access
+/// distribution splits node vs triangle fetches, and Figure 13 adds
+/// predictor overheads on top.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Interior node records fetched.
+    pub interior_fetches: u64,
+    /// Leaf node records fetched.
+    pub leaf_fetches: u64,
+    /// Triangle records fetched (one per triangle tested).
+    pub tri_fetches: u64,
+    /// Ray-box tests executed (two per interior fetch).
+    pub box_tests: u64,
+    /// Ray-triangle tests executed.
+    pub tri_tests: u64,
+    /// Traversal-stack pushes that spilled past the 8-entry hardware stack.
+    pub stack_spills: u64,
+}
+
+impl TraversalStats {
+    /// Total BVH node fetches (interior + leaf) — the per-ray `n`/`m` of
+    /// Equation 1.
+    pub fn node_fetches(&self) -> u64 {
+        self.interior_fetches + self.leaf_fetches
+    }
+
+    /// Total memory requests (nodes + triangles).
+    pub fn memory_accesses(&self) -> u64 {
+        self.node_fetches() + self.tri_fetches
+    }
+
+    /// Accumulates another traversal's counters into this one.
+    pub fn accumulate(&mut self, other: &TraversalStats) {
+        self.interior_fetches += other.interior_fetches;
+        self.leaf_fetches += other.leaf_fetches;
+        self.tri_fetches += other.tri_fetches;
+        self.box_tests += other.box_tests;
+        self.tri_tests += other.tri_tests;
+        self.stack_spills += other.stack_spills;
+    }
+}
+
+impl std::ops::AddAssign for TraversalStats {
+    fn add_assign(&mut self, rhs: TraversalStats) {
+        self.accumulate(&rhs);
+    }
+}
+
+impl std::iter::Sum for TraversalStats {
+    fn sum<I: Iterator<Item = TraversalStats>>(iter: I) -> Self {
+        let mut total = TraversalStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let a = TraversalStats {
+            interior_fetches: 3,
+            leaf_fetches: 1,
+            tri_fetches: 4,
+            box_tests: 6,
+            tri_tests: 4,
+            stack_spills: 0,
+        };
+        assert_eq!(a.node_fetches(), 4);
+        assert_eq!(a.memory_accesses(), 8);
+        let mut b = a;
+        b += a;
+        assert_eq!(b.node_fetches(), 8);
+        let summed: TraversalStats = [a, a, a].into_iter().sum();
+        assert_eq!(summed.tri_tests, 12);
+    }
+}

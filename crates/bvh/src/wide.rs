@@ -1,0 +1,290 @@
+//! Four-wide BVH: the SIMD-friendly acceleration structure of the wide-BVH
+//! line of work the paper cites in §7 ("Ylitie et al. explored wide BVH
+//! trees to increase SIMD utilization… these techniques should also work
+//! in parallel with our proposed ray intersection predictor").
+//!
+//! [`WideBvh`] collapses a binary [`Bvh`] bottom-up: each wide node absorbs
+//! up to four binary grandchildren, so one node fetch funds four ray-box
+//! tests. The conversion preserves leaf contents exactly, and the traversal
+//! produces the same hits as the binary tree — asserted by tests — while
+//! fetching roughly half the interior nodes.
+
+use crate::node::{NodeId, NodeKind};
+use crate::{Bvh, Hit, TraversalKind, TraversalStats};
+use rip_math::{Aabb, Ray};
+
+/// Maximum children per wide node.
+pub const WIDE_ARITY: usize = 4;
+
+/// A child slot of a wide node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum WideChild {
+    /// Unused slot.
+    Empty,
+    /// Another wide node (index into the wide node array).
+    Interior(u32),
+    /// A leaf: range in the shared triangle-order array.
+    Leaf {
+        /// First triangle-order slot.
+        first: u32,
+        /// Triangle count.
+        count: u32,
+    },
+}
+
+/// One 4-wide node: child bounds and references, fetched as a unit.
+#[derive(Clone, Debug)]
+struct WideNode {
+    bounds: [Aabb; WIDE_ARITY],
+    children: [WideChild; WIDE_ARITY],
+}
+
+/// Result of a wide-BVH traversal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WideResult {
+    /// The intersection, if any.
+    pub hit: Option<Hit>,
+    /// Work performed. `interior_fetches` counts wide-node fetches;
+    /// `box_tests` counts the (up to four) per-fetch slab tests.
+    pub stats: TraversalStats,
+}
+
+/// A four-wide bounding volume hierarchy collapsed from a binary [`Bvh`].
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::{Bvh, TraversalKind, WideBvh};
+/// use rip_math::{Ray, Triangle, Vec3};
+///
+/// let tris = vec![Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)];
+/// let binary = Bvh::build(&tris);
+/// let wide = WideBvh::from_binary(&binary);
+/// let ray = Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z);
+/// assert!(wide.intersect(&binary, &ray, TraversalKind::AnyHit).hit.is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct WideBvh {
+    nodes: Vec<WideNode>,
+}
+
+impl WideBvh {
+    /// Collapses a binary BVH into 4-wide nodes.
+    ///
+    /// Each wide node takes a binary node's children; any interior child is
+    /// expanded once more into its own two children while slots remain, so
+    /// most wide nodes carry three or four slots.
+    pub fn from_binary(bvh: &Bvh) -> Self {
+        let mut nodes: Vec<WideNode> = Vec::new();
+        // Reserve slot 0 for the root, then fill recursively.
+        nodes.push(WideNode {
+            bounds: [Aabb::empty(); WIDE_ARITY],
+            children: [WideChild::Empty; WIDE_ARITY],
+        });
+        build_wide(bvh, NodeId::ROOT, 0, &mut nodes);
+        WideBvh { nodes }
+    }
+
+    /// Number of wide nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Traverses the wide tree. The binary `bvh` supplies the shared
+    /// triangle storage (leaf ranges are identical by construction).
+    pub fn intersect(&self, bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> WideResult {
+        let mut stats = TraversalStats::default();
+        let mut best: Option<Hit> = None;
+        let mut stack: Vec<WideChild> = vec![WideChild::Interior(0)];
+        'outer: while let Some(entry) = stack.pop() {
+            let ray_eff = match (kind, best) {
+                (TraversalKind::ClosestHit, Some(h)) => ray.trimmed(h.t),
+                _ => *ray,
+            };
+            let inv_dir = ray_eff.inv_direction();
+            match entry {
+                WideChild::Empty => {}
+                WideChild::Interior(idx) => {
+                    stats.interior_fetches += 1;
+                    let node = &self.nodes[idx as usize];
+                    // Test all occupied slots, push hits far-to-near so the
+                    // nearest pops first.
+                    let mut hits: Vec<(f32, WideChild)> = Vec::with_capacity(WIDE_ARITY);
+                    for slot in 0..WIDE_ARITY {
+                        if node.children[slot] == WideChild::Empty {
+                            continue;
+                        }
+                        stats.box_tests += 1;
+                        if let Some(t) = node.bounds[slot].intersect_with_inv(&ray_eff, inv_dir)
+                        {
+                            hits.push((t, node.children[slot]));
+                        }
+                    }
+                    hits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                    for (_, child) in hits {
+                        stack.push(child);
+                    }
+                }
+                WideChild::Leaf { first, count } => {
+                    stats.leaf_fetches += 1;
+                    for slot in first..first + count {
+                        let tri_index = bvh.tri_order_at(slot);
+                        let tri = bvh.triangle(tri_index);
+                        stats.tri_fetches += 1;
+                        stats.tri_tests += 1;
+                        let bound = match (kind, best) {
+                            (TraversalKind::ClosestHit, Some(h)) => ray_eff.trimmed(h.t),
+                            _ => ray_eff,
+                        };
+                        if let Some(h) = tri.intersect(&bound) {
+                            // Leaf ids are not meaningful in the wide tree;
+                            // report the binary leaf for interoperability.
+                            let leaf = bvh.leaf_of_triangle(tri_index).unwrap_or(NodeId::ROOT);
+                            let hit = Hit { t: h.t, tri_index, leaf };
+                            if best.is_none_or(|b| hit.t < b.t) {
+                                best = Some(hit);
+                            }
+                            if kind == TraversalKind::AnyHit {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        WideResult { hit: best, stats }
+    }
+}
+
+/// Converts a binary child reference into a wide child + bounds, expanding
+/// interiors lazily via `pending`.
+fn build_wide(bvh: &Bvh, binary: NodeId, slot: usize, nodes: &mut Vec<WideNode>) {
+    // Gather up to WIDE_ARITY binary descendants by splitting interior
+    // children breadth-first.
+    let mut members: Vec<NodeId> = vec![binary];
+    // Expand the first interior member while its two children still fit.
+    while let Some(pos) = members
+        .iter()
+        .position(|&m| !bvh.node(m).is_leaf() && members.len() < WIDE_ARITY)
+    {
+        let node = bvh.node(members[pos]);
+        let NodeKind::Interior { left, right, .. } = node.kind else { unreachable!() };
+        members.remove(pos);
+        members.push(left);
+        members.push(right);
+    }
+
+    let mut bounds = [Aabb::empty(); WIDE_ARITY];
+    let mut children = [WideChild::Empty; WIDE_ARITY];
+    // First pass: fill slots; interiors allocate their wide node index.
+    let mut allocations: Vec<(NodeId, usize, u32)> = Vec::new();
+    for (i, &member) in members.iter().enumerate() {
+        bounds[i] = bvh.node(member).bounds;
+        match bvh.node(member).kind {
+            NodeKind::Leaf { first, count } => {
+                children[i] = WideChild::Leaf { first, count };
+            }
+            NodeKind::Interior { .. } => {
+                let idx = nodes.len() as u32;
+                nodes.push(WideNode {
+                    bounds: [Aabb::empty(); WIDE_ARITY],
+                    children: [WideChild::Empty; WIDE_ARITY],
+                });
+                children[i] = WideChild::Interior(idx);
+                allocations.push((member, i, idx));
+            }
+        }
+    }
+    nodes[slot] = WideNode { bounds, children };
+    for (member, _, idx) in allocations {
+        build_wide(bvh, member, idx as usize, nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rip_math::{Triangle, Vec3};
+
+    fn soup(n: usize, seed: u64) -> Vec<Triangle> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let base = Vec3::new(
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                );
+                let e1 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                let e2 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                Triangle::new(base, base + e1, base + e2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_matches_binary_results() {
+        for seed in 0..5 {
+            let binary = Bvh::build(&soup(200, seed));
+            let wide = WideBvh::from_binary(&binary);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xAB);
+            for _ in 0..60 {
+                let o = Vec3::new(
+                    rng.gen_range(-8.0..8.0),
+                    rng.gen_range(-8.0..8.0),
+                    rng.gen_range(-8.0..8.0),
+                );
+                let d = rip_math::sampling::uniform_sphere(rng.gen(), rng.gen());
+                let ray = Ray::segment(o, d, 20.0);
+                for kind in [TraversalKind::AnyHit, TraversalKind::ClosestHit] {
+                    let w = wide.intersect(&binary, &ray, kind);
+                    let b = binary.intersect(&ray, kind);
+                    assert_eq!(w.hit.is_some(), b.hit.is_some(), "seed {seed} {kind:?}");
+                    if let (Some(wh), Some(bh)) = (w.hit, b.hit) {
+                        if kind == TraversalKind::ClosestHit {
+                            assert!((wh.t - bh.t).abs() < 1e-3 * (1.0 + bh.t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_tree_is_smaller_and_fetches_fewer_interior_nodes() {
+        let binary = Bvh::build(&soup(400, 9));
+        let wide = WideBvh::from_binary(&binary);
+        assert!(
+            wide.node_count() * 2 < binary.node_count(),
+            "4-wide tree should have well under half the nodes: {} vs {}",
+            wide.node_count(),
+            binary.node_count()
+        );
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut wide_fetches = 0u64;
+        let mut binary_fetches = 0u64;
+        for _ in 0..100 {
+            let o = Vec3::new(rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0), -10.0);
+            let ray = Ray::segment(o, Vec3::Z, 25.0);
+            wide_fetches += wide
+                .intersect(&binary, &ray, TraversalKind::ClosestHit)
+                .stats
+                .interior_fetches;
+            binary_fetches +=
+                binary.intersect(&ray, TraversalKind::ClosestHit).stats.interior_fetches;
+        }
+        assert!(
+            wide_fetches * 3 < binary_fetches * 2,
+            "wide traversal should fetch well under 2/3 of the interior nodes: {wide_fetches} vs {binary_fetches}"
+        );
+    }
+
+    #[test]
+    fn single_triangle_collapses_to_one_node() {
+        let binary = Bvh::build(&soup(1, 1));
+        let wide = WideBvh::from_binary(&binary);
+        assert_eq!(wide.node_count(), 1);
+    }
+}

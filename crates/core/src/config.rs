@@ -1,0 +1,161 @@
+//! Predictor configuration (Table 3 defaults).
+
+use crate::{HashFunction, NodeReplacement, OracleMode};
+
+/// Full configuration of the ray intersection predictor.
+///
+/// Defaults reproduce Table 3: 1024 entries, 4-way set-associative, one
+/// node per entry, Grid Spherical hash with 5 origin / 3 direction bits,
+/// LRU placement and node replacement, Go Up Level 3.
+///
+/// # Examples
+///
+/// ```
+/// use rip_core::PredictorConfig;
+///
+/// let config = PredictorConfig::paper_default();
+/// assert_eq!(config.entries, 1024);
+/// assert_eq!(config.ways, 4);
+/// // 1024 × (1 valid + 15 tag + 27 node) bits = 5.5 KB (§6.1.1).
+/// assert_eq!(config.table_bytes(), 5504);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PredictorConfig {
+    /// Total table entries (Table 6 sweeps 512–2048).
+    pub entries: usize,
+    /// Set associativity; 1 = direct-mapped (Table 7).
+    pub ways: usize,
+    /// Predicted nodes stored per entry (Table 6 sweeps 1–4).
+    pub nodes_per_entry: usize,
+    /// The ray hash function (Table 8).
+    pub hash: HashFunction,
+    /// Node replacement policy within an entry (§6.1.3).
+    pub node_replacement: NodeReplacement,
+    /// BVH levels above the intersected leaf to predict (§4.3; Figure 14
+    /// sweeps 0–5, best is 3).
+    pub go_up_level: u32,
+    /// Limit-study oracle mode (§6.3); `OracleMode::None` is the real
+    /// predictor.
+    pub oracle: OracleMode,
+    /// Training visibility delay in rays: updates from a ray become visible
+    /// only after this many subsequent rays have issued, modelling
+    /// in-flight traversal latency. The OU oracle forces this to zero.
+    pub update_delay: usize,
+}
+
+impl PredictorConfig {
+    /// The Table 3 configuration used for the headline results.
+    pub fn paper_default() -> Self {
+        PredictorConfig {
+            entries: 1024,
+            ways: 4,
+            nodes_per_entry: 1,
+            hash: HashFunction::default(),
+            node_replacement: NodeReplacement::Lru,
+            go_up_level: 3,
+            oracle: OracleMode::None,
+            update_delay: 256,
+        }
+    }
+
+    /// Number of sets (`entries / ways`).
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// Bits used to index the table (`log2(sets)`).
+    pub fn index_bits(&self) -> u32 {
+        self.sets().trailing_zeros()
+    }
+
+    /// Storage cost of the table in bytes: per entry, 1 valid bit + tag +
+    /// 27 bits per node slot (§6.1.1).
+    pub fn table_bytes(&self) -> usize {
+        let bits_per_entry =
+            1 + self.hash.bits() as usize + 27 * self.nodes_per_entry;
+        self.entries * bits_per_entry / 8
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when entries/ways are zero or not compatible
+    /// (entries must be a multiple of ways and sets a power of two), when
+    /// there are no node slots, or when the hash is invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entries == 0 || self.ways == 0 || self.nodes_per_entry == 0 {
+            return Err("entries, ways and nodes_per_entry must be positive".into());
+        }
+        if !self.entries.is_multiple_of(self.ways) {
+            return Err(format!("{} entries not divisible by {} ways", self.entries, self.ways));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!("{} sets is not a power of two", self.sets()));
+        }
+        self.hash.validate()
+    }
+
+    /// Returns a copy with a different oracle mode.
+    pub fn with_oracle(mut self, oracle: OracleMode) -> Self {
+        self.oracle = oracle;
+        if oracle == OracleMode::ImmediateUpdates {
+            self.update_delay = 0;
+        }
+        self
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_5_5_kb() {
+        let c = PredictorConfig::paper_default();
+        c.validate().unwrap();
+        assert_eq!(c.table_bytes(), 5504); // ≈ 5.5 KB as stated in §6.1.1
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.index_bits(), 8);
+    }
+
+    #[test]
+    fn table_bytes_scales_with_nodes() {
+        let mut c = PredictorConfig::paper_default();
+        c.nodes_per_entry = 4;
+        assert_eq!(c.table_bytes(), 1024 * (1 + 15 + 27 * 4) / 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let mut c = PredictorConfig::paper_default();
+        c.ways = 3;
+        assert!(c.validate().is_err());
+        c = PredictorConfig::paper_default();
+        c.entries = 0;
+        assert!(c.validate().is_err());
+        c = PredictorConfig::paper_default();
+        c.entries = 768; // 192 sets: not a power of two
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn direct_mapped_is_valid() {
+        let mut c = PredictorConfig::paper_default();
+        c.ways = 1;
+        c.validate().unwrap();
+        assert_eq!(c.sets(), 1024);
+    }
+
+    #[test]
+    fn with_oracle_immediate_zeroes_delay() {
+        let c = PredictorConfig::paper_default().with_oracle(OracleMode::ImmediateUpdates);
+        assert_eq!(c.update_delay, 0);
+    }
+}

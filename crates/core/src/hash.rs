@@ -1,0 +1,313 @@
+//! Ray hashing (§4.2).
+//!
+//! The hash must "maximize predictor table collisions between similar rays
+//! while minimizing collisions between different rays". Both functions
+//! quantize the ray origin on a grid over the scene bounding box (the *Grid
+//! Hash block* of Figure 6a) and mix in a quantized encoding of where the
+//! ray is going — spherical direction angles (Grid Spherical) or an
+//! estimated target point (Two Point).
+
+use rip_math::{spherical, Aabb, Ray, Vec3};
+
+/// Quantizes each origin component to `[0, 2ⁿ)` using the scene bounding
+/// box and concatenates the three values — the Grid Hash block (Figure 6a).
+fn grid_hash(p: Vec3, scene_bounds: &Aabb, n_bits: u32) -> u32 {
+    debug_assert!(n_bits >= 1 && 3 * n_bits <= 30);
+    let q = scene_bounds.normalize_point(p);
+    let levels = (1u32 << n_bits) as f32;
+    let quant = |v: f32| ((v * levels) as u32).min((1 << n_bits) - 1);
+    (quant(q.x) << (2 * n_bits)) | (quant(q.y) << n_bits) | quant(q.z)
+}
+
+/// A ray hash function (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HashFunction {
+    /// Figure 6a: quantized cartesian origin XOR quantized spherical
+    /// direction. Paper default: 5 origin bits, 3 direction bits → 15-bit
+    /// hash.
+    GridSpherical {
+        /// Bits per origin component (`n`).
+        origin_bits: u32,
+        /// Bits for θ (`m`); φ gets `m + 1` bits.
+        direction_bits: u32,
+    },
+    /// Figure 6b: quantized origin XOR quantized estimated target point
+    /// `t = o + r·l·d` where `l` is the scene's maximum extent.
+    TwoPoint {
+        /// Bits per origin/target component (`n`).
+        origin_bits: u32,
+        /// Estimated length ratio `r` (Table 8b sweeps 0.05–0.35).
+        length_ratio: f32,
+    },
+}
+
+impl Default for HashFunction {
+    /// The paper's best configuration: Grid Spherical with 5 origin bits
+    /// and 3 direction bits (Table 3).
+    fn default() -> Self {
+        HashFunction::GridSpherical { origin_bits: 5, direction_bits: 3 }
+    }
+}
+
+impl HashFunction {
+    /// Width of the produced hash in bits (also the predictor tag width).
+    pub fn bits(&self) -> u32 {
+        match *self {
+            HashFunction::GridSpherical { origin_bits, direction_bits } => {
+                (3 * origin_bits).max(2 * direction_bits + 1)
+            }
+            HashFunction::TwoPoint { origin_bits, .. } => 3 * origin_bits,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when bit widths are zero or too large, or the
+    /// length ratio is not in `(0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            HashFunction::GridSpherical { origin_bits, direction_bits } => {
+                if origin_bits == 0 || 3 * origin_bits > 30 {
+                    return Err(format!("origin_bits {origin_bits} out of range [1, 10]"));
+                }
+                if direction_bits == 0 || direction_bits > 8 {
+                    return Err(format!("direction_bits {direction_bits} out of range [1, 8]"));
+                }
+            }
+            HashFunction::TwoPoint { origin_bits, length_ratio } => {
+                if origin_bits == 0 || 3 * origin_bits > 30 {
+                    return Err(format!("origin_bits {origin_bits} out of range [1, 10]"));
+                }
+                if !(length_ratio > 0.0 && length_ratio <= 1.0) {
+                    return Err(format!("length_ratio {length_ratio} must be in (0, 1]"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A hasher bound to a scene bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use rip_core::{HashFunction, RayHasher};
+/// use rip_math::{Aabb, Ray, Vec3};
+///
+/// let bounds = Aabb::new(Vec3::ZERO, Vec3::splat(10.0));
+/// let hasher = RayHasher::new(HashFunction::default(), bounds);
+/// let a = hasher.hash(&Ray::new(Vec3::splat(1.0), Vec3::Z));
+/// let b = hasher.hash(&Ray::new(Vec3::splat(1.01), Vec3::Z));
+/// assert_eq!(a, b, "nearby rays should collide");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RayHasher {
+    function: HashFunction,
+    scene_bounds: Aabb,
+}
+
+impl RayHasher {
+    /// Creates a hasher over the given scene bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the hash parameters are invalid (see
+    /// [`HashFunction::validate`]).
+    pub fn new(function: HashFunction, scene_bounds: Aabb) -> Self {
+        function.validate().expect("invalid hash function parameters");
+        RayHasher { function, scene_bounds }
+    }
+
+    /// The configured hash function.
+    pub fn function(&self) -> HashFunction {
+        self.function
+    }
+
+    /// Hashes a ray to `bits()` bits.
+    pub fn hash(&self, ray: &Ray) -> u32 {
+        match self.function {
+            HashFunction::GridSpherical { origin_bits, direction_bits } => {
+                let origin = grid_hash(ray.origin, &self.scene_bounds, origin_bits);
+                let s = spherical::to_spherical_deg(ray.direction);
+                // θ ∈ [0,180) as an 8-bit integer; take the top m bits.
+                let theta_int = (s.theta as u32).min(179);
+                let theta_bits = (theta_int << 1) >> (9 - direction_bits.min(8));
+                // φ ∈ [0,360) as a 9-bit integer; take the top m+1 bits.
+                let phi_int = (s.phi as u32).min(359);
+                let phi_bits = phi_int >> (9 - (direction_bits + 1).min(9));
+                let dir = (theta_bits << (direction_bits + 1)) | phi_bits;
+                origin ^ dir
+            }
+            HashFunction::TwoPoint { origin_bits, length_ratio } => {
+                let origin = grid_hash(ray.origin, &self.scene_bounds, origin_bits);
+                let l = self.scene_bounds.max_extent();
+                let d = ray.direction.try_normalized().unwrap_or(Vec3::Z);
+                let target = ray.origin + d * (length_ratio * l);
+                let target_hash = grid_hash(target, &self.scene_bounds, origin_bits);
+                origin ^ target_hash
+            }
+        }
+    }
+}
+
+/// Folds an `n_bits`-wide hash down to `m_bits` by XOR-ing ⌈n/m⌉
+/// components — the gshare-style fold of §4.1 used to index the table.
+///
+/// # Examples
+///
+/// ```
+/// // 15-bit hash folded to 8 bits: low byte XOR high 7 bits.
+/// let idx = rip_core::fold_hash(0b101_0101_0000_1111, 15, 8);
+/// assert_eq!(idx, 0b0000_1111 ^ 0b0101_0101);
+/// ```
+pub fn fold_hash(hash: u32, n_bits: u32, m_bits: u32) -> u32 {
+    if m_bits == 0 {
+        return 0;
+    }
+    if m_bits >= n_bits {
+        return if n_bits >= 32 { hash } else { hash & ((1u32 << n_bits) - 1) };
+    }
+    let mask = (1u32 << m_bits) - 1;
+    let mut acc = 0u32;
+    let mut rest = hash & (((1u64 << n_bits) - 1) as u32);
+    while rest != 0 {
+        acc ^= rest & mask;
+        rest >>= m_bits;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::splat(32.0))
+    }
+
+    #[test]
+    fn default_is_paper_config_with_15_bits() {
+        let f = HashFunction::default();
+        assert_eq!(f.bits(), 15);
+    }
+
+    #[test]
+    fn similar_rays_collide_distant_rays_do_not() {
+        let h = RayHasher::new(HashFunction::default(), bounds());
+        let a = h.hash(&Ray::new(Vec3::new(4.0, 4.0, 4.0), Vec3::Z));
+        let b = h.hash(&Ray::new(Vec3::new(4.2, 4.1, 4.05), Vec3::Z));
+        let c = h.hash(&Ray::new(Vec3::new(28.0, 28.0, 28.0), -Vec3::X));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn direction_affects_hash() {
+        let h = RayHasher::new(HashFunction::default(), bounds());
+        let o = Vec3::new(4.0, 4.0, 4.0);
+        let a = h.hash(&Ray::new(o, Vec3::Z));
+        let b = h.hash(&Ray::new(o, -Vec3::Z));
+        assert_ne!(a, b, "opposite directions must differ");
+    }
+
+    #[test]
+    fn hash_fits_in_declared_bits() {
+        for f in [
+            HashFunction::GridSpherical { origin_bits: 5, direction_bits: 3 },
+            HashFunction::GridSpherical { origin_bits: 3, direction_bits: 5 },
+            HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.15 },
+        ] {
+            let h = RayHasher::new(f, bounds());
+            for i in 0..200 {
+                let o = Vec3::new(i as f32 * 0.16, (i * 7 % 32) as f32, (i * 13 % 32) as f32);
+                let d = rip_math::sampling::uniform_sphere(
+                    (i as f32 * 0.017) % 1.0,
+                    (i as f32 * 0.031) % 1.0,
+                );
+                let v = h.hash(&Ray::new(o, d));
+                assert!(v < (1 << f.bits()), "{f:?} overflowed: {v:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_ratio_changes_collisions() {
+        let near = RayHasher::new(
+            HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.05 },
+            bounds(),
+        );
+        let far = RayHasher::new(
+            HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.35 },
+            bounds(),
+        );
+        // Two rays from the same cell diverging slightly: with a short
+        // target they collide, with a long target they eventually differ.
+        let o = Vec3::new(4.5, 4.5, 4.5); // cell centre so small target offsets stay in-cell
+        let d1 = Vec3::new(0.0, 0.08, 1.0).normalized();
+        let d2 = Vec3::new(0.0, -0.08, 1.0).normalized();
+        let n = (near.hash(&Ray::new(o, d1)), near.hash(&Ray::new(o, d2)));
+        let f = (far.hash(&Ray::new(o, d1)), far.hash(&Ray::new(o, d2)));
+        assert_eq!(n.0, n.1, "short ratio should merge similar rays");
+        assert_ne!(f.0, f.1, "long ratio should separate them");
+    }
+
+    #[test]
+    fn fold_reduces_width() {
+        for hash in [0u32, 0x7FFF, 0x5A5A, 12345] {
+            let idx = fold_hash(hash, 15, 8);
+            assert!(idx < 256);
+        }
+        assert_eq!(fold_hash(0xFF, 15, 8), 0xFF);
+    }
+
+    #[test]
+    fn fold_identity_when_wide_enough() {
+        assert_eq!(fold_hash(0x1234, 15, 15), 0x1234);
+    }
+
+    #[test]
+    fn fold_distributes() {
+        // Hashes differing only above the index width must still spread
+        // across sets (gshare property).
+        let a = fold_hash(0b000_0001_0000_0000, 15, 8);
+        let b = fold_hash(0b000_0010_0000_0000, 15, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(HashFunction::GridSpherical { origin_bits: 0, direction_bits: 3 }
+            .validate()
+            .is_err());
+        assert!(HashFunction::GridSpherical { origin_bits: 11, direction_bits: 3 }
+            .validate()
+            .is_err());
+        assert!(HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.0 }
+            .validate()
+            .is_err());
+        assert!(HashFunction::TwoPoint { origin_bits: 5, length_ratio: 1.5 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hash")]
+    fn hasher_panics_on_invalid_function() {
+        let _ = RayHasher::new(
+            HashFunction::GridSpherical { origin_bits: 0, direction_bits: 1 },
+            bounds(),
+        );
+    }
+
+    #[test]
+    fn origin_quantization_respects_bounds() {
+        // Rays outside the scene bounds clamp instead of wrapping.
+        let h = RayHasher::new(HashFunction::default(), bounds());
+        let inside = h.hash(&Ray::new(Vec3::splat(31.9), Vec3::Z));
+        let outside = h.hash(&Ray::new(Vec3::splat(50.0), Vec3::Z));
+        assert_eq!(inside, outside);
+    }
+}

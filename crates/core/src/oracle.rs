@@ -1,0 +1,72 @@
+//! Oracle modes for the §6.3 limit study.
+
+/// Degree of idealization applied to the predictor.
+///
+/// Figure 2 evaluates a ladder of oracles on top of the real design; each
+/// step isolates one source of lost predictions:
+///
+/// | Mode | Paper label | What is idealized |
+/// |---|---|---|
+/// | [`None`](OracleMode::None) | *Predictor* | nothing — the proposed design |
+/// | [`Lookup`](OracleMode::Lookup) | *OL* | the lookup always finds a verifying entry if one exists in the finite table |
+/// | [`UnboundedTraining`](OracleMode::UnboundedTraining) | *OT* | OL over an unbounded table that never evicts |
+/// | [`ImmediateUpdates`](OracleMode::ImmediateUpdates) | *OU* | OT plus zero-latency training updates |
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum OracleMode {
+    /// The implementable predictor (hashed lookup, finite table).
+    #[default]
+    None,
+    /// Oracle lookup (OL): a prediction is returned iff some node currently
+    /// stored anywhere in the finite table would verify for this ray, and
+    /// the oracle always picks that node. Mispredictions disappear.
+    Lookup,
+    /// Oracle training (OT): oracle lookup over an unbounded node store —
+    /// every node ever trained remains available.
+    UnboundedTraining,
+    /// Oracle updates (OU): OT with training results visible immediately
+    /// (no in-flight delay).
+    ImmediateUpdates,
+}
+
+impl OracleMode {
+    /// Whether lookups bypass the hash and always find a verifying node
+    /// when one is stored.
+    pub fn oracle_lookup(self) -> bool {
+        self != OracleMode::None
+    }
+
+    /// Whether the training store is unbounded.
+    pub fn unbounded(self) -> bool {
+        matches!(self, OracleMode::UnboundedTraining | OracleMode::ImmediateUpdates)
+    }
+
+    /// Short label used in the limit-study figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleMode::None => "Predictor",
+            OracleMode::Lookup => "OL",
+            OracleMode::UnboundedTraining => "OT",
+            OracleMode::ImmediateUpdates => "OU",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_properties() {
+        assert!(!OracleMode::None.oracle_lookup());
+        assert!(OracleMode::Lookup.oracle_lookup());
+        assert!(!OracleMode::Lookup.unbounded());
+        assert!(OracleMode::UnboundedTraining.unbounded());
+        assert!(OracleMode::ImmediateUpdates.unbounded());
+    }
+
+    #[test]
+    fn labels_match_figure_2() {
+        assert_eq!(OracleMode::None.label(), "Predictor");
+        assert_eq!(OracleMode::ImmediateUpdates.label(), "OU");
+    }
+}

@@ -1,0 +1,153 @@
+//! Node replacement policies for multi-node predictor entries (§6.1.3).
+
+/// Policy used to choose which node slot to evict when an entry holding
+/// multiple predictions is full.
+///
+/// The paper compares LFU, LRU and LRU-K and "finds that the differences
+/// between them are insignificant" — the ablation bench reproduces that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NodeReplacement {
+    /// Evict the least recently used node.
+    #[default]
+    Lru,
+    /// Evict the least frequently used node.
+    Lfu,
+    /// LRU-K: evict the node with the oldest K-th most recent reference
+    /// (O'Neil et al.); nodes with fewer than K references are preferred
+    /// victims.
+    LruK(
+        /// The `K` history depth (must be ≥ 1).
+        u8,
+    ),
+}
+
+/// Per-slot usage bookkeeping consumed by the policies.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct SlotUsage {
+    /// Recent reference timestamps, newest last (bounded to the largest K).
+    pub history: Vec<u64>,
+    /// Total reference count.
+    pub frequency: u64,
+}
+
+impl SlotUsage {
+    /// Records a reference at `now`.
+    pub fn touch(&mut self, now: u64) {
+        self.history.push(now);
+        if self.history.len() > 8 {
+            self.history.remove(0);
+        }
+        self.frequency += 1;
+    }
+
+    /// Most recent reference time (0 when never referenced).
+    pub fn last_use(&self) -> u64 {
+        self.history.last().copied().unwrap_or(0)
+    }
+
+    /// K-th most recent reference time, or `None` with fewer than K refs.
+    pub fn kth_last_use(&self, k: u8) -> Option<u64> {
+        let k = k.max(1) as usize;
+        if self.history.len() < k {
+            None
+        } else {
+            Some(self.history[self.history.len() - k])
+        }
+    }
+}
+
+impl NodeReplacement {
+    /// Picks the victim slot index among `usages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `usages` is empty.
+    pub(crate) fn pick_victim(&self, usages: &[SlotUsage]) -> usize {
+        assert!(!usages.is_empty(), "no slots to evict from");
+        match *self {
+            NodeReplacement::Lru => usages
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, u)| u.last_use())
+                .map(|(i, _)| i)
+                .expect("nonempty"),
+            NodeReplacement::Lfu => usages
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, u)| (u.frequency, u.last_use()))
+                .map(|(i, _)| i)
+                .expect("nonempty"),
+            NodeReplacement::LruK(k) => usages
+                .iter()
+                .enumerate()
+                // Slots without K references sort first (backward distance
+                // ∞), tie-broken by plain LRU.
+                .min_by_key(|(_, u)| (u.kth_last_use(k).unwrap_or(0), u.last_use()))
+                .map(|(i, _)| i)
+                .expect("nonempty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(times: &[u64]) -> SlotUsage {
+        let mut u = SlotUsage::default();
+        for &t in times {
+            u.touch(t);
+        }
+        u
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let slots = [usage(&[5]), usage(&[1]), usage(&[9])];
+        assert_eq!(NodeReplacement::Lru.pick_victim(&slots), 1);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let slots = [usage(&[1, 2, 3]), usage(&[9]), usage(&[4, 5])];
+        assert_eq!(NodeReplacement::Lfu.pick_victim(&slots), 1);
+    }
+
+    #[test]
+    fn lfu_breaks_ties_by_recency() {
+        let slots = [usage(&[8]), usage(&[2])];
+        assert_eq!(NodeReplacement::Lfu.pick_victim(&slots), 1);
+    }
+
+    #[test]
+    fn lru_k_prefers_slots_without_k_references() {
+        let k2 = NodeReplacement::LruK(2);
+        let slots = [usage(&[1, 10]), usage(&[9])]; // second has only 1 ref
+        assert_eq!(k2.pick_victim(&slots), 1);
+    }
+
+    #[test]
+    fn lru_k_uses_kth_reference_age() {
+        let k2 = NodeReplacement::LruK(2);
+        // kth-last (2nd newest): slot0 = 1, slot1 = 6 → evict slot0.
+        let slots = [usage(&[1, 12]), usage(&[6, 8])];
+        assert_eq!(k2.pick_victim(&slots), 0);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut u = SlotUsage::default();
+        for t in 0..100 {
+            u.touch(t);
+        }
+        assert!(u.history.len() <= 8);
+        assert_eq!(u.frequency, 100);
+        assert_eq!(u.last_use(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "no slots")]
+    fn empty_usages_panics() {
+        let _ = NodeReplacement::Lru.pick_victim(&[]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Prediction outcome statistics (§3 terminology).
+
+/// Counters over a set of traced rays using the paper's §3 definitions:
+/// a ray **hits** if it intersects the scene at all, is **predicted** if the
+/// table lookup returned an entry, **verified** if traversal from the
+/// prediction found an intersection, and **mispredicted** if predicted but
+/// not verified.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredictionStats {
+    /// Rays traced.
+    pub rays: u64,
+    /// Rays that intersect the scene (with or without prediction).
+    pub hits: u64,
+    /// Rays for which the lookup returned a prediction.
+    pub predicted: u64,
+    /// Predicted rays that found an intersection from the prediction.
+    pub verified: u64,
+    /// Total predicted nodes evaluated (Σk over predicted rays).
+    pub predicted_nodes_evaluated: u64,
+    /// Total node fetches spent evaluating predictions (Σ km).
+    pub prediction_eval_fetches: u64,
+}
+
+impl PredictionStats {
+    /// Mispredicted rays (`predicted − verified`).
+    pub fn mispredicted(&self) -> u64 {
+        self.predicted - self.verified
+    }
+
+    /// Fraction of rays predicted (`p` of Equation 1).
+    pub fn predicted_rate(&self) -> f64 {
+        ratio(self.predicted, self.rays)
+    }
+
+    /// Fraction of rays verified (`v` of Equation 1).
+    pub fn verified_rate(&self) -> f64 {
+        ratio(self.verified, self.rays)
+    }
+
+    /// Fraction of rays that hit the scene.
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.hits, self.rays)
+    }
+
+    /// Mean predictions evaluated per predicted ray (`k` of Equation 1).
+    pub fn mean_k(&self) -> f64 {
+        ratio(self.predicted_nodes_evaluated, self.predicted)
+    }
+
+    /// Mean node fetches per evaluated prediction (`m` of Equation 1).
+    pub fn mean_m(&self) -> f64 {
+        ratio(self.prediction_eval_fetches, self.predicted_nodes_evaluated)
+    }
+
+    /// Accumulates another sample.
+    pub fn accumulate(&mut self, other: &PredictionStats) {
+        self.rays += other.rays;
+        self.hits += other.hits;
+        self.predicted += other.predicted;
+        self.verified += other.verified;
+        self.predicted_nodes_evaluated += other.predicted_nodes_evaluated;
+        self.prediction_eval_fetches += other.prediction_eval_fetches;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl std::ops::AddAssign for PredictionStats {
+    fn add_assign(&mut self, rhs: PredictionStats) {
+        self.accumulate(&rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_misprediction() {
+        let s = PredictionStats {
+            rays: 100,
+            hits: 60,
+            predicted: 50,
+            verified: 30,
+            predicted_nodes_evaluated: 50,
+            prediction_eval_fetches: 150,
+        };
+        assert_eq!(s.mispredicted(), 20);
+        assert!((s.predicted_rate() - 0.5).abs() < 1e-12);
+        assert!((s.verified_rate() - 0.3).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.mean_k() - 1.0).abs() < 1e-12);
+        assert!((s.mean_m() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rays_yield_zero_rates() {
+        let s = PredictionStats::default();
+        assert_eq!(s.predicted_rate(), 0.0);
+        assert_eq!(s.mean_k(), 0.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = PredictionStats { rays: 10, hits: 5, predicted: 4, verified: 2, ..Default::default() };
+        let b = a;
+        a += b;
+        assert_eq!(a.rays, 20);
+        assert_eq!(a.verified, 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Activity-based energy model reproducing the paper's Table 4.
+//!
+//! The paper estimates energy with GPUWattch (GPU core, caches, DRAM) plus
+//! CACTI 7 at 45 nm for the RT-unit SRAMs (predictor table, traversal
+//! stacks, ray buffer, partial warp collector) and adder/multiplier models
+//! for the intersection units. We rebuild that pipeline as an analytic
+//! model: [`cacti`] supplies per-access SRAM energies from array geometry,
+//! and [`EnergyModel`] multiplies the timing simulator's
+//! [`rip_gpusim::ActivityCounts`] by per-event energies to produce a
+//! per-ray breakdown in nJ (Table 4's unit).
+//!
+//! # Examples
+//!
+//! ```
+//! use rip_energy::EnergyModel;
+//! use rip_gpusim::{ActivityCounts, SimReport};
+//!
+//! let model = EnergyModel::paper_45nm();
+//! let report = SimReport {
+//!     completed_rays: 100,
+//!     activity: ActivityCounts { l1_accesses: 1000, dram_accesses: 50, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let breakdown = model.breakdown(&report);
+//! assert!(breakdown.total_nj_per_ray() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cacti;
+mod model;
+
+pub use model::{EnergyBreakdown, EnergyModel};

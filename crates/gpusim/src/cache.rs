@@ -1,0 +1,251 @@
+//! Set-associative cache model.
+
+/// Geometry of one cache (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (128 in Table 2).
+    pub line_bytes: usize,
+    /// Associativity; `usize::MAX` means fully associative (the Table 2
+    /// L1 configuration).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The baseline 64 KB fully-associative L1 with 128-byte lines.
+    pub fn l1_baseline() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, line_bytes: 128, ways: usize::MAX }
+    }
+
+    /// The baseline 1 MB 16-way L2 with 128-byte lines.
+    pub fn l2_baseline() -> Self {
+        CacheConfig { size_bytes: 1024 * 1024, line_bytes: 128, ways: 16 }
+    }
+
+    /// Same geometry with a different capacity (cache-size sweeps).
+    pub fn with_size(self, size_bytes: usize) -> Self {
+        CacheConfig { size_bytes, ..self }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Effective associativity after clamping to the line count.
+    pub fn effective_ways(&self) -> usize {
+        self.ways.min(self.lines()).max(1)
+    }
+
+    /// Number of sets (lines / ways, at least 1).
+    pub fn sets(&self) -> usize {
+        (self.lines() / self.effective_ways()).max(1)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when sizes are zero, not line-divisible, or the
+    /// set count is not a power of two.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || self.size_bytes == 0 {
+            return Err("cache sizes must be positive".into());
+        }
+        if !self.size_bytes.is_multiple_of(self.line_bytes) {
+            return Err("capacity must be a multiple of the line size".into());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!("{} sets is not a power of two", self.sets()));
+        }
+        Ok(())
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses (`accesses − hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+/// An LRU set-associative cache over byte addresses.
+///
+/// # Examples
+///
+/// ```
+/// use rip_gpusim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { size_bytes: 256, line_bytes: 128, ways: 2 });
+/// assert!(!c.access(0));   // cold miss
+/// assert!(c.access(64));   // same 128-byte line
+/// assert!(!c.access(128)); // next line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: line tag → last-use time. Hits are O(1); the LRU scan only
+    /// runs on evictions, keeping the 512-way fully-associative baseline L1
+    /// fast at paper scale.
+    sets: Vec<std::collections::HashMap<u64, u64>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is invalid.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        Cache {
+            config,
+            sets: vec![std::collections::HashMap::new(); config.sets()],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses a byte address; returns `true` on hit. Misses fill the
+    /// line, evicting LRU.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let ways = self.config.effective_ways();
+        let set = &mut self.sets[set_idx];
+        if let Some(last_use) = set.get_mut(&line) {
+            *last_use = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        if set.len() >= ways {
+            let victim = set
+                .iter()
+                .min_by_key(|(_, &used)| used)
+                .map(|(&tag, _)| tag)
+                .expect("set has ways");
+            set.remove(&victim);
+        }
+        set.insert(line, self.clock);
+        false
+    }
+
+    /// Empties the cache, keeping statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize) -> Cache {
+        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 128, ways })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(4); // fully assoc within 4 lines
+        assert!(!c.access(1000));
+        assert!(c.access(1000));
+        assert!(c.access(1000 + 20)); // same 128-byte line (896..1024)
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny(4); // 4 lines, 1 set
+        for line in 0..4u64 {
+            assert!(!c.access(line * 128));
+        }
+        let _ = c.access(0); // line 0 now MRU
+        assert!(!c.access(4 * 128)); // evicts line 1
+        assert!(c.access(0), "line 0 must have survived");
+        assert!(!c.access(128), "line 1 must have been evicted");
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 512, line_bytes: 128, ways: 1 });
+        // 4 sets; lines 0 and 4 conflict.
+        assert!(!c.access(0));
+        assert!(!c.access(4 * 128));
+        assert!(!c.access(0), "conflict eviction expected");
+    }
+
+    #[test]
+    fn bigger_cache_hits_more() {
+        let trace: Vec<u64> = (0..200u64).map(|i| (i * 37) % 64 * 128).collect();
+        let run = |size: usize| {
+            let mut c = Cache::new(CacheConfig { size_bytes: size, line_bytes: 128, ways: usize::MAX });
+            for &a in &trace {
+                c.access(a);
+            }
+            c.stats().hit_rate()
+        };
+        assert!(run(64 * 128) >= run(16 * 128));
+    }
+
+    #[test]
+    fn fully_assoc_l1_baseline_geometry() {
+        let cfg = CacheConfig::l1_baseline();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.lines(), 512);
+        assert_eq!(cfg.sets(), 1);
+        assert_eq!(cfg.effective_ways(), 512);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        assert!(CacheConfig { size_bytes: 100, line_bytes: 128, ways: 1 }.validate().is_err());
+        assert!(CacheConfig { size_bytes: 0, line_bytes: 128, ways: 1 }.validate().is_err());
+        // 3 sets (384/128 lines, 1 way) is not a power of two.
+        assert!(CacheConfig { size_bytes: 384, line_bytes: 128, ways: 1 }.validate().is_err());
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut c = tiny(4);
+        c.access(0);
+        c.clear();
+        assert!(!c.access(0), "cleared cache must miss");
+        assert_eq!(c.stats().accesses, 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! The partial warp collector (§4.4.1, Figure 10).
+
+/// Collects the ray IDs of predicted rays until a full warp accumulates or
+/// a timeout expires, then releases them as a repacked warp.
+///
+/// Stores only ray IDs (the ray data stays in the ray buffer, indexed by
+/// ID); holds up to 64 IDs to absorb overflow when a lookup adds more rays
+/// than one warp's worth, with a short timeout to flush stragglers.
+///
+/// # Examples
+///
+/// ```
+/// use rip_gpusim::PartialWarpCollector;
+///
+/// let mut c = PartialWarpCollector::new(64, 32, 16);
+/// for id in 0..32 {
+///     c.push(id, 100);
+/// }
+/// let warp = c.take_ready(100).expect("full warp available");
+/// assert_eq!(warp.len(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartialWarpCollector {
+    ids: Vec<u32>,
+    capacity: usize,
+    warp_size: usize,
+    timeout: u64,
+    /// Cycle at which the oldest resident ID arrived.
+    oldest_arrival: Option<u64>,
+}
+
+impl PartialWarpCollector {
+    /// Creates an empty collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity < warp_size` or `warp_size == 0`.
+    pub fn new(capacity: usize, warp_size: usize, timeout: u64) -> Self {
+        assert!(warp_size > 0, "warp size must be positive");
+        assert!(capacity >= warp_size, "collector must hold at least one warp");
+        PartialWarpCollector { ids: Vec::new(), capacity, warp_size, timeout, oldest_arrival: None }
+    }
+
+    /// Rays currently waiting.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no rays are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Adds a predicted ray ID at time `now`.
+    ///
+    /// The §4.4.1 overflow rule: the collector stores up to 64 IDs, so a
+    /// burst may exceed one warp; callers drain full warps with
+    /// [`take_ready`]. Pushing beyond capacity is a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the collector is full.
+    ///
+    /// [`take_ready`]: PartialWarpCollector::take_ready
+    pub fn push(&mut self, ray_id: u32, now: u64) {
+        assert!(self.ids.len() < self.capacity, "collector overflow");
+        if self.ids.is_empty() {
+            self.oldest_arrival = Some(now);
+        }
+        self.ids.push(ray_id);
+    }
+
+    /// Free ID slots remaining.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.ids.len()
+    }
+
+    /// The deadline by which the current contents must flush, if any.
+    pub fn deadline(&self) -> Option<u64> {
+        self.oldest_arrival.map(|t| t + self.timeout)
+    }
+
+    /// Removes and returns a warp when one is ready at `now`: a full warp
+    /// whenever enough rays are waiting, or a partial warp once the
+    /// timeout has expired.
+    pub fn take_ready(&mut self, now: u64) -> Option<Vec<u32>> {
+        if self.ids.len() >= self.warp_size {
+            let rest = self.ids.split_off(self.warp_size);
+            let warp = std::mem::replace(&mut self.ids, rest);
+            self.oldest_arrival = if self.ids.is_empty() { None } else { Some(now) };
+            return Some(warp);
+        }
+        if !self.ids.is_empty() && self.deadline().is_some_and(|d| now >= d) {
+            self.oldest_arrival = None;
+            return Some(std::mem::take(&mut self.ids));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_warp_releases_immediately() {
+        let mut c = PartialWarpCollector::new(64, 4, 10);
+        for id in 0..4 {
+            c.push(id, 5);
+        }
+        assert_eq!(c.take_ready(5), Some(vec![0, 1, 2, 3]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overflow_rays_stay_for_next_warp() {
+        let mut c = PartialWarpCollector::new(8, 4, 10);
+        for id in 0..6 {
+            c.push(id, 0);
+        }
+        assert_eq!(c.take_ready(0), Some(vec![0, 1, 2, 3]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.take_ready(0), None, "2 rays, no timeout yet");
+        assert_eq!(c.take_ready(10), Some(vec![4, 5]), "timeout flushes partial warp");
+    }
+
+    #[test]
+    fn timeout_counts_from_oldest_resident() {
+        let mut c = PartialWarpCollector::new(8, 4, 10);
+        c.push(0, 100);
+        c.push(1, 105);
+        assert_eq!(c.deadline(), Some(110));
+        assert_eq!(c.take_ready(109), None);
+        assert_eq!(c.take_ready(110), Some(vec![0, 1]));
+        assert_eq!(c.deadline(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn pushing_past_capacity_panics() {
+        let mut c = PartialWarpCollector::new(4, 4, 10);
+        for id in 0..5 {
+            c.push(id, 0);
+        }
+    }
+
+    #[test]
+    fn paper_parameters_are_accepted() {
+        // 64 IDs, warp of 32, 5–30 cycle timeout (§4.4.1).
+        let c = PartialWarpCollector::new(64, 32, 16);
+        assert_eq!(c.free_slots(), 64);
+    }
+}

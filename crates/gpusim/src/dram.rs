@@ -1,0 +1,177 @@
+//! Banked DRAM timing model.
+
+/// DRAM geometry and timing (core-clock cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks (requests to distinct banks proceed in parallel).
+    pub banks: usize,
+    /// Access latency once a bank accepts the request.
+    pub access_latency: u64,
+    /// Bank occupancy per request (time until the bank is free again).
+    pub bank_occupancy: u64,
+}
+
+impl DramConfig {
+    /// Baseline: 16 banks, 100-cycle access, 16-cycle occupancy — a
+    /// GDDR-like ratio at the Table 2 core clock.
+    pub fn baseline() -> Self {
+        DramConfig { banks: 16, access_latency: 100, bank_occupancy: 16 }
+    }
+}
+
+/// DRAM activity counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Requests serviced.
+    pub accesses: u64,
+    /// Total cycles requests waited for a busy bank.
+    pub bank_wait_cycles: u64,
+    /// Requests per bank (for bank-level-parallelism analysis, §6.2.2).
+    pub per_bank: Vec<u64>,
+}
+
+impl DramStats {
+    /// Mean cycles a request waited on a busy bank.
+    pub fn mean_bank_wait(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.bank_wait_cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Bank-level parallelism proxy: normalized inverse imbalance of the
+    /// per-bank request distribution (1.0 = perfectly balanced). §6.2.2
+    /// reports repacking "improves bank parallelism in the DRAM by 41%";
+    /// this metric captures the same balance effect.
+    pub fn bank_balance(&self) -> f64 {
+        let total: u64 = self.per_bank.iter().sum();
+        if total == 0 || self.per_bank.is_empty() {
+            return 0.0;
+        }
+        // Inverse Herfindahl index normalized by bank count.
+        let hhi: f64 = self
+            .per_bank
+            .iter()
+            .map(|&c| {
+                let share = c as f64 / total as f64;
+                share * share
+            })
+            .sum();
+        1.0 / (hhi * self.per_bank.len() as f64)
+    }
+}
+
+/// Banked DRAM with occupancy-based contention.
+///
+/// Each request maps to a bank by line address; a busy bank delays the
+/// request until free. No row-buffer model — the occupancy parameter
+/// captures average activation cost.
+///
+/// # Examples
+///
+/// ```
+/// use rip_gpusim::{Dram, DramConfig};
+///
+/// let mut d = Dram::new(DramConfig::baseline());
+/// let t1 = d.access(0, 0);
+/// let t2 = d.access(0, 0); // same bank: must wait for occupancy
+/// assert!(t2 > t1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dram {
+    config: DramConfig,
+    bank_free_at: Vec<u64>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates an idle DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `banks` is zero.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.banks > 0, "need at least one bank");
+        Dram {
+            config,
+            bank_free_at: vec![0; config.banks],
+            stats: DramStats { per_bank: vec![0; config.banks], ..Default::default() },
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Issues a request for `addr` at time `now`; returns the completion
+    /// time.
+    pub fn access(&mut self, addr: u64, now: u64) -> u64 {
+        let bank = ((addr / 128) % self.config.banks as u64) as usize;
+        let start = now.max(self.bank_free_at[bank]);
+        self.stats.bank_wait_cycles += start - now;
+        self.stats.accesses += 1;
+        self.stats.per_bank[bank] += 1;
+        self.bank_free_at[bank] = start + self.config.bank_occupancy;
+        start + self.config.access_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_banks_proceed_in_parallel() {
+        let mut d = Dram::new(DramConfig { banks: 4, access_latency: 100, bank_occupancy: 20 });
+        let a = d.access(0, 0); // bank 0
+        let b = d.access(128, 0); // bank 1
+        assert_eq!(a, 100);
+        assert_eq!(b, 100);
+        assert_eq!(d.stats().bank_wait_cycles, 0);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut d = Dram::new(DramConfig { banks: 4, access_latency: 100, bank_occupancy: 20 });
+        let a = d.access(0, 0);
+        let b = d.access(4 * 128, 0); // also bank 0
+        assert_eq!(a, 100);
+        assert_eq!(b, 120);
+        assert_eq!(d.stats().bank_wait_cycles, 20);
+    }
+
+    #[test]
+    fn bank_frees_over_time() {
+        let mut d = Dram::new(DramConfig { banks: 1, access_latency: 50, bank_occupancy: 10 });
+        let _ = d.access(0, 0);
+        let late = d.access(0, 100); // bank long since free
+        assert_eq!(late, 150);
+    }
+
+    #[test]
+    fn balance_metric_prefers_spread_traffic() {
+        let mut spread = Dram::new(DramConfig { banks: 4, access_latency: 1, bank_occupancy: 1 });
+        for i in 0..40u64 {
+            spread.access(i * 128, i);
+        }
+        let mut hot = Dram::new(DramConfig { banks: 4, access_latency: 1, bank_occupancy: 1 });
+        for i in 0..40u64 {
+            hot.access(0, i * 2);
+        }
+        assert!(spread.stats().bank_balance() > hot.stats().bank_balance());
+        assert!((spread.stats().bank_balance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = Dram::new(DramConfig { banks: 0, access_latency: 1, bank_occupancy: 1 });
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulation reports and activity counts.
+
+use crate::MemoryStats;
+use rip_bvh::TraversalStats;
+use rip_core::PredictionStats;
+
+/// Event counts consumed by the energy model (`rip-energy`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActivityCounts {
+    /// L1 (and RT cache) accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Ray-box intersection tests.
+    pub box_tests: u64,
+    /// Ray-triangle intersection tests.
+    pub tri_tests: u64,
+    /// Predictor table lookups.
+    pub predictor_lookups: u64,
+    /// Predictor table updates.
+    pub predictor_updates: u64,
+    /// Ray buffer reads/writes (ray data in/out, node broadcasts).
+    pub ray_buffer_accesses: u64,
+    /// Traversal stack pushes/pops.
+    pub stack_ops: u64,
+    /// Partial warp collector insertions/drains.
+    pub collector_ops: u64,
+    /// Requests merged into an outstanding fill (MSHR hits).
+    pub mshr_merges: u64,
+}
+
+/// Result of one timing-simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Total execution time in core cycles (max over SMs).
+    pub cycles: u64,
+    /// Rays retired.
+    pub completed_rays: u64,
+    /// Rays whose final result was an intersection.
+    pub hits: u64,
+    /// Traversal work summed over all rays.
+    pub traversal: TraversalStats,
+    /// Prediction outcomes (zeroed for baseline runs).
+    pub prediction: PredictionStats,
+    /// Memory system statistics.
+    pub memory: MemoryStats,
+    /// Activity counts for the energy model.
+    pub activity: ActivityCounts,
+    /// Warps executed (original + repacked).
+    pub warps_executed: u64,
+    /// Repacked warps formed by the collector.
+    pub repacked_warps: u64,
+}
+
+impl SimReport {
+    /// Rays per cycle (throughput).
+    pub fn rays_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.completed_rays as f64 / self.cycles as f64
+        }
+    }
+
+    /// Rays per second at a core clock in MHz (Table 2: 1365 MHz) — the
+    /// unit of the Figure 11 correlation.
+    pub fn rays_per_second(&self, core_mhz: f64) -> f64 {
+        self.rays_per_cycle() * core_mhz * 1e6
+    }
+
+    /// Speedup of this run relative to `baseline` (execution-time ratio).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total memory accesses issued to the hierarchy.
+    pub fn memory_accesses(&self) -> u64 {
+        self.activity.l1_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_speedup() {
+        let fast = SimReport { cycles: 500, completed_rays: 1000, ..Default::default() };
+        let slow = SimReport { cycles: 1000, completed_rays: 1000, ..Default::default() };
+        assert!((fast.rays_per_cycle() - 2.0).abs() < 1e-12);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((fast.rays_per_second(1000.0) - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let r = SimReport::default();
+        assert_eq!(r.rays_per_cycle(), 0.0);
+        assert_eq!(r.speedup_over(&r), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Vector math and geometry primitives for the ray intersection predictor
+//! reproduction.
+//!
+//! This crate is the lowest-level substrate of the workspace. It provides the
+//! types every other crate builds on:
+//!
+//! * [`Vec3`] — a 3-component `f32` vector with the usual operator overloads.
+//! * [`Ray`] — a semi-infinite line `o + t·d` with a `[t_min, t_max]` interval,
+//!   exactly as characterized in §2.2 of the paper.
+//! * [`Aabb`] — axis-aligned bounding box with the branchless slab
+//!   intersection test used by BVH traversal.
+//! * [`Triangle`] — Möller–Trumbore ray/triangle intersection.
+//! * [`spherical`] — direction ↔ (θ, φ) conversions used by the
+//!   Grid Spherical ray hash (§4.2.1).
+//! * [`morton`] — 3-D Morton codes used by Aila–Laine-style ray sorting
+//!   (§5.2).
+//! * [`sampling`] — cosine-weighted hemisphere sampling used to generate
+//!   ambient-occlusion rays (§2.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use rip_math::{Aabb, Ray, Vec3};
+//!
+//! let bbox = Aabb::new(Vec3::splat(0.0), Vec3::splat(1.0));
+//! let ray = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0));
+//! assert!(bbox.intersect(&ray).is_some());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod aabb;
+pub mod morton;
+mod onb;
+mod ray;
+pub mod sampling;
+pub mod spherical;
+mod triangle;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use onb::Onb;
+pub use ray::Ray;
+pub use triangle::{Triangle, TriangleHit};
+pub use vec3::Vec3;
+
+/// A tolerance suitable for comparing accumulated `f32` geometry results.
+pub const GEOM_EPS: f32 = 1e-4;
+
+/// Computes the geometric mean of an iterator of positive values.
+///
+/// Returns `None` when the iterator is empty or any value is not
+/// strictly positive. The paper reports its headline speedup as a geometric
+/// mean over seven scenes (§6), so this helper lives in the base crate.
+///
+/// # Examples
+///
+/// ```
+/// let gm = rip_math::geometric_mean([2.0, 8.0]).unwrap();
+/// assert!((gm - 4.0).abs() < 1e-9);
+/// ```
+pub fn geometric_mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut log_sum = 0.0f64;
+    let mut count = 0usize;
+    for v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
+        log_sum += v.ln();
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some((log_sum / count as f64).exp())
+    }
+}
+
+/// Computes the Pearson correlation coefficient between two equal-length
+/// samples.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// elements, or either sample has zero variance. Used by the Figure 11
+/// correlation experiment.
+///
+/// # Examples
+///
+/// ```
+/// let r = rip_math::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.1]).unwrap();
+/// assert!(r > 0.99);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean([1.0, 1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((geometric_mean([4.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_empty_and_nonpositive() {
+        assert_eq!(geometric_mean(std::iter::empty()), None);
+        assert_eq!(geometric_mean([1.0, 0.0]), None);
+        assert_eq!(geometric_mean([1.0, -2.0]), None);
+        assert_eq!(geometric_mean([f64::NAN]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_anticorrelation() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+}

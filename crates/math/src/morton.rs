@@ -1,0 +1,113 @@
+//! 3-D Morton (Z-order) codes.
+//!
+//! The paper compares against Morton-order-sorted rays (the Aila–Laine
+//! quicksort, §5.2): each ray is keyed by the interleaved bits of its
+//! quantized origin (and direction). These helpers produce 30-bit and 60-bit
+//! codes from `[0,1]³` coordinates.
+
+use crate::Vec3;
+
+/// Spreads the low 10 bits of `v` so that 2 zero bits separate each bit.
+#[inline]
+fn expand_bits_10(v: u32) -> u32 {
+    let mut x = v & 0x3ff;
+    x = (x | (x << 16)) & 0x030000ff;
+    x = (x | (x << 8)) & 0x0300f00f;
+    x = (x | (x << 4)) & 0x030c30c3;
+    x = (x | (x << 2)) & 0x09249249;
+    x
+}
+
+/// Spreads the low 20 bits of `v` for 60-bit codes.
+#[inline]
+fn expand_bits_20(v: u64) -> u64 {
+    let mut x = v & 0xf_ffff;
+    x = (x | (x << 32)) & 0x000f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x000f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x000f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x00c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x0249_2492_4924_9249;
+    x
+}
+
+/// 30-bit Morton code of a point in `[0,1]³` (10 bits per axis).
+///
+/// Coordinates outside the unit cube are clamped.
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::{morton::morton3_30, Vec3};
+///
+/// assert_eq!(morton3_30(Vec3::ZERO), 0);
+/// // Nearby points receive nearby codes far more often than distant ones.
+/// let a = morton3_30(Vec3::splat(0.5));
+/// let b = morton3_30(Vec3::splat(0.5001));
+/// assert!(a.abs_diff(b) < morton3_30(Vec3::splat(0.9)).abs_diff(a));
+/// ```
+pub fn morton3_30(p: Vec3) -> u32 {
+    let scale = 1024.0;
+    let q = |v: f32| ((v.clamp(0.0, 1.0) * scale).min(1023.0) as u32).min(1023);
+    (expand_bits_10(q(p.x)) << 2) | (expand_bits_10(q(p.y)) << 1) | expand_bits_10(q(p.z))
+}
+
+/// 60-bit Morton code of a point in `[0,1]³` (20 bits per axis), for large
+/// scenes where 10 bits per axis aliases.
+pub fn morton3_60(p: Vec3) -> u64 {
+    let scale = (1u64 << 20) as f32;
+    let q = |v: f32| ((v.clamp(0.0, 1.0) * scale).min(scale - 1.0) as u64).min((1 << 20) - 1);
+    (expand_bits_20(q(p.x)) << 2) | (expand_bits_20(q(p.y)) << 1) | expand_bits_20(q(p.z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_of_unit_cube() {
+        assert_eq!(morton3_30(Vec3::ZERO), 0);
+        // All 30 bits set for the far corner.
+        assert_eq!(morton3_30(Vec3::ONE), (1 << 30) - 1);
+        assert_eq!(morton3_60(Vec3::ONE), (1u64 << 60) - 1);
+    }
+
+    #[test]
+    fn out_of_range_is_clamped() {
+        assert_eq!(morton3_30(Vec3::splat(-3.0)), 0);
+        assert_eq!(morton3_30(Vec3::splat(9.0)), (1 << 30) - 1);
+    }
+
+    #[test]
+    fn axis_bits_interleave_in_xyz_order() {
+        // x = 1 (lowest quantized bit) should land at bit position 2.
+        let x_only = morton3_30(Vec3::new(1.0 / 1024.0, 0.0, 0.0));
+        assert_eq!(x_only, 0b100);
+        let y_only = morton3_30(Vec3::new(0.0, 1.0 / 1024.0, 0.0));
+        assert_eq!(y_only, 0b010);
+        let z_only = morton3_30(Vec3::new(0.0, 0.0, 1.0 / 1024.0));
+        assert_eq!(z_only, 0b001);
+    }
+
+    #[test]
+    fn monotone_along_diagonal() {
+        let mut prev = 0u32;
+        for i in 0..=16 {
+            let code = morton3_30(Vec3::splat(i as f32 / 16.0));
+            assert!(code >= prev, "diagonal codes must not decrease");
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn codes_distinguish_octants() {
+        let mut seen = std::collections::HashSet::new();
+        for x in [0.25, 0.75] {
+            for y in [0.25, 0.75] {
+                for z in [0.25, 0.75] {
+                    seen.insert(morton3_30(Vec3::new(x, y, z)) >> 27);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8, "the 8 octants must map to 8 distinct top octant codes");
+    }
+}

@@ -1,0 +1,109 @@
+//! Orthonormal bases around a normal vector.
+
+use crate::Vec3;
+
+/// An orthonormal basis `(tangent, bitangent, normal)`.
+///
+/// Used to transform hemisphere samples from local space (where the normal is
+/// +Z) into world space when generating ambient-occlusion rays (§2.3, §5.2).
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::{Onb, Vec3};
+///
+/// let onb = Onb::from_normal(Vec3::new(0.0, 1.0, 0.0));
+/// let world = onb.to_world(Vec3::new(0.0, 0.0, 1.0));
+/// assert!((world - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Onb {
+    /// First tangent.
+    pub tangent: Vec3,
+    /// Second tangent.
+    pub bitangent: Vec3,
+    /// The normal (local +Z).
+    pub normal: Vec3,
+}
+
+impl Onb {
+    /// Builds a right-handed basis whose +Z axis is `normal`.
+    ///
+    /// Uses the branchless Duff et al. construction, numerically stable for
+    /// every unit input.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `normal` is approximately unit length.
+    pub fn from_normal(normal: Vec3) -> Self {
+        debug_assert!((normal.length() - 1.0).abs() < 1e-3, "normal must be unit: {normal:?}");
+        let sign = if normal.z >= 0.0 { 1.0f32 } else { -1.0f32 };
+        let a = -1.0 / (sign + normal.z);
+        let b = normal.x * normal.y * a;
+        let tangent = Vec3::new(1.0 + sign * normal.x * normal.x * a, sign * b, -sign * normal.x);
+        let bitangent = Vec3::new(b, sign + normal.y * normal.y * a, -normal.y);
+        Onb { tangent, bitangent, normal }
+    }
+
+    /// Transforms a local-space vector (normal = +Z) to world space.
+    #[inline]
+    pub fn to_world(&self, local: Vec3) -> Vec3 {
+        self.tangent * local.x + self.bitangent * local.y + self.normal * local.z
+    }
+
+    /// Projects a world-space vector into this basis.
+    #[inline]
+    pub fn to_local(&self, world: Vec3) -> Vec3 {
+        Vec3::new(world.dot(self.tangent), world.dot(self.bitangent), world.dot(self.normal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_orthonormal(n: Vec3) {
+        let onb = Onb::from_normal(n);
+        assert!((onb.tangent.length() - 1.0).abs() < 1e-5);
+        assert!((onb.bitangent.length() - 1.0).abs() < 1e-5);
+        assert!(onb.tangent.dot(onb.bitangent).abs() < 1e-5);
+        assert!(onb.tangent.dot(onb.normal).abs() < 1e-5);
+        assert!(onb.bitangent.dot(onb.normal).abs() < 1e-5);
+        // Right-handed: t × b = n.
+        assert!((onb.tangent.cross(onb.bitangent) - onb.normal).length() < 1e-5);
+    }
+
+    #[test]
+    fn orthonormal_for_axes() {
+        for n in [Vec3::X, Vec3::Y, Vec3::Z, -Vec3::X, -Vec3::Y, -Vec3::Z] {
+            check_orthonormal(n);
+        }
+    }
+
+    #[test]
+    fn orthonormal_for_oblique_normals() {
+        for n in [
+            Vec3::new(1.0, 2.0, 3.0).normalized(),
+            Vec3::new(-0.1, 0.9, -0.4).normalized(),
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(1e-4, 1e-4, 1.0).normalized(),
+        ] {
+            check_orthonormal(n);
+        }
+    }
+
+    #[test]
+    fn world_local_round_trip() {
+        let onb = Onb::from_normal(Vec3::new(0.3, -0.5, 0.8).normalized());
+        let v = Vec3::new(0.2, 0.7, -0.4);
+        let rt = onb.to_local(onb.to_world(v));
+        assert!((rt - v).length() < 1e-5);
+    }
+
+    #[test]
+    fn local_z_maps_to_normal() {
+        let n = Vec3::new(-2.0, 1.0, 0.5).normalized();
+        let onb = Onb::from_normal(n);
+        assert!((onb.to_world(Vec3::Z) - n).length() < 1e-5);
+    }
+}

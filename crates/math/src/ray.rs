@@ -1,0 +1,134 @@
+//! Rays: semi-infinite lines with a parametric validity interval.
+
+use crate::Vec3;
+
+/// A ray `o + t·d` valid for `t ∈ [t_min, t_max]`.
+///
+/// §2.2 of the paper characterizes rays by an origin, direction and length;
+/// the length of ambient-occlusion rays (25–40% of the scene bounding-box
+/// diagonal) is expressed through `t_max`. The direction is stored as given —
+/// workload generators normalize it so that `t` is measured in world units.
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::{Ray, Vec3};
+///
+/// let ray = Ray::segment(Vec3::ZERO, Vec3::X, 2.0);
+/// assert_eq!(ray.at(1.5), Vec3::new(1.5, 0.0, 0.0));
+/// assert!(ray.contains_t(2.0));
+/// assert!(!ray.contains_t(2.5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ray {
+    /// Ray origin `o`.
+    pub origin: Vec3,
+    /// Ray direction `d` (normalized by convention).
+    pub direction: Vec3,
+    /// Minimum valid parameter (used to avoid self-intersection).
+    pub t_min: f32,
+    /// Maximum valid parameter (the ray "length" for occlusion rays).
+    pub t_max: f32,
+}
+
+/// A small positive `t_min` default that avoids self-intersection of
+/// secondary rays with the surface they originate from.
+pub const DEFAULT_T_MIN: f32 = 1e-3;
+
+impl Ray {
+    /// Creates an unbounded ray (`t ∈ [DEFAULT_T_MIN, ∞)`).
+    #[inline]
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Ray { origin, direction, t_min: DEFAULT_T_MIN, t_max: f32::INFINITY }
+    }
+
+    /// Creates a finite ray segment with the given maximum parameter.
+    ///
+    /// Occlusion rays are finite: ambient-occlusion ray lengths are chosen as
+    /// a fraction of the scene bounding-box diagonal (§5.2).
+    #[inline]
+    pub fn segment(origin: Vec3, direction: Vec3, t_max: f32) -> Self {
+        Ray { origin, direction, t_min: DEFAULT_T_MIN, t_max }
+    }
+
+    /// Creates a ray with an explicit parameter interval.
+    #[inline]
+    pub fn with_interval(origin: Vec3, direction: Vec3, t_min: f32, t_max: f32) -> Self {
+        Ray { origin, direction, t_min, t_max }
+    }
+
+    /// The point `o + t·d`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Whether `t` lies inside the ray's validity interval.
+    #[inline]
+    pub fn contains_t(&self, t: f32) -> bool {
+        t >= self.t_min && t <= self.t_max
+    }
+
+    /// Component-wise reciprocal of the direction, precomputed once per ray
+    /// by traversal loops for the slab test.
+    #[inline]
+    pub fn inv_direction(&self) -> Vec3 {
+        self.direction.recip()
+    }
+
+    /// Returns a copy with `t_max` shortened to `t` (never lengthened).
+    ///
+    /// Used by the global-illumination extension (§6.4) where a predicted
+    /// intersection trims the ray's maximum length before traversal.
+    #[inline]
+    pub fn trimmed(&self, t: f32) -> Ray {
+        Ray { t_max: self.t_max.min(t), ..*self }
+    }
+
+    /// The Euclidean length of the valid segment (`∞` for unbounded rays
+    /// with a unit direction).
+    #[inline]
+    pub fn segment_length(&self) -> f32 {
+        (self.t_max - self.t_min) * self.direction.length()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_unbounded() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        assert_eq!(r.t_max, f32::INFINITY);
+        assert!(r.contains_t(1e30));
+        assert!(!r.contains_t(0.0)); // below DEFAULT_T_MIN
+    }
+
+    #[test]
+    fn at_evaluates_parametrically() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.5), Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn trimmed_never_lengthens() {
+        let r = Ray::segment(Vec3::ZERO, Vec3::X, 5.0);
+        assert_eq!(r.trimmed(3.0).t_max, 3.0);
+        assert_eq!(r.trimmed(10.0).t_max, 5.0);
+    }
+
+    #[test]
+    fn segment_length_scales_with_direction() {
+        let r = Ray::with_interval(Vec3::ZERO, Vec3::X * 2.0, 0.0, 3.0);
+        assert_eq!(r.segment_length(), 6.0);
+    }
+
+    #[test]
+    fn with_interval_respects_bounds() {
+        let r = Ray::with_interval(Vec3::ZERO, Vec3::X, 1.0, 2.0);
+        assert!(!r.contains_t(0.5));
+        assert!(r.contains_t(1.5));
+        assert!(!r.contains_t(2.5));
+    }
+}

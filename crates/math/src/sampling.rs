@@ -1,0 +1,110 @@
+//! Random sampling routines for workload generation.
+//!
+//! §5.2: "creating four AO rays per hit point by random cosine sampling the
+//! upper hemisphere surrounding the point". All samplers take `(u, v)` in
+//! `[0,1)²` so callers control the random source (we use seeded `SmallRng`
+//! throughout the workspace for reproducibility).
+
+use crate::{Onb, Vec3};
+
+/// Cosine-weighted hemisphere sample around +Z from uniform `(u, v)`.
+///
+/// Uses the concentric-free polar mapping: `(r, φ) = (√u, 2πv)`,
+/// `z = √(1−u)`. The returned vector is unit length, with `z ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::sampling::cosine_hemisphere;
+///
+/// let d = cosine_hemisphere(0.3, 0.7);
+/// assert!(d.z >= 0.0);
+/// assert!((d.length() - 1.0).abs() < 1e-5);
+/// ```
+pub fn cosine_hemisphere(u: f32, v: f32) -> Vec3 {
+    let r = u.sqrt();
+    let phi = 2.0 * std::f32::consts::PI * v;
+    let x = r * phi.cos();
+    let y = r * phi.sin();
+    let z = (1.0 - u).max(0.0).sqrt();
+    Vec3::new(x, y, z)
+}
+
+/// Cosine-weighted hemisphere sample around an arbitrary unit `normal`.
+pub fn cosine_hemisphere_around(normal: Vec3, u: f32, v: f32) -> Vec3 {
+    Onb::from_normal(normal).to_world(cosine_hemisphere(u, v))
+}
+
+/// Uniform sample on the unit sphere from `(u, v)`.
+pub fn uniform_sphere(u: f32, v: f32) -> Vec3 {
+    let z = 1.0 - 2.0 * u;
+    let r = (1.0 - z * z).max(0.0).sqrt();
+    let phi = 2.0 * std::f32::consts::PI * v;
+    Vec3::new(r * phi.cos(), r * phi.sin(), z)
+}
+
+/// Uniform sample inside the unit disk (polar mapping).
+pub fn uniform_disk(u: f32, v: f32) -> (f32, f32) {
+    let r = u.sqrt();
+    let phi = 2.0 * std::f32::consts::PI * v;
+    (r * phi.cos(), r * phi.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cosine_hemisphere_is_unit_and_upper() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let d = cosine_hemisphere(rng.gen(), rng.gen());
+            assert!(d.z >= -1e-6);
+            assert!((d.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_hemisphere_mean_cos_is_two_thirds() {
+        // E[cos θ] under pdf cosθ/π over hemisphere = 2/3.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f32 =
+            (0..n).map(|_| cosine_hemisphere(rng.gen(), rng.gen()).z).sum::<f32>() / n as f32;
+        assert!((mean - 2.0 / 3.0).abs() < 0.01, "mean cos {mean}");
+    }
+
+    #[test]
+    fn around_normal_stays_in_hemisphere() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = Vec3::new(1.0, -2.0, 0.5).normalized();
+        for _ in 0..1000 {
+            let d = cosine_hemisphere_around(n, rng.gen(), rng.gen());
+            assert!(d.dot(n) >= -1e-4, "sample below surface: {d:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_sphere_is_unit_and_balanced() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 20_000;
+        let mut mean = Vec3::ZERO;
+        for _ in 0..n {
+            let d = uniform_sphere(rng.gen(), rng.gen());
+            assert!((d.length() - 1.0).abs() < 1e-4);
+            mean += d;
+        }
+        assert!((mean / n as f32).length() < 0.02);
+    }
+
+    #[test]
+    fn uniform_disk_inside_unit_circle() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        for _ in 0..1000 {
+            let (x, y) = uniform_disk(rng.gen(), rng.gen());
+            assert!(x * x + y * y <= 1.0 + 1e-5);
+        }
+    }
+}

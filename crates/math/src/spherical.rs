@@ -1,0 +1,123 @@
+//! Direction ↔ spherical-coordinate conversions.
+//!
+//! The Grid Spherical hash (§4.2.1) quantizes a ray direction by its polar
+//! angle `θ ∈ [0°, 180°)` and azimuth `φ ∈ [0°, 360°)`. These helpers perform
+//! the conversion in degrees exactly as the hash consumes them.
+
+use crate::Vec3;
+
+/// Spherical angles of a direction, in degrees.
+///
+/// `theta` is measured from the +Z axis, `phi` counter-clockwise from +X in
+/// the XY plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SphericalDeg {
+    /// Polar angle in `[0, 180]`.
+    pub theta: f32,
+    /// Azimuthal angle in `[0, 360)`.
+    pub phi: f32,
+}
+
+/// Converts a (not necessarily normalized) direction to spherical degrees.
+///
+/// The zero vector maps to `(0, 0)`.
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::{spherical::to_spherical_deg, Vec3};
+///
+/// let s = to_spherical_deg(Vec3::Z);
+/// assert!(s.theta.abs() < 1e-4);
+/// let s = to_spherical_deg(Vec3::new(0.0, 1.0, 0.0));
+/// assert!((s.phi - 90.0).abs() < 1e-3);
+/// ```
+pub fn to_spherical_deg(dir: Vec3) -> SphericalDeg {
+    let len = dir.length();
+    if len == 0.0 {
+        return SphericalDeg { theta: 0.0, phi: 0.0 };
+    }
+    let theta = (dir.z / len).clamp(-1.0, 1.0).acos().to_degrees();
+    let mut phi = dir.y.atan2(dir.x).to_degrees();
+    if phi < 0.0 {
+        phi += 360.0;
+    }
+    // atan2(±0, negative) can give exactly 360 after wrapping; keep [0,360).
+    if phi >= 360.0 {
+        phi -= 360.0;
+    }
+    SphericalDeg { theta, phi }
+}
+
+/// Converts spherical degrees back to a unit direction.
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::{spherical::{from_spherical_deg, to_spherical_deg}, Vec3};
+///
+/// let d = Vec3::new(0.3, -0.5, 0.8).normalized();
+/// let rt = from_spherical_deg(to_spherical_deg(d));
+/// assert!((rt - d).length() < 1e-4);
+/// ```
+pub fn from_spherical_deg(s: SphericalDeg) -> Vec3 {
+    let theta = s.theta.to_radians();
+    let phi = s.phi.to_radians();
+    Vec3::new(theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_map_to_expected_angles() {
+        let z = to_spherical_deg(Vec3::Z);
+        assert!(z.theta.abs() < 1e-4);
+        let nz = to_spherical_deg(-Vec3::Z);
+        assert!((nz.theta - 180.0).abs() < 1e-3);
+        let x = to_spherical_deg(Vec3::X);
+        assert!((x.theta - 90.0).abs() < 1e-3 && x.phi.abs() < 1e-3);
+        let ny = to_spherical_deg(-Vec3::Y);
+        assert!((ny.phi - 270.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phi_stays_in_range() {
+        for i in 0..360 {
+            let a = (i as f32).to_radians();
+            let s = to_spherical_deg(Vec3::new(a.cos(), a.sin(), 0.1));
+            assert!((0.0..360.0).contains(&s.phi), "phi {} out of range", s.phi);
+            assert!((0.0..=180.0).contains(&s.theta));
+        }
+    }
+
+    #[test]
+    fn zero_vector_maps_to_origin_angles() {
+        assert_eq!(to_spherical_deg(Vec3::ZERO), SphericalDeg { theta: 0.0, phi: 0.0 });
+    }
+
+    #[test]
+    fn round_trip_preserves_direction() {
+        let dirs = [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 0.5, -0.25),
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(-3.0, -4.0, 5.0),
+        ];
+        for d in dirs {
+            let n = d.normalized();
+            let rt = from_spherical_deg(to_spherical_deg(n));
+            assert!((rt - n).length() < 1e-4, "{n:?} vs {rt:?}");
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let d = Vec3::new(0.2, -0.7, 0.4);
+        let a = to_spherical_deg(d);
+        let b = to_spherical_deg(d * 100.0);
+        assert!((a.theta - b.theta).abs() < 1e-3);
+        assert!((a.phi - b.phi).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Triangles and the Möller–Trumbore ray/triangle intersection test.
+
+use crate::{Aabb, Ray, Vec3};
+
+/// A triangle given by its three vertices.
+///
+/// `RayTriTest` of Algorithm 1 is [`Triangle::intersect`]. The intersection
+/// unit of the paper's RT unit (§5.1.3) evaluates this test in a two-stage
+/// pipeline; the timing simulator models that latency while this type
+/// provides the functional result.
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::{Ray, Triangle, Vec3};
+///
+/// let tri = Triangle::new(
+///     Vec3::new(0.0, 0.0, 0.0),
+///     Vec3::new(1.0, 0.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+/// );
+/// let ray = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::Z);
+/// let hit = tri.intersect(&ray).expect("ray should hit");
+/// assert!((hit.t - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+}
+
+/// Result of a successful ray/triangle intersection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriangleHit {
+    /// Ray parameter of the hit point.
+    pub t: f32,
+    /// First barycentric coordinate (weight of vertex `b`).
+    pub u: f32,
+    /// Second barycentric coordinate (weight of vertex `c`).
+    pub v: f32,
+}
+
+impl TriangleHit {
+    /// Barycentric weight of vertex `a` (`1 - u - v`).
+    #[inline]
+    pub fn w(&self) -> f32 {
+        1.0 - self.u - self.v
+    }
+}
+
+impl Triangle {
+    /// Creates a triangle from three vertices.
+    #[inline]
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// The triangle centroid (used for SAH binning during BVH construction).
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Bounding box of the triangle.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::empty().grow(self.a).grow(self.b).grow(self.c)
+    }
+
+    /// Geometric (unnormalized) normal `(b−a) × (c−a)`.
+    #[inline]
+    pub fn geometric_normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Unit normal, or `None` for degenerate triangles.
+    #[inline]
+    pub fn unit_normal(&self) -> Option<Vec3> {
+        self.geometric_normal().try_normalized()
+    }
+
+    /// Twice the triangle area equals the normal length; the area itself.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        0.5 * self.geometric_normal().length()
+    }
+
+    /// Möller–Trumbore intersection against the ray's `[t_min, t_max]`
+    /// interval. Backface hits are reported (occlusion rays do not cull).
+    ///
+    /// Returns `None` for misses, for hits outside the interval, and for
+    /// degenerate (zero-area) triangles.
+    #[inline]
+    pub fn intersect(&self, ray: &Ray) -> Option<TriangleHit> {
+        let e1 = self.b - self.a;
+        let e2 = self.c - self.a;
+        let p = ray.direction.cross(e2);
+        let det = e1.dot(p);
+        // No culling: accept both orientations. Reject near-degenerate
+        // configurations with a scale-relative epsilon so sliver triangles
+        // cannot amplify rounding error into spurious hits.
+        let scale = e1.length() * e2.length() * ray.direction.length();
+        if det.abs() <= 1e-8 * scale || scale == 0.0 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let s = ray.origin - self.a;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.direction.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv_det;
+        if ray.contains_t(t) {
+            Some(TriangleHit { t, u, v })
+        } else {
+            None
+        }
+    }
+
+    /// Any-hit shortcut: `true` when the segment intersects the triangle.
+    ///
+    /// Occlusion rays (ambient occlusion, shadows) only need this predicate
+    /// (§2.3), which is why the predictor can elide whole traversals.
+    #[inline]
+    pub fn intersects(&self, ray: &Ray) -> bool {
+        self.intersect(ray).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy_tri() -> Triangle {
+        Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)
+    }
+
+    #[test]
+    fn frontal_hit_has_correct_t_and_barycentrics() {
+        let ray = Ray::new(Vec3::new(0.25, 0.25, -3.0), Vec3::Z);
+        let hit = xy_tri().intersect(&ray).unwrap();
+        assert!((hit.t - 3.0).abs() < 1e-5);
+        assert!((hit.u - 0.25).abs() < 1e-5);
+        assert!((hit.v - 0.25).abs() < 1e-5);
+        assert!((hit.w() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backface_hit_is_reported() {
+        let ray = Ray::new(Vec3::new(0.25, 0.25, 3.0), -Vec3::Z);
+        assert!(xy_tri().intersects(&ray));
+    }
+
+    #[test]
+    fn miss_outside_edges() {
+        let ray = Ray::new(Vec3::new(0.9, 0.9, -1.0), Vec3::Z); // u+v > 1
+        assert!(!xy_tri().intersects(&ray));
+        let ray = Ray::new(Vec3::new(-0.1, 0.5, -1.0), Vec3::Z); // u < 0
+        assert!(!xy_tri().intersects(&ray));
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let ray = Ray::new(Vec3::new(0.2, 0.2, 1.0), Vec3::X);
+        assert!(!xy_tri().intersects(&ray));
+    }
+
+    #[test]
+    fn hit_beyond_t_max_is_rejected() {
+        let ray = Ray::segment(Vec3::new(0.25, 0.25, -3.0), Vec3::Z, 2.0);
+        assert!(!xy_tri().intersects(&ray));
+    }
+
+    #[test]
+    fn hit_before_t_min_is_rejected() {
+        let ray = Ray::with_interval(Vec3::new(0.25, 0.25, -3.0), Vec3::Z, 4.0, 10.0);
+        assert!(!xy_tri().intersects(&ray));
+    }
+
+    #[test]
+    fn degenerate_triangle_never_hits() {
+        let deg = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::X * 2.0);
+        let ray = Ray::new(Vec3::new(0.5, 0.0, -1.0), Vec3::Z);
+        assert!(!deg.intersects(&ray));
+        assert_eq!(deg.unit_normal(), None);
+    }
+
+    #[test]
+    fn centroid_bounds_area_normal() {
+        let t = xy_tri();
+        assert_eq!(t.centroid(), Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0));
+        assert_eq!(t.bounds().min, Vec3::ZERO);
+        assert_eq!(t.bounds().max, Vec3::new(1.0, 1.0, 0.0));
+        assert!((t.area() - 0.5).abs() < 1e-6);
+        assert_eq!(t.unit_normal().unwrap(), Vec3::Z);
+    }
+}

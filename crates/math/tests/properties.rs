@@ -1,0 +1,149 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use rip_math::{morton, spherical, Aabb, Onb, Ray, Triangle, Vec3};
+
+fn vec3_in(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
+    (range.clone(), range.clone(), range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_vec3() -> impl Strategy<Value = Vec3> {
+    vec3_in(-1.0..1.0)
+        .prop_filter("nonzero", |v| v.length() > 1e-3)
+        .prop_map(|v| v.normalized())
+}
+
+proptest! {
+    #[test]
+    fn aabb_union_is_commutative_and_contains_operands(
+        a in vec3_in(-100.0..100.0), b in vec3_in(-100.0..100.0),
+        c in vec3_in(-100.0..100.0), d in vec3_in(-100.0..100.0),
+    ) {
+        let x = Aabb::new(a, b);
+        let y = Aabb::new(c, d);
+        let u = x.union(&y);
+        prop_assert_eq!(u, y.union(&x));
+        prop_assert!(u.contains_box(&x));
+        prop_assert!(u.contains_box(&y));
+    }
+
+    #[test]
+    fn aabb_surface_area_monotone_under_union(
+        a in vec3_in(-10.0..10.0), b in vec3_in(-10.0..10.0),
+        p in vec3_in(-10.0..10.0),
+    ) {
+        let x = Aabb::new(a, b);
+        prop_assert!(x.grow(p).surface_area() + 1e-3 >= x.surface_area());
+    }
+
+    #[test]
+    fn slab_test_agrees_with_sampled_containment(
+        origin in vec3_in(-5.0..5.0),
+        dir in unit_vec3(),
+        a in vec3_in(-2.0..2.0),
+        b in vec3_in(-2.0..2.0),
+    ) {
+        let bbox = Aabb::new(a, b);
+        let ray = Ray::with_interval(origin, dir, 0.0, 100.0);
+        // Dense parametric sampling as ground truth (conservative: only
+        // asserts one direction — if a sample is inside, the slab test must
+        // report a hit).
+        let sampled_hit = (0..=2000)
+            .map(|i| ray.at(100.0 * i as f32 / 2000.0))
+            .any(|p| bbox.contains_point(p));
+        if sampled_hit {
+            prop_assert!(bbox.intersect(&ray).is_some(),
+                "sampling found containment but slab test missed");
+        }
+    }
+
+    #[test]
+    fn slab_entry_point_lies_on_or_in_box(
+        origin in vec3_in(-5.0..5.0),
+        dir in unit_vec3(),
+        a in vec3_in(-2.0..2.0),
+        b in vec3_in(-2.0..2.0),
+    ) {
+        let bbox = Aabb::new(a, b);
+        let ray = Ray::with_interval(origin, dir, 0.0, 100.0);
+        if let Some(t) = bbox.intersect(&ray) {
+            let p = ray.at(t);
+            // Entry point is within an epsilon-inflated box.
+            let inflated = Aabb::new(
+                bbox.min - Vec3::splat(1e-2),
+                bbox.max + Vec3::splat(1e-2),
+            );
+            prop_assert!(inflated.contains_point(p), "entry {p:?} outside {bbox:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_hit_point_matches_barycentric_reconstruction(
+        a in vec3_in(-3.0..3.0), b in vec3_in(-3.0..3.0), c in vec3_in(-3.0..3.0),
+        origin in vec3_in(-10.0..10.0),
+        dir in unit_vec3(),
+    ) {
+        let tri = Triangle::new(a, b, c);
+        // Sliver triangles amplify float error arbitrarily; the functional
+        // contract below is about well-conditioned geometry.
+        prop_assume!(tri.area() > 1e-2);
+        let ray = Ray::with_interval(origin, dir, 0.0, 1e4);
+        if let Some(hit) = tri.intersect(&ray) {
+            let p_ray = ray.at(hit.t);
+            let p_bary = a * hit.w() + b * hit.u + c * hit.v;
+            prop_assert!((p_ray - p_bary).length() < 2e-2 * (1.0 + p_ray.length()),
+                "ray point {p_ray:?} != barycentric point {p_bary:?}");
+            prop_assert!(hit.u >= 0.0 && hit.v >= 0.0 && hit.u + hit.v <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn triangle_hit_inside_bounds(
+        a in vec3_in(-3.0..3.0), b in vec3_in(-3.0..3.0), c in vec3_in(-3.0..3.0),
+        origin in vec3_in(-10.0..10.0),
+        dir in unit_vec3(),
+    ) {
+        let tri = Triangle::new(a, b, c);
+        prop_assume!(tri.area() > 1e-2);
+        let ray = Ray::with_interval(origin, dir, 0.0, 1e4);
+        if let Some(hit) = tri.intersect(&ray) {
+            let inflated = Aabb::new(
+                tri.bounds().min - Vec3::splat(1e-2),
+                tri.bounds().max + Vec3::splat(1e-2),
+            );
+            prop_assert!(inflated.contains_point(ray.at(hit.t)));
+        }
+    }
+
+    #[test]
+    fn spherical_round_trip(d in unit_vec3()) {
+        let rt = spherical::from_spherical_deg(spherical::to_spherical_deg(d));
+        prop_assert!((rt - d).length() < 1e-3);
+    }
+
+    #[test]
+    fn morton_code_in_range(p in vec3_in(0.0..1.0)) {
+        prop_assert!(morton::morton3_30(p) < (1 << 30));
+        prop_assert!(morton::morton3_60(p) < (1u64 << 60));
+    }
+
+    #[test]
+    fn onb_preserves_length(n in unit_vec3(), v in vec3_in(-4.0..4.0)) {
+        let onb = Onb::from_normal(n);
+        let w = onb.to_world(v);
+        prop_assert!((w.length() - v.length()).abs() < 1e-3 * (1.0 + v.length()));
+        let rt = onb.to_local(w);
+        prop_assert!((rt - v).length() < 1e-3 * (1.0 + v.length()));
+    }
+
+    #[test]
+    fn normalize_point_maps_box_to_unit_cube(
+        a in vec3_in(-50.0..50.0), b in vec3_in(-50.0..50.0), p in vec3_in(-60.0..60.0),
+    ) {
+        let bbox = Aabb::new(a, b);
+        let q = bbox.normalize_point(p);
+        prop_assert!(q.x >= 0.0 && q.x <= 1.0);
+        prop_assert!(q.y >= 0.0 && q.y <= 1.0);
+        prop_assert!(q.z >= 0.0 && q.z <= 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal grayscale image container with PGM/PPM output.
+
+use std::io::Write;
+
+/// A grayscale image with `f32` pixels in `[0, 1]`, row-major with row 0 at
+/// the bottom (matching camera coordinates).
+///
+/// # Examples
+///
+/// ```
+/// use rip_render::GrayImage;
+///
+/// let img = GrayImage::from_pixels(2, 1, vec![0.0, 1.0]);
+/// let mut out = Vec::new();
+/// img.write_pgm(&mut out)?;
+/// assert!(out.starts_with(b"P2"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates an image from a pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer length is not `width × height`.
+    pub fn from_pixels(width: u32, height: u32, pixels: Vec<f32>) -> Self {
+        assert_eq!(pixels.len(), (width * height) as usize, "pixel buffer size mismatch");
+        GrayImage { width, height, pixels }
+    }
+
+    /// A black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        GrayImage { width, height, pixels: vec![0.0; (width * height) as usize] }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The pixel buffer.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Reads a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Writes a pixel (clamped to `[0,1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: u32, y: u32, value: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[(y * self.width + x) as usize] = value.clamp(0.0, 1.0);
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f32 {
+        if self.pixels.is_empty() {
+            0.0
+        } else {
+            self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+        }
+    }
+
+    /// Writes ASCII PGM (P2), top row first as PGM expects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_pgm<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "P2\n{} {}\n255", self.width, self.height)?;
+        for y in (0..self.height).rev() {
+            let row: Vec<String> = (0..self.width)
+                .map(|x| format!("{}", (self.get(x, y).clamp(0.0, 1.0) * 255.0) as u8))
+                .collect();
+            writeln!(writer, "{}", row.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut img = GrayImage::new(4, 3);
+        img.set(2, 1, 0.5);
+        assert_eq!(img.get(2, 1), 0.5);
+        img.set(0, 0, 7.0); // clamped
+        assert_eq!(img.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn mean_of_uniform_image() {
+        let img = GrayImage::from_pixels(2, 2, vec![0.25; 4]);
+        assert!((img.mean() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let img = GrayImage::from_pixels(3, 2, vec![0.0, 0.5, 1.0, 1.0, 0.5, 0.0]);
+        let mut out = Vec::new();
+        img.write_pgm(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("3 2"));
+        assert_eq!(lines.next(), Some("255"));
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let _ = GrayImage::from_pixels(2, 2, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let _ = GrayImage::new(2, 2).get(2, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload generation and rendering utilities.
+//!
+//! Builds the ray workloads the paper evaluates (§5.2): ambient-occlusion
+//! rays (primary closest-hit per pixel, then four cosine-sampled hemisphere
+//! rays of length 25–40% of the scene bounding-box diagonal), reflection
+//! rays for the correlation study, and multi-bounce global-illumination
+//! paths (§6.4). Also provides PGM/PPM image output for the examples and
+//! the analytic RT-Core reference throughput model substituting for the
+//! paper's NVIDIA RTX 2080 Ti measurements (Figure 11; see DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use rip_bvh::Bvh;
+//! use rip_render::{AoConfig, AoWorkload};
+//! use rip_scene::{SceneId, SceneScale};
+//!
+//! let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 32, 32);
+//! let tris: Vec<_> = scene.mesh.triangles().collect();
+//! let bvh = Bvh::build(&tris);
+//! let workload = AoWorkload::generate(&scene, &bvh, &AoConfig::default());
+//! assert!(!workload.rays.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod animation;
+mod ao;
+mod gi;
+mod image;
+mod reference;
+mod shadow;
+
+pub use animation::AnimatedScene;
+pub use ao::{AoConfig, AoWorkload};
+pub use gi::{GiConfig, GiWorkload};
+pub use image::GrayImage;
+pub use reference::{reference_rays_per_second, ReferenceInput};
+pub use shadow::{ShadowConfig, ShadowWorkload};

@@ -1,0 +1,224 @@
+//! Tessellated primitive shapes appended onto a [`TriangleMesh`].
+//!
+//! Every generator is deterministic; subdivision counts let the scene
+//! builders dial triangle budgets up to the Table-1 magnitudes.
+
+use crate::TriangleMesh;
+use rip_math::{Aabb, Vec3};
+
+/// Appends the 12 triangles of an axis-aligned box.
+pub fn add_box(mesh: &mut TriangleMesh, bounds: Aabb) {
+    let (lo, hi) = (bounds.min, bounds.max);
+    let v = |x: f32, y: f32, z: f32| Vec3::new(x, y, z);
+    // -Z and +Z faces.
+    mesh.push_quad(v(lo.x, lo.y, lo.z), v(hi.x, lo.y, lo.z), v(hi.x, hi.y, lo.z), v(lo.x, hi.y, lo.z));
+    mesh.push_quad(v(lo.x, lo.y, hi.z), v(lo.x, hi.y, hi.z), v(hi.x, hi.y, hi.z), v(hi.x, lo.y, hi.z));
+    // -X and +X faces.
+    mesh.push_quad(v(lo.x, lo.y, lo.z), v(lo.x, hi.y, lo.z), v(lo.x, hi.y, hi.z), v(lo.x, lo.y, hi.z));
+    mesh.push_quad(v(hi.x, lo.y, lo.z), v(hi.x, lo.y, hi.z), v(hi.x, hi.y, hi.z), v(hi.x, hi.y, lo.z));
+    // -Y and +Y faces.
+    mesh.push_quad(v(lo.x, lo.y, lo.z), v(lo.x, lo.y, hi.z), v(hi.x, lo.y, hi.z), v(hi.x, lo.y, lo.z));
+    mesh.push_quad(v(lo.x, hi.y, lo.z), v(hi.x, hi.y, lo.z), v(hi.x, hi.y, hi.z), v(lo.x, hi.y, hi.z));
+}
+
+/// Appends a subdivided parallelogram patch with optional displacement.
+///
+/// The patch spans `origin + u·u_axis + v·v_axis` for `u, v ∈ [0,1]`,
+/// tessellated into `nu × nv` quads (`2·nu·nv` triangles). `displace`
+/// receives `(u, v)` and returns an offset added to each vertex — the hook
+/// used for heightfield terrain, cloth folds and wall relief.
+///
+/// # Panics
+///
+/// Panics when `nu` or `nv` is zero.
+pub fn add_patch<F>(
+    mesh: &mut TriangleMesh,
+    origin: Vec3,
+    u_axis: Vec3,
+    v_axis: Vec3,
+    nu: u32,
+    nv: u32,
+    mut displace: F,
+) where
+    F: FnMut(f32, f32) -> Vec3,
+{
+    assert!(nu > 0 && nv > 0, "patch subdivision must be positive");
+    let base = mesh.vertex_count() as u32;
+    for j in 0..=nv {
+        for i in 0..=nu {
+            let u = i as f32 / nu as f32;
+            let v = j as f32 / nv as f32;
+            let p = origin + u_axis * u + v_axis * v + displace(u, v);
+            mesh.push_vertex(p);
+        }
+    }
+    let stride = nu + 1;
+    for j in 0..nv {
+        for i in 0..nu {
+            let a = base + j * stride + i;
+            let b = a + 1;
+            let c = a + stride + 1;
+            let d = a + stride;
+            mesh.push_indexed_triangle(a, b, c);
+            mesh.push_indexed_triangle(a, c, d);
+        }
+    }
+}
+
+/// Appends a flat subdivided parallelogram (no displacement).
+pub fn add_grid(
+    mesh: &mut TriangleMesh,
+    origin: Vec3,
+    u_axis: Vec3,
+    v_axis: Vec3,
+    nu: u32,
+    nv: u32,
+) {
+    add_patch(mesh, origin, u_axis, v_axis, nu, nv, |_, _| Vec3::ZERO);
+}
+
+/// Appends a closed vertical cylinder (side wall plus end caps).
+///
+/// `segments` controls the tessellation around the circumference and
+/// `stacks` along the height; side wall = `2·segments·stacks` triangles,
+/// caps = `2·segments` more.
+///
+/// # Panics
+///
+/// Panics when `segments < 3` or `stacks == 0`.
+pub fn add_cylinder(
+    mesh: &mut TriangleMesh,
+    center_bottom: Vec3,
+    radius: f32,
+    height: f32,
+    segments: u32,
+    stacks: u32,
+) {
+    assert!(segments >= 3, "cylinder needs at least 3 segments");
+    assert!(stacks >= 1, "cylinder needs at least 1 stack");
+    let ring_point = |s: u32, y: f32| {
+        let a = 2.0 * std::f32::consts::PI * (s % segments) as f32 / segments as f32;
+        center_bottom + Vec3::new(radius * a.cos(), y, radius * a.sin())
+    };
+    // Side wall.
+    for k in 0..stacks {
+        let y0 = height * k as f32 / stacks as f32;
+        let y1 = height * (k + 1) as f32 / stacks as f32;
+        for s in 0..segments {
+            let p00 = ring_point(s, y0);
+            let p10 = ring_point(s + 1, y0);
+            let p01 = ring_point(s, y1);
+            let p11 = ring_point(s + 1, y1);
+            mesh.push_triangle(p00, p10, p11);
+            mesh.push_triangle(p00, p11, p01);
+        }
+    }
+    // Caps (triangle fans).
+    let bottom = center_bottom;
+    let top = center_bottom + Vec3::new(0.0, height, 0.0);
+    for s in 0..segments {
+        mesh.push_triangle(bottom, ring_point(s + 1, 0.0), ring_point(s, 0.0));
+        mesh.push_triangle(top, ring_point(s, height), ring_point(s + 1, height));
+    }
+}
+
+/// Appends a UV sphere with `segments × rings` resolution
+/// (`2·segments·(rings−1)` triangles).
+///
+/// # Panics
+///
+/// Panics when `segments < 3` or `rings < 2`.
+pub fn add_sphere(mesh: &mut TriangleMesh, center: Vec3, radius: f32, segments: u32, rings: u32) {
+    assert!(segments >= 3 && rings >= 2, "sphere resolution too low");
+    let point = |s: u32, r: u32| {
+        let theta = std::f32::consts::PI * r as f32 / rings as f32;
+        let phi = 2.0 * std::f32::consts::PI * (s % segments) as f32 / segments as f32;
+        center
+            + Vec3::new(
+                radius * theta.sin() * phi.cos(),
+                radius * theta.cos(),
+                radius * theta.sin() * phi.sin(),
+            )
+    };
+    for r in 0..rings {
+        for s in 0..segments {
+            let p00 = point(s, r);
+            let p10 = point(s + 1, r);
+            let p01 = point(s, r + 1);
+            let p11 = point(s + 1, r + 1);
+            if r > 0 {
+                mesh.push_triangle(p00, p10, p11);
+            }
+            if r < rings - 1 {
+                mesh.push_triangle(p00, p11, p01);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_has_12_triangles_and_exact_bounds() {
+        let mut m = TriangleMesh::new();
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        add_box(&mut m, b);
+        assert_eq!(m.triangle_count(), 12);
+        assert_eq!(m.bounds(), b);
+        // Surface area of a 1x2x3 box = 2*(2+6+3) = 22.
+        assert!((m.surface_area() - 22.0).abs() < 1e-4);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_triangle_count_matches_formula() {
+        let mut m = TriangleMesh::new();
+        add_grid(&mut m, Vec3::ZERO, Vec3::X * 2.0, Vec3::Z * 3.0, 4, 5);
+        assert_eq!(m.triangle_count(), 2 * 4 * 5);
+        assert_eq!(m.vertex_count(), 5 * 6);
+        assert!((m.surface_area() - 6.0).abs() < 1e-4);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn patch_displacement_moves_vertices() {
+        let mut m = TriangleMesh::new();
+        add_patch(&mut m, Vec3::ZERO, Vec3::X, Vec3::Z, 2, 2, |u, v| Vec3::Y * (u + v));
+        let b = m.bounds();
+        assert!(b.max.y > 1.9, "displacement not applied: {b:?}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn cylinder_counts_and_bounds() {
+        let mut m = TriangleMesh::new();
+        add_cylinder(&mut m, Vec3::ZERO, 1.0, 2.0, 8, 3);
+        assert_eq!(m.triangle_count(), (2 * 8 * 3 + 2 * 8) as usize);
+        let b = m.bounds();
+        assert!((b.min.y - 0.0).abs() < 1e-6 && (b.max.y - 2.0).abs() < 1e-6);
+        assert!((b.max.x - 1.0).abs() < 1e-5);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn sphere_counts_and_radius() {
+        let mut m = TriangleMesh::new();
+        add_sphere(&mut m, Vec3::ONE, 0.5, 8, 6);
+        assert_eq!(m.triangle_count(), (2 * 8 * (6 - 1)) as usize);
+        for t in m.triangles() {
+            for p in [t.a, t.b, t.c] {
+                assert!(((p - Vec3::ONE).length() - 0.5).abs() < 1e-5);
+            }
+        }
+        m.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_subdivision_patch_panics() {
+        let mut m = TriangleMesh::new();
+        add_grid(&mut m, Vec3::ZERO, Vec3::X, Vec3::Z, 0, 1);
+    }
+}

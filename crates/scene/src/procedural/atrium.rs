@@ -1,0 +1,85 @@
+//! Two-story colonnaded atrium — analog of *Crytek Sponza* (262K triangles).
+
+use super::{column_row, hanging_cloth, room_shell, scatter_boxes};
+use crate::TriangleMesh;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rip_math::{Aabb, Vec3};
+
+/// Builds a rectangular atrium with two floors of colonnades around an open
+/// courtyard, hanging cloth banners (the iconic Sponza drapes) and floor
+/// clutter.
+pub fn build_atrium(budget: usize, seed: u64) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let size = Vec3::new(36.0, 12.0, 20.0);
+
+    // 25% shell, 35% columns, 25% cloth, 15% clutter.
+    room_shell(&mut mesh, size, budget * 25 / 100, seed, 0.10);
+
+    let cols = 10u32;
+    let per_col = (budget * 35 / 100) / (4 * cols as usize);
+    for (z, y) in [(4.0f32, 0.0f32), (size.z - 4.0, 0.0), (4.0, 6.0), (size.z - 4.0, 6.0)] {
+        column_row(
+            &mut mesh,
+            Vec3::new(3.0, y, z),
+            Vec3::X * ((size.x - 6.0) / (cols - 1) as f32),
+            cols,
+            0.45,
+            5.0,
+            per_col,
+        );
+    }
+    // Second-floor walkway slabs.
+    for z in [2.0f32, size.z - 6.0] {
+        crate::primitives::add_box(
+            &mut mesh,
+            Aabb::new(Vec3::new(1.0, 5.6, z), Vec3::new(size.x - 1.0, 6.0, z + 4.0)),
+        );
+    }
+
+    // Hanging banners across the courtyard.
+    let banners = 6usize;
+    let per_banner = (budget * 25 / 100) / banners;
+    for i in 0..banners {
+        let x = 5.0 + (size.x - 10.0) * i as f32 / (banners - 1) as f32;
+        hanging_cloth(
+            &mut mesh,
+            Vec3::new(x, 10.0, 6.0),
+            Vec3::Z * (size.z - 12.0),
+            3.0,
+            per_banner,
+            seed ^ (i as u64 + 1),
+        );
+    }
+
+    let clutter = ((budget * 15 / 100) / 12).max(4);
+    scatter_boxes(
+        &mut mesh,
+        Aabb::new(Vec3::new(7.0, 0.0, 7.0), Vec3::new(size.x - 7.0, 0.0, size.z - 7.0)),
+        clutter,
+        1.0,
+        &mut rng,
+    );
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roughly_respected() {
+        let m = build_atrium(20_000, 5);
+        let n = m.triangle_count();
+        assert!((10_000..40_000).contains(&n), "{n}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn distinct_seeds_move_clutter() {
+        let a = build_atrium(3_000, 1);
+        let b = build_atrium(3_000, 2);
+        assert_ne!(a.positions(), b.positions());
+    }
+}

@@ -1,0 +1,122 @@
+//! Bistro interior — analog of the Lumberyard *Bistro (Interior)* scene
+//! (1M triangles).
+
+use super::{chair, room_shell, shelf_unit, sphere_res, table};
+use crate::{primitives, TriangleMesh};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rip_math::{Aabb, Vec3};
+
+/// Builds a restaurant interior: long bar counter, back-bar shelving dense
+/// with bottles, a dining floor of tables and chairs, hanging pendant lamps
+/// and window mullions.
+pub fn build_bistro_interior(budget: usize, seed: u64) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let size = Vec3::new(18.0, 4.5, 14.0);
+
+    // 10% shell, 35% back-bar bottles, 30% dining sets, 15% lamps, 10% bar.
+    room_shell(&mut mesh, size, budget * 10 / 100, seed, 0.03);
+
+    // Bar counter along the -Z wall.
+    primitives::add_box(
+        &mut mesh,
+        Aabb::new(Vec3::new(2.0, 0.0, 1.2), Vec3::new(14.0, 1.1, 2.0)),
+    );
+    // Bar stools.
+    let bar_budget = budget * 10 / 100;
+    let stools = 8usize;
+    let seg = ((((bar_budget / stools) / 4) as f32).sqrt() as u32 * 2).max(8);
+    for i in 0..stools {
+        primitives::add_cylinder(
+            &mut mesh,
+            Vec3::new(2.8 + 1.4 * i as f32, 0.0, 2.6),
+            0.2,
+            0.8,
+            seg,
+            2,
+        );
+    }
+
+    // Back-bar shelving stuffed with bottles (the triangle sink).
+    let shelf_budget = budget * 35 / 100;
+    let units = 6usize;
+    for i in 0..units {
+        shelf_unit(
+            &mut mesh,
+            Vec3::new(2.0 + 2.0 * i as f32, 0.0, 0.1),
+            1.9,
+            2.6,
+            0.4,
+            4,
+            10,
+            shelf_budget / (units * 4 * 10),
+            &mut rng,
+        );
+    }
+
+    // Dining floor: grid of table-and-chairs sets.
+    let sets_x = 4usize;
+    let sets_z = 3usize;
+    for ix in 0..sets_x {
+        for iz in 0..sets_z {
+            let cx = 3.0 + 4.0 * ix as f32 + rng.gen_range(-0.3..0.3);
+            let cz = 5.0 + 3.0 * iz as f32 + rng.gen_range(-0.3..0.3);
+            table(&mut mesh, Vec3::new(cx, 0.0, cz), 1.1, 1.1, 0.75);
+            for (dx, dz) in [(-0.9f32, 0.0f32), (0.9, 0.0), (0.0, -0.9), (0.0, 0.9)] {
+                chair(&mut mesh, Vec3::new(cx + dx, 0.0, cz + dz), 0.5);
+            }
+        }
+    }
+
+    // Pendant lamps: spheres hanging from thin boxes.
+    let lamp_budget = budget * 15 / 100;
+    let lamps = 8usize;
+    let (lseg, lrings) = sphere_res(lamp_budget / lamps);
+    for i in 0..lamps {
+        let x = 3.0 + 1.8 * i as f32;
+        let z = 7.0 + (i % 2) as f32 * 2.0;
+        primitives::add_sphere(&mut mesh, Vec3::new(x, 3.0, z), 0.3, lseg, lrings);
+        primitives::add_box(
+            &mut mesh,
+            Aabb::new(Vec3::new(x - 0.02, 3.3, z - 0.02), Vec3::new(x + 0.02, size.y, z + 0.02)),
+        );
+    }
+
+    // Window mullions on the +Z wall.
+    for i in 0..12 {
+        let x = 1.0 + 1.4 * i as f32;
+        primitives::add_box(
+            &mut mesh,
+            Aabb::new(
+                Vec3::new(x, 0.8, size.z - 0.15),
+                Vec3::new(x + 0.08, 3.6, size.z - 0.05),
+            ),
+        );
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roughly_respected() {
+        let m = build_bistro_interior(40_000, 13);
+        let n = m.triangle_count();
+        assert!((20_000..80_000).contains(&n), "{n}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn scene_has_dense_clutter_zone_near_back_bar() {
+        let m = build_bistro_interior(10_000, 13);
+        let back = m.triangles().filter(|t| t.centroid().z < 0.6).count();
+        assert!(
+            back > m.triangle_count() / 10,
+            "back bar too sparse: {back}/{}",
+            m.triangle_count()
+        );
+    }
+}

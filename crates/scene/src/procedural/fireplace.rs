@@ -1,0 +1,103 @@
+//! Fireplace room — analog of the *Fireplace Room* scene (143K triangles).
+
+use super::{chair, patch_res, room_shell, sofa, table};
+use crate::{primitives, TriangleMesh};
+use rip_math::{Aabb, Vec3};
+
+/// Builds a den with a brick fireplace alcove, mantel, log pile, seating and
+/// a panelled accent wall.
+pub fn build_fireplace_room(budget: usize, seed: u64) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    let size = Vec3::new(9.0, 3.0, 8.0);
+
+    // 20% shell, 30% fireplace bricks, 25% sofa, 25% panelling.
+    room_shell(&mut mesh, size, budget * 20 / 100, seed, 0.04);
+
+    // Fireplace alcove: brick courses as rows of small boxes.
+    let bricks_budget = budget * 30 / 100;
+    let brick_count = (bricks_budget / 12).max(20);
+    let courses = ((brick_count as f32).sqrt() as usize).max(4);
+    let per_course = brick_count.div_ceil(courses);
+    let fw = 2.4f32; // fireplace width
+    let fh = 1.8f32;
+    let fx = size.x / 2.0 - fw / 2.0;
+    for c in 0..courses {
+        let y0 = fh * c as f32 / courses as f32;
+        let y1 = fh * (c + 1) as f32 / courses as f32;
+        let offset = if c % 2 == 0 { 0.0 } else { 0.5 / per_course as f32 };
+        for b in 0..per_course {
+            let u0 = (b as f32 + offset) / per_course as f32;
+            let u1 = (b as f32 + 0.92 + offset) / per_course as f32;
+            primitives::add_box(
+                &mut mesh,
+                Aabb::new(
+                    Vec3::new(fx + fw * u0, y0, 0.02),
+                    Vec3::new(fx + fw * u1.min(1.0), y1 - 0.01, 0.22),
+                ),
+            );
+        }
+    }
+    // Firebox opening and mantel.
+    primitives::add_box(
+        &mut mesh,
+        Aabb::new(Vec3::new(fx + 0.5, 0.0, 0.0), Vec3::new(fx + fw - 0.5, 0.9, 0.25)),
+    );
+    primitives::add_box(
+        &mut mesh,
+        Aabb::new(Vec3::new(fx - 0.2, fh, 0.0), Vec3::new(fx + fw + 0.2, fh + 0.12, 0.35)),
+    );
+    // Log pile: short cylinders.
+    for i in 0..4 {
+        primitives::add_cylinder(
+            &mut mesh,
+            Vec3::new(fx + 0.7 + 0.25 * i as f32, 0.05, 0.05),
+            0.08,
+            0.5,
+            8,
+            1,
+        );
+    }
+
+    sofa(&mut mesh, Vec3::new(2.0, 0.0, 4.5), 3.0, budget * 25 / 100, seed ^ 5);
+    table(&mut mesh, Vec3::new(4.5, 0.0, 3.0), 1.2, 0.7, 0.4);
+    chair(&mut mesh, Vec3::new(6.5, 0.0, 3.0), 0.55);
+
+    // Panelled accent wall: displaced patch with rectangular relief.
+    let n = patch_res(budget * 25 / 100);
+    primitives::add_patch(
+        &mut mesh,
+        Vec3::new(size.x - 0.05, 0.0, 0.0),
+        Vec3::Z * size.z,
+        Vec3::Y * size.y,
+        n,
+        n,
+        |u, v| {
+            let panel = if (u * 6.0).fract() < 0.08 || (v * 3.0).fract() < 0.08 { 0.0 } else { 0.04 };
+            -Vec3::X * panel
+        },
+    );
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roughly_respected() {
+        let m = build_fireplace_room(15_000, 11);
+        let n = m.triangle_count();
+        assert!((7_000..30_000).contains(&n), "{n}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn fireplace_bricks_exist_near_front_wall() {
+        let m = build_fireplace_room(4_000, 11);
+        let near_wall = m
+            .triangles()
+            .filter(|t| t.centroid().z < 0.4 && t.centroid().y < 2.0)
+            .count();
+        assert!(near_wall > 100, "only {near_wall} triangles near fireplace wall");
+    }
+}

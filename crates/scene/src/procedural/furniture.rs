@@ -1,0 +1,291 @@
+//! Parametric furniture and architectural elements shared by the scene
+//! generators.
+
+use crate::{primitives, TriangleMesh};
+use rip_math::{Aabb, Vec3};
+
+/// Adds a row of `count` cylindrical columns along `axis` starting at
+/// `start`. `detail` is the approximate triangle budget per column.
+pub(crate) fn column_row(
+    mesh: &mut TriangleMesh,
+    start: Vec3,
+    axis: Vec3,
+    count: u32,
+    radius: f32,
+    height: f32,
+    detail: usize,
+) {
+    // Side wall dominates: tris ≈ 2·seg·stacks + 2·seg = 2·seg·(stacks+1).
+    let seg = (((detail as f32 / 8.0).sqrt() * 2.0) as u32).max(6);
+    let stacks = ((detail as u32) / (2 * seg).max(1)).max(1);
+    for i in 0..count {
+        let base = start + axis * i as f32;
+        primitives::add_cylinder(mesh, base, radius, height, seg, stacks);
+        // Capital and plinth.
+        let cap = radius * 1.4;
+        primitives::add_box(
+            mesh,
+            Aabb::new(
+                base + Vec3::new(-cap, height, -cap),
+                base + Vec3::new(cap, height + radius, cap),
+            ),
+        );
+        primitives::add_box(
+            mesh,
+            Aabb::new(base + Vec3::new(-cap, 0.0, -cap), base + Vec3::new(cap, radius, cap)),
+        );
+    }
+}
+
+/// Adds a four-legged table with the top at `height` centered at `center`.
+pub(crate) fn table(mesh: &mut TriangleMesh, center: Vec3, width: f32, depth: f32, height: f32) {
+    let top_th = height * 0.06;
+    let leg_w = width * 0.06;
+    primitives::add_box(
+        mesh,
+        Aabb::new(
+            center + Vec3::new(-width / 2.0, height - top_th, -depth / 2.0),
+            center + Vec3::new(width / 2.0, height, depth / 2.0),
+        ),
+    );
+    for (sx, sz) in [(-1.0f32, -1.0f32), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
+        let lx = sx * (width / 2.0 - leg_w);
+        let lz = sz * (depth / 2.0 - leg_w);
+        primitives::add_box(
+            mesh,
+            Aabb::new(
+                center + Vec3::new(lx - leg_w / 2.0, 0.0, lz - leg_w / 2.0),
+                center + Vec3::new(lx + leg_w / 2.0, height - top_th, lz + leg_w / 2.0),
+            ),
+        );
+    }
+}
+
+/// Adds a simple chair (seat, backrest, four legs) facing +Z.
+pub(crate) fn chair(mesh: &mut TriangleMesh, center: Vec3, size: f32) {
+    let seat_h = size * 0.45;
+    let leg_w = size * 0.06;
+    let half = size / 2.0;
+    primitives::add_box(
+        mesh,
+        Aabb::new(
+            center + Vec3::new(-half, seat_h - size * 0.05, -half),
+            center + Vec3::new(half, seat_h, half),
+        ),
+    );
+    primitives::add_box(
+        mesh,
+        Aabb::new(
+            center + Vec3::new(-half, seat_h, -half),
+            center + Vec3::new(half, size, -half + leg_w),
+        ),
+    );
+    for (sx, sz) in [(-1.0f32, -1.0f32), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
+        let lx = sx * (half - leg_w);
+        let lz = sz * (half - leg_w);
+        primitives::add_box(
+            mesh,
+            Aabb::new(
+                center + Vec3::new(lx - leg_w / 2.0, 0.0, lz - leg_w / 2.0),
+                center + Vec3::new(lx + leg_w / 2.0, seat_h - size * 0.05, lz + leg_w / 2.0),
+            ),
+        );
+    }
+}
+
+/// Adds a sofa: base and backrest boxes plus two high-resolution displaced
+/// cushion patches that soak up `cushion_detail` triangles.
+pub(crate) fn sofa(
+    mesh: &mut TriangleMesh,
+    origin: Vec3,
+    width: f32,
+    cushion_detail: usize,
+    seed: u64,
+) {
+    let depth = width * 0.4;
+    let seat_h = width * 0.18;
+    let back_h = width * 0.38;
+    primitives::add_box(
+        mesh,
+        Aabb::new(origin, origin + Vec3::new(width, seat_h, depth)),
+    );
+    primitives::add_box(
+        mesh,
+        Aabb::new(
+            origin + Vec3::new(0.0, seat_h, 0.0),
+            origin + Vec3::new(width, back_h, depth * 0.25),
+        ),
+    );
+    let noise = crate::noise::ValueNoise::new(seed);
+    let n = super::patch_res(cushion_detail / 2);
+    let bump = width * 0.02;
+    // Seat cushion.
+    primitives::add_patch(
+        mesh,
+        origin + Vec3::new(0.0, seat_h, depth * 0.25),
+        Vec3::X * width,
+        Vec3::Z * (depth * 0.75),
+        n,
+        n,
+        |u, v| Vec3::Y * ((noise.fbm(u * 8.0, v * 8.0, 3) + (u * 12.6).sin() * 0.3) * bump),
+    );
+    // Back cushion.
+    primitives::add_patch(
+        mesh,
+        origin + Vec3::new(0.0, seat_h, depth * 0.25),
+        Vec3::X * width,
+        Vec3::Y * (back_h - seat_h),
+        n,
+        n,
+        |u, v| Vec3::Z * ((noise.fbm(u * 8.0 + 5.0, v * 8.0, 3) + (u * 9.4).cos() * 0.3) * bump),
+    );
+}
+
+/// Adds a shelf unit against a wall with `items` small objects per shelf.
+/// `item_detail` is the triangle budget per item (spheres and boxes
+/// alternate, giving bottle/book-like clutter).
+#[allow(clippy::too_many_arguments)] // a parametric generator, not an API
+pub(crate) fn shelf_unit(
+    mesh: &mut TriangleMesh,
+    origin: Vec3,
+    width: f32,
+    height: f32,
+    depth: f32,
+    shelves: u32,
+    items: u32,
+    item_detail: usize,
+    rng: &mut impl rand::Rng,
+) {
+    // Side panels and shelf boards.
+    let th = 0.02f32.min(width * 0.02);
+    primitives::add_box(
+        mesh,
+        Aabb::new(origin, origin + Vec3::new(th, height, depth)),
+    );
+    primitives::add_box(
+        mesh,
+        Aabb::new(
+            origin + Vec3::new(width - th, 0.0, 0.0),
+            origin + Vec3::new(width, height, depth),
+        ),
+    );
+    for s in 0..=shelves {
+        let y = height * s as f32 / shelves as f32;
+        primitives::add_box(
+            mesh,
+            Aabb::new(
+                origin + Vec3::new(0.0, (y - th).max(0.0), 0.0),
+                origin + Vec3::new(width, y.max(th), depth),
+            ),
+        );
+        if s == shelves {
+            break;
+        }
+        let gap = height / shelves as f32;
+        for i in 0..items {
+            let x = width * (i as f32 + 0.5) / items as f32;
+            let z = depth * rng.gen_range(0.3..0.7);
+            let kind: u32 = rng.gen_range(0..3);
+            let item_h = gap * rng.gen_range(0.4..0.8);
+            let r = (width / items as f32 * 0.35).min(depth * 0.3);
+            let base = origin + Vec3::new(x, y + th, z);
+            match kind {
+                0 => {
+                    let (seg, rings) = super::sphere_res(item_detail);
+                    primitives::add_sphere(mesh, base + Vec3::Y * r, r, seg, rings);
+                }
+                1 => {
+                    let seg = (((item_detail / 4) as f32).sqrt() as u32 * 2).max(6);
+                    let stacks = ((item_detail as u32) / (2 * seg).max(1)).max(1);
+                    primitives::add_cylinder(mesh, base, r * 0.7, item_h, seg, stacks);
+                }
+                _ => {
+                    primitives::add_box(
+                        mesh,
+                        Aabb::new(
+                            base - Vec3::new(r, 0.0, r * 0.6),
+                            base + Vec3::new(r, item_h, r * 0.6),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Adds a hanging cloth banner: a displaced vertical patch with a sag fold.
+pub(crate) fn hanging_cloth(
+    mesh: &mut TriangleMesh,
+    top_left: Vec3,
+    across: Vec3,
+    drop: f32,
+    detail: usize,
+    seed: u64,
+) {
+    let noise = crate::noise::ValueNoise::new(seed);
+    let n = super::patch_res(detail);
+    let out = across.cross(-Vec3::Y).try_normalized().unwrap_or(Vec3::Z);
+    primitives::add_patch(mesh, top_left, across, -Vec3::Y * drop, n, n, |u, v| {
+        let sag = (u * std::f32::consts::PI).sin() * v * drop * 0.15;
+        let ripple = noise.fbm(u * 10.0, v * 6.0, 3) * drop * 0.03;
+        out * (sag + ripple)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn column_row_produces_count_columns() {
+        let mut m = TriangleMesh::new();
+        column_row(&mut m, Vec3::ZERO, Vec3::X * 3.0, 4, 0.3, 4.0, 200);
+        assert!(m.triangle_count() >= 4 * (2 * 6 * 2 + 24));
+        m.validate().unwrap();
+        let b = m.bounds();
+        assert!(b.max.x > 9.0, "columns spread along axis");
+    }
+
+    #[test]
+    fn table_and_chair_stand_on_floor() {
+        let mut m = TriangleMesh::new();
+        table(&mut m, Vec3::ZERO, 2.0, 1.0, 0.8);
+        chair(&mut m, Vec3::new(3.0, 0.0, 0.0), 0.5);
+        let b = m.bounds();
+        assert!(b.min.y.abs() < 1e-5);
+        assert!((b.max.y - 0.8).abs() < 1e-4);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn sofa_consumes_cushion_budget() {
+        let mut m = TriangleMesh::new();
+        sofa(&mut m, Vec3::ZERO, 2.0, 2000, 3);
+        assert!(m.triangle_count() > 1000, "{}", m.triangle_count());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn shelf_unit_scales_with_items() {
+        let mut small = TriangleMesh::new();
+        let mut large = TriangleMesh::new();
+        let mut rng1 = SmallRng::seed_from_u64(1);
+        let mut rng2 = SmallRng::seed_from_u64(1);
+        shelf_unit(&mut small, Vec3::ZERO, 2.0, 2.0, 0.4, 3, 4, 50, &mut rng1);
+        shelf_unit(&mut large, Vec3::ZERO, 2.0, 2.0, 0.4, 3, 12, 200, &mut rng2);
+        assert!(large.triangle_count() > small.triangle_count());
+        small.validate().unwrap();
+        large.validate().unwrap();
+    }
+
+    #[test]
+    fn hanging_cloth_spans_drop() {
+        let mut m = TriangleMesh::new();
+        hanging_cloth(&mut m, Vec3::new(0.0, 3.0, 0.0), Vec3::X * 2.0, 1.5, 800, 9);
+        let b = m.bounds();
+        assert!(b.min.y < 1.6 && b.max.y > 2.9);
+        m.validate().unwrap();
+    }
+}

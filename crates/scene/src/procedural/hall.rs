@@ -1,0 +1,96 @@
+//! Vaulted hall — analog of *Sibenik Cathedral* (75K triangles).
+
+use super::{column_row, patch_res, room_shell, scatter_boxes};
+use crate::{primitives, TriangleMesh};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rip_math::Vec3;
+
+/// Builds a long vaulted hall: stone floor and walls, two colonnades, a
+/// rippled barrel-vault ceiling and scattered floor clutter.
+///
+/// `budget` is the approximate triangle count; `seed` drives all random
+/// placement.
+pub fn build_vaulted_hall(budget: usize, seed: u64) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let size = Vec3::new(40.0, 14.0, 16.0);
+
+    // 30% shell, 15% vault, 40% columns, 15% clutter.
+    room_shell(&mut mesh, size, budget * 30 / 100, seed, 0.12);
+
+    // Barrel vault: displaced patch under the ceiling.
+    let vault_n = patch_res(budget * 15 / 100);
+    let noise = crate::noise::ValueNoise::new(seed ^ 0xABCD);
+    primitives::add_patch(
+        &mut mesh,
+        Vec3::new(0.0, size.y - 4.0, 0.0),
+        Vec3::X * size.x,
+        Vec3::Z * size.z,
+        vault_n,
+        vault_n,
+        |u, v| {
+            let arch = (v * std::f32::consts::PI).sin() * 3.5;
+            let ribs = ((u * 40.0 * std::f32::consts::PI).sin() * 0.08).abs();
+            Vec3::Y * (arch + ribs + noise.fbm(u * 12.0, v * 12.0, 2) * 0.1)
+        },
+    );
+
+    // Two colonnades along the nave.
+    let cols = 8u32;
+    let per_col = (budget * 40 / 100) / (2 * cols as usize);
+    column_row(
+        &mut mesh,
+        Vec3::new(4.0, 0.0, 4.0),
+        Vec3::X * ((size.x - 8.0) / (cols - 1) as f32),
+        cols,
+        0.6,
+        9.0,
+        per_col,
+    );
+    column_row(
+        &mut mesh,
+        Vec3::new(4.0, 0.0, size.z - 4.0),
+        Vec3::X * ((size.x - 8.0) / (cols - 1) as f32),
+        cols,
+        0.6,
+        9.0,
+        per_col,
+    );
+
+    // Pews / tombs / crates on the floor.
+    let clutter = ((budget * 15 / 100) / 12).max(4);
+    scatter_boxes(
+        &mut mesh,
+        rip_math::Aabb::new(Vec3::new(6.0, 0.0, 5.5), Vec3::new(size.x - 6.0, 0.0, size.z - 5.5)),
+        clutter,
+        1.4,
+        &mut rng,
+    );
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roughly_respected() {
+        for budget in [2_000usize, 20_000] {
+            let m = build_vaulted_hall(budget, 42);
+            let n = m.triangle_count();
+            assert!(
+                n as f32 > budget as f32 * 0.5 && (n as f32) < budget as f32 * 1.8,
+                "budget {budget} produced {n}"
+            );
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn hall_is_interior_with_height() {
+        let m = build_vaulted_hall(4_000, 1);
+        let b = m.bounds();
+        assert!(b.diagonal().x > 30.0 && b.diagonal().y > 10.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Country kitchen — analog of the *Country Kitchen* scene (1.4M
+//! triangles), the densest model in the suite.
+
+use super::{chair, hanging_cloth, patch_res, room_shell, shelf_unit, sphere_res, table};
+use crate::{primitives, TriangleMesh};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rip_math::{Aabb, Vec3};
+
+/// Builds a kitchen: counter runs with cabinets, dense dish/jar clutter,
+/// a fruit bowl of high-resolution spheres, curtains, a farmhouse table and
+/// beamed ceiling.
+pub fn build_country_kitchen(budget: usize, seed: u64) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let size = Vec3::new(11.0, 3.0, 9.0);
+
+    // 10% shell, 35% shelf clutter, 20% fruit/dishes, 20% curtains, 15% rest.
+    room_shell(&mut mesh, size, budget * 10 / 100, seed, 0.03);
+
+    // Counter runs along two walls.
+    for (lo, hi) in [
+        (Vec3::new(0.2, 0.0, 0.2), Vec3::new(8.0, 0.9, 0.9)),
+        (Vec3::new(0.2, 0.0, 0.9), Vec3::new(0.9, 0.9, 7.5)),
+    ] {
+        primitives::add_box(&mut mesh, Aabb::new(lo, hi));
+        // Counter top overhang.
+        primitives::add_box(
+            &mut mesh,
+            Aabb::new(
+                Vec3::new(lo.x - 0.03, 0.9, lo.z - 0.03),
+                Vec3::new(hi.x + 0.03, 0.95, hi.z + 0.03),
+            ),
+        );
+    }
+
+    // Upper cabinets with open shelving stuffed with dishes.
+    let shelf_budget = budget * 35 / 100;
+    let units = 5usize;
+    for i in 0..units {
+        shelf_unit(
+            &mut mesh,
+            Vec3::new(0.6 + 1.5 * i as f32, 1.5, 0.1),
+            1.4,
+            1.2,
+            0.35,
+            3,
+            9,
+            shelf_budget / (units * 3 * 9),
+            &mut rng,
+        );
+    }
+
+    // Fruit bowl: cluster of dense spheres on the table.
+    table(&mut mesh, Vec3::new(6.0, 0.0, 5.0), 2.2, 1.2, 0.78);
+    for (dx, dz) in [(-1.2f32, 0.0f32), (1.2, 0.0), (-1.2, 1.0), (1.2, 1.0)] {
+        chair(&mut mesh, Vec3::new(6.0 + dx, 0.0, 5.0 + dz), 0.5);
+    }
+    let fruit_budget = budget * 20 / 100;
+    let fruits = 9usize;
+    let (fseg, frings) = sphere_res(fruit_budget / fruits);
+    for i in 0..fruits {
+        let a = i as f32 * 0.7;
+        let r = 0.07 + 0.02 * ((i % 3) as f32);
+        primitives::add_sphere(
+            &mut mesh,
+            Vec3::new(6.0 + a.cos() * 0.22 * (1.0 + (i / 3) as f32 * 0.8), 0.85 + r, 5.0 + a.sin() * 0.2),
+            r,
+            fseg,
+            frings,
+        );
+    }
+
+    // Curtains over two windows.
+    let curtain_budget = budget * 20 / 100;
+    hanging_cloth(
+        &mut mesh,
+        Vec3::new(3.0, 2.4, size.z - 0.1),
+        Vec3::X * 1.6,
+        1.6,
+        curtain_budget / 2,
+        seed ^ 21,
+    );
+    hanging_cloth(
+        &mut mesh,
+        Vec3::new(7.0, 2.4, size.z - 0.1),
+        Vec3::X * 1.6,
+        1.6,
+        curtain_budget / 2,
+        seed ^ 22,
+    );
+
+    // Ceiling beams and a noisy plaster ceiling patch.
+    for i in 0..6 {
+        let x = 1.0 + 1.7 * i as f32;
+        primitives::add_box(
+            &mut mesh,
+            Aabb::new(
+                Vec3::new(x, size.y - 0.25, 0.0),
+                Vec3::new(x + 0.18, size.y - 0.02, size.z),
+            ),
+        );
+    }
+    let n = patch_res(budget * 15 / 100);
+    let noise = crate::noise::ValueNoise::new(seed ^ 0x33);
+    primitives::add_patch(
+        &mut mesh,
+        Vec3::new(0.0, 0.015, 0.0),
+        Vec3::X * size.x,
+        Vec3::Z * size.z,
+        n,
+        n,
+        |u, v| Vec3::Y * (noise.fbm(u * 25.0, v * 25.0, 3).abs() * 0.012),
+    );
+    // Hanging pots over the counter.
+    for i in 0..5 {
+        let x = 1.0 + 1.4 * i as f32;
+        primitives::add_cylinder(&mut mesh, Vec3::new(x, 2.1, 0.5), 0.12, 0.18, 10, 1);
+        let _ = rng.gen::<u32>(); // keep the stream moving for seed diversity
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roughly_respected() {
+        let m = build_country_kitchen(50_000, 17);
+        let n = m.triangle_count();
+        assert!((25_000..100_000).contains(&n), "{n}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn kitchen_is_dense_relative_to_volume() {
+        let m = build_country_kitchen(20_000, 17);
+        let vol = {
+            let d = m.bounds().diagonal();
+            d.x * d.y * d.z
+        };
+        assert!(m.triangle_count() as f32 / vol > 10.0, "too sparse");
+    }
+}

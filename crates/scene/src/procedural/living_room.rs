@@ -1,0 +1,94 @@
+//! Furnished living room — analog of the *Living Room* scene
+//! (581K triangles).
+
+use super::{chair, patch_res, room_shell, shelf_unit, sofa, sphere_res, table};
+use crate::{primitives, TriangleMesh};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rip_math::{Aabb, Vec3};
+
+/// Builds a living room: shell, two sofas with high-resolution cushions, a
+/// coffee table and chairs, a rug, bookshelves full of clutter and
+/// decorative spheres (lamps, vases).
+pub fn build_living_room(budget: usize, seed: u64) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let size = Vec3::new(12.0, 3.2, 10.0);
+
+    // 15% shell, 30% sofas, 15% rug, 25% shelves, 15% decor.
+    room_shell(&mut mesh, size, budget * 15 / 100, seed, 0.03);
+
+    sofa(&mut mesh, Vec3::new(1.0, 0.0, 1.0), 3.4, budget * 15 / 100, seed ^ 1);
+    sofa(&mut mesh, Vec3::new(1.0, 0.0, 6.5), 3.4, budget * 15 / 100, seed ^ 2);
+
+    table(&mut mesh, Vec3::new(4.5, 0.0, 4.2), 1.6, 0.9, 0.45);
+    chair(&mut mesh, Vec3::new(6.2, 0.0, 3.0), 0.55);
+    chair(&mut mesh, Vec3::new(6.2, 0.0, 5.4), 0.55);
+
+    // Rug: noisy displaced patch.
+    let rug_n = patch_res(budget * 15 / 100);
+    let noise = crate::noise::ValueNoise::new(seed ^ 0x77);
+    primitives::add_patch(
+        &mut mesh,
+        Vec3::new(3.2, 0.02, 2.8),
+        Vec3::X * 3.2,
+        Vec3::Z * 2.8,
+        rug_n,
+        rug_n,
+        |u, v| Vec3::Y * (noise.fbm(u * 30.0, v * 30.0, 3).abs() * 0.015),
+    );
+
+    // Bookshelves along the far wall.
+    let shelves_budget = budget * 25 / 100;
+    let units = 3usize;
+    for i in 0..units {
+        shelf_unit(
+            &mut mesh,
+            Vec3::new(8.0 + 1.2 * i as f32, 0.0, size.z - 0.5),
+            1.1,
+            2.4,
+            0.4,
+            5,
+            8,
+            shelves_budget / (units * 5 * 8),
+            &mut rng,
+        );
+    }
+
+    // Decorative spheres: floor lamp globes, vases.
+    let decor_budget = budget * 15 / 100;
+    let spheres = 5usize;
+    let (seg, rings) = sphere_res(decor_budget / spheres);
+    for i in 0..spheres {
+        let x = 1.5 + 2.0 * i as f32;
+        primitives::add_sphere(&mut mesh, Vec3::new(x.min(size.x - 1.0), 1.6, 0.6), 0.25, seg, rings);
+        primitives::add_box(
+            &mut mesh,
+            Aabb::new(
+                Vec3::new(x.min(size.x - 1.0) - 0.03, 0.0, 0.57),
+                Vec3::new(x.min(size.x - 1.0) + 0.03, 1.4, 0.63),
+            ),
+        );
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roughly_respected() {
+        let m = build_living_room(30_000, 9);
+        let n = m.triangle_count();
+        assert!((15_000..60_000).contains(&n), "{n}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn room_is_human_scale() {
+        let m = build_living_room(5_000, 9);
+        let d = m.bounds().diagonal();
+        assert!(d.y < 4.0 && d.x > 10.0);
+    }
+}

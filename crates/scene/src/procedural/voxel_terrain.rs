@@ -1,0 +1,80 @@
+//! Voxel terrain town — analog of *Lost Empire* (225K triangles), the
+//! Minecraft-style map from the McGuire archive.
+
+use crate::{primitives, TriangleMesh};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rip_math::{Aabb, Vec3};
+
+/// Builds a quantized heightfield of unit cubes with scattered block towers,
+/// reproducing the axis-aligned, high-depth-complexity geometry of a voxel
+/// map.
+pub fn build_voxel_terrain(budget: usize, seed: u64) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let noise = crate::noise::ValueNoise::new(seed);
+
+    // Each surface voxel contributes ~12 triangles (top cube; column sides
+    // are covered by neighbor cubes of differing height, which we emit as
+    // one stretched box per cell). Grid of n×n cells ⇒ ~12·n² triangles.
+    let n = (((budget / 12) as f32).sqrt() as usize).clamp(4, 1024);
+    let cell = 1.0f32;
+    for gz in 0..n {
+        for gx in 0..n {
+            let h = (noise.fbm(gx as f32 * 0.08, gz as f32 * 0.08, 4) * 6.0 + 7.0).floor();
+            let h = h.max(1.0);
+            let lo = Vec3::new(gx as f32 * cell, 0.0, gz as f32 * cell);
+            let hi = lo + Vec3::new(cell, h, cell);
+            primitives::add_box(&mut mesh, Aabb::new(lo, hi));
+        }
+    }
+    // Block towers / buildings on ~2% of cells.
+    let towers = (n * n / 50).max(1);
+    for _ in 0..towers {
+        let gx = rng.gen_range(0..n) as f32;
+        let gz = rng.gen_range(0..n) as f32;
+        let base_h = (noise.fbm(gx * 0.08, gz * 0.08, 4) * 6.0 + 7.0).floor().max(1.0);
+        let height = rng.gen_range(3.0..10.0f32).floor();
+        let w = rng.gen_range(1..4) as f32;
+        primitives::add_box(
+            &mut mesh,
+            Aabb::new(
+                Vec3::new(gx, base_h, gz),
+                Vec3::new(gx + w, base_h + height, gz + w),
+            ),
+        );
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roughly_respected() {
+        let m = build_voxel_terrain(24_000, 3);
+        let n = m.triangle_count();
+        assert!((12_000..40_000).contains(&n), "{n}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn terrain_has_height_variation() {
+        let m = build_voxel_terrain(12_000, 3);
+        let max_y = m.bounds().max.y;
+        assert!(max_y > 5.0, "terrain too flat: {max_y}");
+    }
+
+    #[test]
+    fn all_geometry_axis_aligned() {
+        // Every triangle of a voxel scene lies in an axis-aligned plane.
+        let m = build_voxel_terrain(2_000, 3);
+        for t in m.triangles() {
+            let n = t.geometric_normal().abs();
+            let axis_aligned =
+                (n.x > 0.0) as u8 + (n.y > 0.0) as u8 + (n.z > 0.0) as u8 == 1;
+            assert!(axis_aligned, "non-axis-aligned triangle {t:?}");
+        }
+    }
+}

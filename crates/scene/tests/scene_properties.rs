@@ -1,0 +1,119 @@
+//! Property-based tests for the scene substrate: mesh invariants under
+//! transforms, OBJ round-tripping, and suite-wide guarantees.
+
+use proptest::prelude::*;
+use rip_math::Vec3;
+use rip_scene::{obj, TriangleMesh, SCENE_IDS};
+
+fn vec3s(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(
+        (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn triangle_soup_mesh_always_validates(points in vec3s(3..120)) {
+        let mut mesh = TriangleMesh::new();
+        for chunk in points.chunks_exact(3) {
+            mesh.push_triangle(chunk[0], chunk[1], chunk[2]);
+        }
+        prop_assert!(mesh.validate().is_ok());
+        prop_assert_eq!(mesh.triangle_count(), points.len() / 3);
+        // Bounds contain every vertex.
+        let bounds = mesh.bounds();
+        for &p in mesh.positions() {
+            prop_assert!(bounds.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn translation_preserves_surface_area(
+        points in vec3s(3..60),
+        dx in -10.0f32..10.0, dy in -10.0f32..10.0, dz in -10.0f32..10.0,
+    ) {
+        let mut mesh = TriangleMesh::new();
+        for chunk in points.chunks_exact(3) {
+            mesh.push_triangle(chunk[0], chunk[1], chunk[2]);
+        }
+        let before = mesh.surface_area();
+        mesh.translate(Vec3::new(dx, dy, dz));
+        let after = mesh.surface_area();
+        prop_assert!((before - after).abs() <= 1e-3 * (1.0 + before),
+            "translation changed area: {before} -> {after}");
+    }
+
+    #[test]
+    fn rotation_preserves_surface_area(points in vec3s(3..60), angle in 0.0f32..6.3) {
+        let mut mesh = TriangleMesh::new();
+        for chunk in points.chunks_exact(3) {
+            mesh.push_triangle(chunk[0], chunk[1], chunk[2]);
+        }
+        let before = mesh.surface_area();
+        mesh.rotate_y(angle);
+        let after = mesh.surface_area();
+        prop_assert!((before - after).abs() <= 1e-2 * (1.0 + before));
+    }
+
+    #[test]
+    fn merge_is_additive(a in vec3s(3..30), b in vec3s(3..30)) {
+        let mut ma = TriangleMesh::new();
+        for chunk in a.chunks_exact(3) {
+            ma.push_triangle(chunk[0], chunk[1], chunk[2]);
+        }
+        let mut mb = TriangleMesh::new();
+        for chunk in b.chunks_exact(3) {
+            mb.push_triangle(chunk[0], chunk[1], chunk[2]);
+        }
+        let (ta, tb) = (ma.triangle_count(), mb.triangle_count());
+        let union_bounds = ma.bounds().union(&mb.bounds());
+        ma.merge(&mb);
+        prop_assert_eq!(ma.triangle_count(), ta + tb);
+        prop_assert!(ma.validate().is_ok());
+        prop_assert_eq!(ma.bounds(), union_bounds);
+    }
+
+    #[test]
+    fn obj_round_trip_is_lossless_enough(points in vec3s(3..45)) {
+        let mut mesh = TriangleMesh::new();
+        for chunk in points.chunks_exact(3) {
+            mesh.push_triangle(chunk[0], chunk[1], chunk[2]);
+        }
+        let mut buf = Vec::new();
+        obj::write_obj(&mesh, &mut buf).unwrap();
+        let back = obj::read_obj(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.triangle_count(), mesh.triangle_count());
+        for (a, b) in mesh.triangles().zip(back.triangles()) {
+            prop_assert!((a.a - b.a).length() < 1e-3);
+            prop_assert!((a.b - b.b).length() < 1e-3);
+            prop_assert!((a.c - b.c).length() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn every_scene_scales_monotonically() {
+    use rip_scene::SceneScale;
+    for id in SCENE_IDS {
+        let tiny = id.build_mesh(SceneScale::Tiny).triangle_count();
+        let quick = id.build_mesh(SceneScale::Quick).triangle_count();
+        assert!(
+            quick > tiny,
+            "{id}: quick ({quick}) must out-detail tiny ({tiny})"
+        );
+    }
+}
+
+#[test]
+fn scene_cameras_see_geometry() {
+    use rip_scene::SceneScale;
+    // Every scene's central primary ray should point at finite geometry —
+    // the AO workload depends on primary hits existing.
+    for id in SCENE_IDS {
+        let scene = id.build(SceneScale::Tiny);
+        let ray = scene.camera.ray_through(0.5, 0.5);
+        let hit = scene.mesh.triangles().any(|t| t.intersects(&ray));
+        assert!(hit, "{id}: camera stares into the void");
+    }
+}

@@ -1,0 +1,77 @@
+//! Smoke test: every reproduced table/figure runs end-to-end at tiny scale
+//! and produces sane headline metrics.
+
+use rip_bench::{experiments, Context, SceneSelection};
+use rip_scene::SceneScale;
+
+fn ctx() -> Context {
+    Context::new(SceneScale::Tiny, SceneSelection::Subset(2))
+}
+
+#[test]
+fn all_experiments_produce_reports() {
+    let reports = experiments::run_all(&ctx());
+    assert_eq!(reports.len(), 22, "one report per reproduced result + extensions");
+    for report in &reports {
+        assert!(!report.text.trim().is_empty(), "{} produced no text", report.id);
+    }
+}
+
+#[test]
+fn figure_12_predictor_wins_at_tiny_scale() {
+    let report = experiments::fig12_speedup::run(&ctx());
+    let gm = report.get_metric("geomean_unsorted").expect("metric recorded");
+    assert!(gm > 1.0, "predictor should win: geomean {gm}");
+}
+
+#[test]
+fn figure_2_oracle_ladder_is_ordered() {
+    let report = experiments::fig02_limit_study::run(&ctx());
+    let real = report.get_metric("savings_Predictor").unwrap();
+    let ot = report.get_metric("savings_OT").unwrap();
+    assert!(ot >= real - 0.02, "OT ({ot}) must not trail the real predictor ({real})");
+    let v_real = report.get_metric("verified_Predictor").unwrap();
+    let v_ol = report.get_metric("verified_OL").unwrap();
+    assert!(v_ol >= v_real - 0.02, "oracle lookup must verify at least as many rays");
+}
+
+#[test]
+fn figure_14_verified_rate_rises_with_go_up_level() {
+    let report = experiments::fig14_go_up_level::run(&ctx());
+    let v0 = report.get_metric("verified_gul0").unwrap();
+    let v3 = report.get_metric("verified_gul3").unwrap();
+    let v5 = report.get_metric("verified_gul5").unwrap();
+    assert!(v3 >= v0, "level 3 ({v3}) must verify at least level 0 ({v0})");
+    assert!(v5 >= v3 - 0.02, "level 5 ({v5}) should not fall below level 3 ({v3})");
+}
+
+#[test]
+fn figure_1_repeated_accesses_dominate() {
+    let report = experiments::fig01_memory_distribution::run(&ctx());
+    let frac = report.get_metric("mean_repeated_node_fraction").unwrap();
+    assert!(frac > 0.5, "repeated node accesses should dominate: {frac}");
+}
+
+#[test]
+fn table_5_reports_equation_terms() {
+    let report = experiments::table5_eq1::run(&ctx());
+    assert!(report.get_metric("v_mean").unwrap() > 0.0);
+    assert!(report.get_metric("p_mean").unwrap() > 0.0);
+    assert!(report.get_metric("estimated_mean").is_some());
+    assert!(report.get_metric("actual_mean").is_some());
+}
+
+#[test]
+fn table_1_tracks_paper_magnitudes() {
+    let report = experiments::table1_scenes::run(&ctx());
+    let sb = report.get_metric("tris_SB").unwrap();
+    // Tiny scale divides the 75K paper budget by 256 (floor 500).
+    assert!((200.0..4000.0).contains(&sb), "SB tris {sb}");
+}
+
+#[test]
+fn figure_11_correlation_is_strongly_positive() {
+    let report = experiments::fig11_correlation::run(&ctx());
+    let r = report.get_metric("correlation").unwrap();
+    assert!(r > 0.3, "sim and reference model should correlate: r = {r}");
+}
