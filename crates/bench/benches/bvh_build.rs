@@ -12,16 +12,17 @@ fn bvh_build(c: &mut Criterion) {
         let mesh = id.build_mesh(SceneScale::Tiny);
         let tris: Vec<Triangle> = mesh.triangles().collect();
         group.throughput(criterion::Throughput::Elements(tris.len() as u64));
-        for (label, method) in
-            [("binned_sah", SplitMethod::BinnedSah), ("median", SplitMethod::Median)]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(label, id.code()),
-                &tris,
-                |b, tris| {
-                    b.iter(|| BvhBuilder::new().split_method(method).build(std::hint::black_box(tris)))
-                },
-            );
+        for (label, method) in [
+            ("binned_sah", SplitMethod::BinnedSah),
+            ("median", SplitMethod::Median),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, id.code()), &tris, |b, tris| {
+                b.iter(|| {
+                    BvhBuilder::new()
+                        .split_method(method)
+                        .build(std::hint::black_box(tris))
+                })
+            });
         }
     }
     group.finish();

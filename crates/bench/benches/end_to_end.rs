@@ -19,15 +19,26 @@ fn end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(criterion::Throughput::Elements(rays.len() as u64));
 
-    group.bench_with_input(BenchmarkId::new("functional", "predictor"), &rays, |b, rays| {
-        let sim = FunctionalSim::new(
-            PredictorConfig::paper_default(),
-            SimOptions { classify_accesses: false, ..SimOptions::default() },
-        );
-        b.iter(|| sim.run(&bvh, std::hint::black_box(rays)).memory_savings())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("functional", "predictor"),
+        &rays,
+        |b, rays| {
+            let sim = FunctionalSim::new(
+                PredictorConfig::paper_default(),
+                SimOptions {
+                    classify_accesses: false,
+                    ..SimOptions::default()
+                },
+            );
+            b.iter(|| sim.run(&bvh, std::hint::black_box(rays)).memory_savings())
+        },
+    );
     group.bench_with_input(BenchmarkId::new("timing", "baseline"), &rays, |b, rays| {
-        b.iter(|| Simulator::new(GpuConfig::baseline()).run(&bvh, std::hint::black_box(rays)).cycles)
+        b.iter(|| {
+            Simulator::new(GpuConfig::baseline())
+                .run(&bvh, std::hint::black_box(rays))
+                .cycles
+        })
     });
     group.bench_with_input(BenchmarkId::new("timing", "predictor"), &rays, |b, rays| {
         b.iter(|| {

@@ -18,8 +18,20 @@ fn hash_functions(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_functions");
     group.throughput(criterion::Throughput::Elements(rays.len() as u64));
     let functions = [
-        ("grid_spherical", HashFunction::GridSpherical { origin_bits: 5, direction_bits: 3 }),
-        ("two_point", HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.15 }),
+        (
+            "grid_spherical",
+            HashFunction::GridSpherical {
+                origin_bits: 5,
+                direction_bits: 3,
+            },
+        ),
+        (
+            "two_point",
+            HashFunction::TwoPoint {
+                origin_bits: 5,
+                length_ratio: 0.15,
+            },
+        ),
     ];
     for (label, function) in functions {
         let hasher = RayHasher::new(function, bounds);

@@ -13,29 +13,44 @@ fn memory_models(c: &mut Criterion) {
     for (label, config) in [
         ("l1_fully_assoc_64kb", CacheConfig::l1_baseline()),
         ("l2_16way_1mb", CacheConfig::l2_baseline()),
-        ("direct_mapped_16kb", CacheConfig { size_bytes: 16 * 1024, line_bytes: 128, ways: 1 }),
+        (
+            "direct_mapped_16kb",
+            CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 128,
+                ways: 1,
+            },
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::new("cache_access", label), &trace, |b, trace| {
-            b.iter(|| {
-                let mut cache = Cache::new(config);
-                let mut hits = 0u64;
-                for &addr in trace {
-                    hits += cache.access(std::hint::black_box(addr)) as u64;
-                }
-                hits
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cache_access", label),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut cache = Cache::new(config);
+                    let mut hits = 0u64;
+                    for &addr in trace {
+                        hits += cache.access(std::hint::black_box(addr)) as u64;
+                    }
+                    hits
+                })
+            },
+        );
     }
-    group.bench_with_input(BenchmarkId::new("dram_access", "16banks"), &trace, |b, trace| {
-        b.iter(|| {
-            let mut dram = Dram::new(DramConfig::baseline());
-            let mut t = 0u64;
-            for (i, &addr) in trace.iter().enumerate() {
-                t = t.max(dram.access(std::hint::black_box(addr), i as u64));
-            }
-            t
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("dram_access", "16banks"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                let mut dram = Dram::new(DramConfig::baseline());
+                let mut t = 0u64;
+                for (i, &addr) in trace.iter().enumerate() {
+                    t = t.max(dram.access(std::hint::black_box(addr), i as u64));
+                }
+                t
+            })
+        },
+    );
     group.finish();
 }
 

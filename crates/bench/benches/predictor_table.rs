@@ -8,24 +8,31 @@ use rip_core::{PredictorConfig, PredictorTable};
 fn predictor_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("predictor_table");
     for (label, ways) in [("direct_mapped", 1usize), ("4way", 4), ("8way", 8)] {
-        let config = PredictorConfig { ways, ..PredictorConfig::paper_default() };
-        group.bench_with_input(BenchmarkId::new("lookup_insert", label), &config, |b, cfg| {
-            let mut table = PredictorTable::new(*cfg);
-            // Pre-train with a realistic working set.
-            for i in 0u32..4096 {
-                table.insert((i * 2654435761) & 0x7FFF, NodeId::new(i % 1000));
-            }
-            let mut i = 0u32;
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                let hash = (i * 2654435761) & 0x7FFF;
-                let hit = table.lookup(std::hint::black_box(hash));
-                if hit.is_none() {
-                    table.insert(hash, NodeId::new(i % 1000));
+        let config = PredictorConfig {
+            ways,
+            ..PredictorConfig::paper_default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("lookup_insert", label),
+            &config,
+            |b, cfg| {
+                let mut table = PredictorTable::new(*cfg);
+                // Pre-train with a realistic working set.
+                for i in 0u32..4096 {
+                    table.insert((i * 2654435761) & 0x7FFF, NodeId::new(i % 1000));
                 }
-                hit.is_some()
-            })
-        });
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let hash = (i * 2654435761) & 0x7FFF;
+                    let hit = table.lookup(std::hint::black_box(hash));
+                    if hit.is_none() {
+                        table.insert(hash, NodeId::new(i % 1000));
+                    }
+                    hit.is_some()
+                })
+            },
+        );
     }
     group.finish();
 }

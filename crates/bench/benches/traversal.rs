@@ -16,9 +16,10 @@ fn traversal(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("traversal");
     group.throughput(criterion::Throughput::Elements(slice.len() as u64));
-    for (label, kind) in
-        [("any_hit", TraversalKind::AnyHit), ("closest_hit", TraversalKind::ClosestHit)]
-    {
+    for (label, kind) in [
+        ("any_hit", TraversalKind::AnyHit),
+        ("closest_hit", TraversalKind::ClosestHit),
+    ] {
         group.bench_with_input(BenchmarkId::new(label, "sponza_ao"), slice, |b, rays| {
             b.iter(|| {
                 let mut hits = 0u32;

@@ -9,6 +9,10 @@ fn main() {
     let start = Instant::now();
     for report in rip_bench::experiments::run_all(&ctx) {
         println!("{report}");
-        eprintln!("[{}] done at {:.1}s", report.id, start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{}] done at {:.1}s",
+            report.id,
+            start.elapsed().as_secs_f64()
+        );
     }
 }

@@ -7,22 +7,30 @@
 
 use crate::{fmt_pct, Context, Report, Table};
 use rip_core::{
-    trace_occlusion, AdaptivePredictor, HashFunction, PredictionStats, Predictor,
-    PredictorConfig,
+    trace_occlusion, AdaptivePredictor, HashFunction, PredictionStats, Predictor, PredictorConfig,
 };
 
 /// Runs the tournament comparison on every selected scene.
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("Extension (§4.2): adaptive hash selection at constant budget");
-    let mut table = Table::new(&["Scene", "Grid Spherical v", "Two Point v", "Adaptive v", "Switches"]);
+    let mut table = Table::new(&[
+        "Scene",
+        "Grid Spherical v",
+        "Two Point v",
+        "Adaptive v",
+        "Switches",
+    ]);
     let mut adaptive_wins = 0usize;
     let mut rows = 0usize;
-    for id in ctx.scene_ids() {
+    let results = ctx.map_scenes("ext_adaptive_hash", &ctx.scene_ids(), |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let rays = case.ao_workload().rays;
 
         let run_pure = |hash: HashFunction| -> PredictionStats {
-            let config = PredictorConfig { hash, ..PredictorConfig::paper_default() };
+            let config = PredictorConfig {
+                hash,
+                ..PredictorConfig::paper_default()
+            };
             let mut predictor = Predictor::new(config, case.bvh.bounds());
             for ray in &rays {
                 trace_occlusion(&mut predictor, &case.bvh, ray);
@@ -30,23 +38,32 @@ pub fn run(ctx: &Context) -> Report {
             predictor.stats()
         };
         let grid = run_pure(HashFunction::default());
-        let two_point =
-            run_pure(HashFunction::TwoPoint { origin_bits: 4, length_ratio: 0.15 });
+        let two_point = run_pure(HashFunction::TwoPoint {
+            origin_bits: 4,
+            length_ratio: 0.15,
+        });
 
         let mut adaptive = AdaptivePredictor::paper_budget(case.bvh.bounds());
         for ray in &rays {
             adaptive.trace_occlusion(&case.bvh, ray);
         }
-        let a = adaptive.stats();
+        (
+            grid.verified_rate(),
+            two_point.verified_rate(),
+            adaptive.stats(),
+            adaptive.switches(),
+        )
+    });
+    for (id, (grid_v, two_point_v, a, switches)) in ctx.scene_ids().into_iter().zip(results) {
         table.row(&[
             id.code().to_string(),
-            fmt_pct(grid.verified_rate()),
-            fmt_pct(two_point.verified_rate()),
+            fmt_pct(grid_v),
+            fmt_pct(two_point_v),
             fmt_pct(a.verified_rate()),
-            format!("{}", adaptive.switches()),
+            format!("{switches}"),
         ]);
         report.metric(format!("adaptive_v_{}", id.code()), a.verified_rate());
-        let best_pure = grid.verified_rate().max(two_point.verified_rate());
+        let best_pure = grid_v.max(two_point_v);
         if a.verified_rate() >= best_pure - 0.03 {
             adaptive_wins += 1;
         }

@@ -28,10 +28,11 @@ pub fn run(ctx: &Context) -> Report {
         "Warm-up gain",
     ]);
     let mut gains = Vec::new();
-    for &id in subset {
-        let scene = ctx.build_case_with_viewport(id, ctx.sweep_viewport()).scene;
-        for persist in [false, true] {
-            let mut animated = AnimatedScene::new(&scene, 0.08, 0.02);
+    let results = ctx.map_scenes("ext_dynamic_scenes", subset, |id| {
+        let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
+        let scene = &case.scene;
+        [false, true].map(|persist| {
+            let mut animated = AnimatedScene::new(scene, 0.08, 0.02);
             let mut predictor =
                 Predictor::new(PredictorConfig::paper_default(), animated.bvh().bounds());
             let mut per_frame_v = Vec::new();
@@ -44,9 +45,12 @@ pub fn run(ctx: &Context) -> Report {
                 }
                 let before = predictor.stats();
                 let workload = AoWorkload::generate(
-                    &scene,
+                    scene,
                     animated.bvh(),
-                    &AoConfig { seed: 0xF0 + frame as u64, ..AoConfig::default() },
+                    &AoConfig {
+                        seed: 0xF0 + frame as u64,
+                        ..AoConfig::default()
+                    },
                 );
                 for ray in &workload.rays {
                     trace_occlusion(&mut predictor, animated.bvh(), ray);
@@ -54,11 +58,16 @@ pub fn run(ctx: &Context) -> Report {
                 per_frame_v.push(frame_verified_rate(&before, &predictor.stats()));
             }
             let later = per_frame_v[1..].iter().sum::<f64>() / (FRAMES - 1) as f64;
-            let gain = later - per_frame_v[0];
+            (per_frame_v[0], later)
+        })
+    });
+    for (&id, per_policy) in subset.iter().zip(results) {
+        for (persist, (frame0, later)) in [false, true].into_iter().zip(per_policy) {
+            let gain = later - frame0;
             table.row(&[
                 id.code().to_string(),
                 if persist { "persist" } else { "flush" }.to_string(),
-                fmt_pct(per_frame_v[0]),
+                fmt_pct(frame0),
                 fmt_pct(later),
                 format!("{:+.1}pp", gain * 100.0),
             ]);

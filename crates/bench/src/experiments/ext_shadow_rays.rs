@@ -21,27 +21,41 @@ pub fn run(ctx: &Context) -> Report {
         "Node savings",
     ]);
     let mut savings = Vec::new();
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("ext_shadow_rays", |case| {
         let workload = ShadowWorkload::generate(&case.scene, &case.bvh, &ShadowConfig::default());
         if workload.rays.is_empty() {
-            continue;
+            return None;
         }
         let sim = FunctionalSim::new(
             PredictorConfig::paper_default(),
-            SimOptions { classify_accesses: false, ..SimOptions::default() },
+            SimOptions {
+                classify_accesses: false,
+                ..SimOptions::default()
+            },
         );
         let r = sim.run(&case.bvh, &workload.rays);
+        Some((
+            workload.rays.len(),
+            r.prediction.hit_rate(),
+            r.prediction.predicted_rate(),
+            r.prediction.verified_rate(),
+            r.node_savings(),
+        ))
+    });
+    for (id, result) in ctx.scene_ids().into_iter().zip(results) {
+        let Some((rays, shadowed, predict, verify, saving)) = result else {
+            continue;
+        };
         table.row(&[
             id.code().to_string(),
-            format!("{}", workload.rays.len()),
-            fmt_pct(r.prediction.hit_rate()),
-            fmt_pct(r.prediction.predicted_rate()),
-            fmt_pct(r.prediction.verified_rate()),
-            fmt_pct(r.node_savings()),
+            format!("{rays}"),
+            fmt_pct(shadowed),
+            fmt_pct(predict),
+            fmt_pct(verify),
+            fmt_pct(saving),
         ]);
-        report.metric(format!("node_savings_{}", id.code()), r.node_savings());
-        savings.push(r.node_savings());
+        report.metric(format!("node_savings_{}", id.code()), saving);
+        savings.push(saving);
     }
     let mean = savings.iter().sum::<f64>() / savings.len().max(1) as f64;
     report.line(table.render());

@@ -24,7 +24,7 @@ pub fn run(ctx: &Context) -> Report {
     let scene_ids = ctx.scene_ids();
     let subset = &scene_ids[..scene_ids.len().min(4)];
     let mut reductions = Vec::new();
-    for &id in subset {
+    let results = ctx.map_scenes("ext_wide_bvh", subset, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let wide = WideBvh::from_binary(&case.bvh);
         let rays = case.ao_workload().rays;
@@ -38,11 +38,22 @@ pub fn run(ctx: &Context) -> Report {
             wide_fetches += w.stats.interior_fetches + w.stats.leaf_fetches;
         }
         let n = rays.len().max(1) as f64;
+        (
+            case.bvh.node_count(),
+            wide.node_count(),
+            binary_fetches,
+            wide_fetches,
+            n,
+        )
+    });
+    for (&id, (bin_nodes, wide_nodes, binary_fetches, wide_fetches, n)) in
+        subset.iter().zip(results)
+    {
         let reduction = 1.0 - wide_fetches as f64 / binary_fetches.max(1) as f64;
         table.row(&[
             id.code().to_string(),
-            format!("{}", case.bvh.node_count()),
-            format!("{}", wide.node_count()),
+            format!("{bin_nodes}"),
+            format!("{wide_nodes}"),
             format!("{:.2}", binary_fetches as f64 / n),
             format!("{:.2}", wide_fetches as f64 / n),
             format!("{:.1}%", reduction * 100.0),

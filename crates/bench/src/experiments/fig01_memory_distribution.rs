@@ -19,12 +19,14 @@ pub fn run(ctx: &Context) -> Report {
         "First-touch tri",
     ]);
     let mut repeated_fracs = Vec::new();
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let left_results = ctx.map_cases("fig01_left", |case| {
         let workload = case.ao_workload();
         let sim = FunctionalSim::new(
             PredictorConfig::paper_default(),
-            SimOptions { classify_accesses: true, ..SimOptions::default() },
+            SimOptions {
+                classify_accesses: true,
+                ..SimOptions::default()
+            },
         );
         let r = sim.run(&case.bvh, &workload.rays);
         let total = (r.first_touch_node_fetches
@@ -32,19 +34,34 @@ pub fn run(ctx: &Context) -> Report {
             + r.first_touch_tri_fetches
             + r.repeated_tri_fetches) as f64;
         let frac = |x: u64| if total == 0.0 { 0.0 } else { x as f64 / total };
+        (
+            [
+                frac(r.repeated_node_fetches),
+                frac(r.first_touch_node_fetches),
+                frac(r.repeated_tri_fetches),
+                frac(r.first_touch_tri_fetches),
+            ],
+            r.repeated_node_access_fraction(),
+        )
+    });
+    for (id, (fracs, repeated)) in ctx.scene_ids().into_iter().zip(left_results) {
+        let [rn, fn_, rt, ft] = fracs;
         left.row(&[
             id.code().to_string(),
-            fmt_pct(frac(r.repeated_node_fetches)),
-            fmt_pct(frac(r.first_touch_node_fetches)),
-            fmt_pct(frac(r.repeated_tri_fetches)),
-            fmt_pct(frac(r.first_touch_tri_fetches)),
+            fmt_pct(rn),
+            fmt_pct(fn_),
+            fmt_pct(rt),
+            fmt_pct(ft),
         ]);
-        repeated_fracs.push(r.repeated_node_access_fraction());
+        repeated_fracs.push(repeated);
     }
     let mean_repeated = repeated_fracs.iter().sum::<f64>() / repeated_fracs.len().max(1) as f64;
     report.line("Left panel — per-unique-ray access classification (paper: ~88% repeated node):");
     report.line(left.render());
-    report.line(format!("Average repeated-BVH-node fraction: {}", fmt_pct(mean_repeated)));
+    report.line(format!(
+        "Average repeated-BVH-node fraction: {}",
+        fmt_pct(mean_repeated)
+    ));
     report.metric("mean_repeated_node_fraction", mean_repeated);
 
     // Right panel: baseline speedup vs L1 size (relative to 64 KB), first
@@ -54,18 +71,26 @@ pub fn run(ctx: &Context) -> Report {
     let sweep_scenes = &scene_ids[..scene_ids.len().min(3)];
     let mut right = Table::new(&["L1 size", "Speedup vs 64KB (geomean)"]);
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes_kb.len()];
-    for &id in sweep_scenes {
+    let right_results = ctx.map_scenes("fig01_right", sweep_scenes, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let rays = case.ao_workload().rays;
-        let mut cycles = Vec::new();
-        for &kb in &sizes_kb {
-            let mut cfg = ctx.gpu_baseline();
-            cfg.l1 = cfg.l1.with_size(kb * 1024);
-            cycles.push(Simulator::new(cfg).run(&case.bvh, &rays).cycles as f64);
-        }
-        let base = cycles[sizes_kb.iter().position(|&k| k == 64).expect("64KB present")];
-        for (i, c) in cycles.iter().enumerate() {
-            per_size[i].push(base / c);
+        let cycles: Vec<f64> = sizes_kb
+            .iter()
+            .map(|&kb| {
+                let mut cfg = ctx.gpu_baseline();
+                cfg.l1 = cfg.l1.with_size(kb * 1024);
+                Simulator::new(cfg).run(&case.bvh, &rays).cycles as f64
+            })
+            .collect();
+        let base = cycles[sizes_kb
+            .iter()
+            .position(|&k| k == 64)
+            .expect("64KB present")];
+        cycles.into_iter().map(|c| base / c).collect::<Vec<_>>()
+    });
+    for per_scene in right_results {
+        for (i, speedup) in per_scene.into_iter().enumerate() {
+            per_size[i].push(speedup);
         }
     }
     for (i, &kb) in sizes_kb.iter().enumerate() {

@@ -18,19 +18,33 @@ pub fn run(ctx: &Context) -> Report {
     let mut per_mode_savings = vec![Vec::new(); modes.len()];
     let mut per_mode_verified = vec![Vec::new(); modes.len()];
     let mut per_mode_predicted = vec![Vec::new(); modes.len()];
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("fig02_limit_study", |case| {
         let rays = case.ao_workload().rays;
-        for (i, &mode) in modes.iter().enumerate() {
-            let config = PredictorConfig::paper_default().with_oracle(mode);
-            let sim = FunctionalSim::new(
-                config,
-                SimOptions { classify_accesses: false, ..SimOptions::default() },
-            );
-            let r = sim.run(&case.bvh, &rays);
-            per_mode_savings[i].push(r.memory_savings());
-            per_mode_verified[i].push(r.prediction.verified_rate());
-            per_mode_predicted[i].push(r.prediction.predicted_rate());
+        modes
+            .iter()
+            .map(|&mode| {
+                let config = PredictorConfig::paper_default().with_oracle(mode);
+                let sim = FunctionalSim::new(
+                    config,
+                    SimOptions {
+                        classify_accesses: false,
+                        ..SimOptions::default()
+                    },
+                );
+                let r = sim.run(&case.bvh, &rays);
+                (
+                    r.memory_savings(),
+                    r.prediction.verified_rate(),
+                    r.prediction.predicted_rate(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    for per_scene in results {
+        for (i, (saving, verify, predict)) in per_scene.into_iter().enumerate() {
+            per_mode_savings[i].push(saving);
+            per_mode_verified[i].push(verify);
+            per_mode_predicted[i].push(predict);
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

@@ -17,32 +17,44 @@ const CORE_MHZ: f64 = 1365.0;
 /// Regenerates the correlation study over primary and reflection rays.
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("Figure 11: RT-unit vs reference-model correlation");
-    let mut table =
-        Table::new(&["Scene", "Ray type", "Sim Mrays/s", "Reference Mrays/s"]);
+    let mut table = Table::new(&["Scene", "Ray type", "Sim Mrays/s", "Reference Mrays/s"]);
     let mut sim_points = Vec::new();
     let mut ref_points = Vec::new();
-    for id in ctx.scene_ids() {
+    let results = ctx.map_scenes("fig11_correlation", &ctx.scene_ids(), |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         // Primary rays (generation 0) and reflection-like bounce rays
         // (generation 1) from the GI path generator.
-        let gi = GiWorkload::generate(&case.scene, &case.bvh, &GiConfig { bounces: 1, seed: 11 });
+        let gi = GiWorkload::generate(
+            &case.scene,
+            &case.bvh,
+            &GiConfig {
+                bounces: 1,
+                seed: 11,
+            },
+        );
         let g0 = gi.generation_sizes[0] as usize;
         let primary: Vec<Ray> = gi.rays[..g0].to_vec();
         let reflection: Vec<Ray> = gi.rays[g0..].to_vec();
+        let mut points = Vec::new();
         for (label, rays) in [("primary", primary), ("reflection", reflection)] {
             if rays.len() < 64 {
                 continue;
             }
             let sim = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
             let sim_rps = sim.rays_per_second(CORE_MHZ);
-            let mean_nodes =
-                sim.traversal.node_fetches() as f64 / sim.completed_rays.max(1) as f64;
+            let mean_nodes = sim.traversal.node_fetches() as f64 / sim.completed_rays.max(1) as f64;
             let mean_tris = sim.traversal.tri_fetches as f64 / sim.completed_rays.max(1) as f64;
             let reference = rip_render::reference_rays_per_second(&ReferenceInput {
                 mean_node_fetches: mean_nodes,
                 mean_tri_fetches: mean_tris,
                 footprint_mb: case.bvh.layout().footprint_bytes() as f64 / (1024.0 * 1024.0),
             });
+            points.push((label, sim_rps, reference));
+        }
+        points
+    });
+    for (id, points) in ctx.scene_ids().into_iter().zip(results) {
+        for (label, sim_rps, reference) in points {
             table.row(&[
                 id.code().to_string(),
                 label.to_string(),
@@ -59,9 +71,8 @@ pub fn run(ctx: &Context) -> Report {
         "Pearson correlation: {r:.3} over {} points (paper: 0.9 vs RTX 2080 Ti).",
         sim_points.len()
     ));
-    report.line(
-        "Note: the reference is an analytic RT-Core model, not hardware — see DESIGN.md §2.",
-    );
+    report
+        .line("Note: the reference is an analytic RT-Core model, not hardware — see DESIGN.md §2.");
     report.metric("correlation", r);
     report
 }

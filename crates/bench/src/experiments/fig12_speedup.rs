@@ -10,12 +10,15 @@ use rip_gpusim::Simulator;
 /// together and do not train the predictor).
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("Figure 12: predictor speedup over baseline RT unit");
-    let mut table =
-        Table::new(&["Scene", "Unsorted speedup", "Sorted speedup", "v (unsorted)"]);
+    let mut table = Table::new(&[
+        "Scene",
+        "Unsorted speedup",
+        "Sorted speedup",
+        "v (unsorted)",
+    ]);
     let mut unsorted_speedups = Vec::new();
     let mut sorted_speedups = Vec::new();
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("fig12_speedup", |case| {
         let workload = case.ao_workload();
         let sorted = workload.sorted(&case.bvh);
 
@@ -24,14 +27,23 @@ pub fn run(ctx: &Context) -> Report {
         let base_s = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &sorted.rays);
         let pred_s = Simulator::new(ctx.gpu_predictor()).run(&case.bvh, &sorted.rays);
 
-        assert_eq!(base_u.hits, pred_u.hits, "{id}: prediction changed visibility");
-        let su = pred_u.speedup_over(&base_u);
-        let ss = pred_s.speedup_over(&base_s);
+        assert_eq!(
+            base_u.hits, pred_u.hits,
+            "{}: prediction changed visibility",
+            case.id
+        );
+        (
+            pred_u.speedup_over(&base_u),
+            pred_s.speedup_over(&base_s),
+            pred_u.prediction.verified_rate(),
+        )
+    });
+    for (id, (su, ss, verified)) in ctx.scene_ids().into_iter().zip(results) {
         table.row(&[
             id.code().to_string(),
             format!("{su:.3}"),
             format!("{ss:.3}"),
-            format!("{:.3}", pred_u.prediction.verified_rate()),
+            format!("{verified:.3}"),
         ]);
         report.metric(format!("speedup_{}", id.code()), su);
         unsorted_speedups.push(su);

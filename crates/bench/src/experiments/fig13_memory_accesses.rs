@@ -22,27 +22,38 @@ pub fn run(ctx: &Context) -> Report {
     let mut tris = Vec::new();
     let mut overheads = Vec::new();
     let mut wastes = Vec::new();
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("fig13_memory_accesses", |case| {
         let rays = case.ao_workload().rays;
         let sim = FunctionalSim::new(
             PredictorConfig::paper_default(),
-            SimOptions { classify_accesses: false, ..SimOptions::default() },
+            SimOptions {
+                classify_accesses: false,
+                ..SimOptions::default()
+            },
         );
         let r = sim.run(&case.bvh, &rays);
+        (
+            r.memory_savings(),
+            r.node_savings(),
+            r.tri_savings(),
+            r.prediction_overhead_fraction(),
+            r.wasted_fraction(),
+        )
+    });
+    for (id, (net, node, tri, overhead, waste)) in ctx.scene_ids().into_iter().zip(results) {
         table.row(&[
             id.code().to_string(),
-            format!("{:.3}", 1.0 - r.memory_savings()),
-            fmt_pct(r.node_savings()),
-            fmt_pct(r.tri_savings()),
-            fmt_pct(r.prediction_overhead_fraction()),
-            fmt_pct(r.wasted_fraction()),
+            format!("{:.3}", 1.0 - net),
+            fmt_pct(node),
+            fmt_pct(tri),
+            fmt_pct(overhead),
+            fmt_pct(waste),
         ]);
-        nets.push(r.memory_savings());
-        nodes.push(r.node_savings());
-        tris.push(r.tri_savings());
-        overheads.push(r.prediction_overhead_fraction());
-        wastes.push(r.wasted_fraction());
+        nets.push(net);
+        nodes.push(node);
+        tris.push(tri);
+        overheads.push(overhead);
+        wastes.push(waste);
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     report.line(table.render());

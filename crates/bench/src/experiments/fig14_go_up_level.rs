@@ -13,23 +13,45 @@ pub fn run(ctx: &Context) -> Report {
     let mut verified = vec![Vec::new(); levels.len()];
     let mut savings = vec![Vec::new(); levels.len()];
     let mut m_costs = vec![Vec::new(); levels.len()];
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("fig14_go_up_level", |case| {
         let rays = case.ao_workload().rays;
-        for (i, &gul) in levels.iter().enumerate() {
-            let config = PredictorConfig { go_up_level: gul, ..PredictorConfig::paper_default() };
-            let sim = FunctionalSim::new(
-                config,
-                SimOptions { classify_accesses: false, ..SimOptions::default() },
-            );
-            let r = sim.run(&case.bvh, &rays);
-            verified[i].push(r.prediction.verified_rate());
-            savings[i].push(r.memory_savings());
-            m_costs[i].push(r.prediction.mean_m());
+        levels
+            .iter()
+            .map(|&gul| {
+                let config = PredictorConfig {
+                    go_up_level: gul,
+                    ..PredictorConfig::paper_default()
+                };
+                let sim = FunctionalSim::new(
+                    config,
+                    SimOptions {
+                        classify_accesses: false,
+                        ..SimOptions::default()
+                    },
+                );
+                let r = sim.run(&case.bvh, &rays);
+                (
+                    r.prediction.verified_rate(),
+                    r.memory_savings(),
+                    r.prediction.mean_m(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    for per_scene in results {
+        for (i, (verify, saving, m)) in per_scene.into_iter().enumerate() {
+            verified[i].push(verify);
+            savings[i].push(saving);
+            m_costs[i].push(m);
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    let mut table = Table::new(&["Go Up Level", "Verified rays", "Memory savings", "m (fetches/pred)"]);
+    let mut table = Table::new(&[
+        "Go Up Level",
+        "Verified rays",
+        "Memory savings",
+        "m (fetches/pred)",
+    ]);
     for (i, &gul) in levels.iter().enumerate() {
         let v = mean(&verified[i]);
         let s = mean(&savings[i]);

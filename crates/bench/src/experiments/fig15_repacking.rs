@@ -15,16 +15,23 @@ pub fn run(ctx: &Context) -> Report {
     ];
     let mut table = Table::new(&["Scene", "Default", "Repack", "Repack 4"]);
     let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("fig15_repacking", |case| {
         let rays = case.ao_workload().rays;
         let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        modes
+            .iter()
+            .map(|(_, mode)| {
+                let mut cfg = ctx.gpu_predictor();
+                cfg.repack = *mode;
+                Simulator::new(cfg)
+                    .run(&case.bvh, &rays)
+                    .speedup_over(&baseline)
+            })
+            .collect::<Vec<f64>>()
+    });
+    for (id, speedups) in ctx.scene_ids().into_iter().zip(results) {
         let mut cells = vec![id.code().to_string()];
-        for (i, (_, mode)) in modes.iter().enumerate() {
-            let mut cfg = ctx.gpu_predictor();
-            cfg.repack = *mode;
-            let r = Simulator::new(cfg).run(&case.bvh, &rays);
-            let speedup = r.speedup_over(&baseline);
+        for (i, speedup) in speedups.into_iter().enumerate() {
             cells.push(format!("{speedup:.3}"));
             per_mode[i].push(speedup);
         }
@@ -34,7 +41,10 @@ pub fn run(ctx: &Context) -> Report {
     for (i, (label, _)) in modes.iter().enumerate() {
         let gm = super::geomean_or_one(per_mode[i].iter().copied());
         report.line(format!("Geomean {label}: {gm:.3}"));
-        report.metric(format!("geomean_{}", label.replace(' ', "_").to_lowercase()), gm);
+        report.metric(
+            format!("geomean_{}", label.replace(' ', "_").to_lowercase()),
+            gm,
+        );
     }
     report.line(
         "Paper: repacking separates predicted from not-predicted rays so mispredicted \

@@ -23,10 +23,11 @@ pub fn run(ctx: &Context) -> Report {
         .iter()
         .map(|(label, _, _)| (label.to_string(), Vec::new(), Vec::new()))
         .collect();
-    for &id in sweep {
+    let results = ctx.map_scenes("fig16_cache", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let rays = case.ao_workload().rays;
         let mut base_cycles = None;
+        let mut per_config = Vec::new();
         for (i, &(_, l1_kb, rt_kb)) in configs.iter().enumerate() {
             let mut cfg = ctx.gpu_predictor();
             cfg.l1 = cfg.l1.with_size(l1_kb * 1024);
@@ -39,10 +40,6 @@ pub fn run(ctx: &Context) -> Report {
             if configs[i].0.contains("base") {
                 base_cycles = Some(r.cycles as f64);
             }
-            // First pass collects cycles; speedups resolved after the base
-            // is known (base config is at index 2, before later entries,
-            // but after 16/32 — so stash cycles and fix up below).
-            rows[i].1.push(r.cycles as f64);
             let hit_rate = if r.memory.rt_cache.is_empty() {
                 r.memory.l1_combined().hit_rate()
             } else {
@@ -53,13 +50,19 @@ pub fn run(ctx: &Context) -> Report {
                 let l1 = r.memory.l1_combined();
                 (rt_hits + l1.hits) as f64 / rt_acc.max(1) as f64
             };
-            rows[i].2.push(hit_rate);
+            per_config.push((r.cycles as f64, hit_rate));
         }
         // Normalize this scene's cycles into speedups vs the 64KB base.
         let base = base_cycles.expect("base config present");
-        for row in &mut rows {
-            let last = row.1.last_mut().expect("pushed above");
-            *last = base / *last;
+        per_config
+            .into_iter()
+            .map(|(cycles, hit_rate)| (base / cycles, hit_rate))
+            .collect::<Vec<_>>()
+    });
+    for per_scene in results {
+        for (i, (speedup, hit_rate)) in per_scene.into_iter().enumerate() {
+            rows[i].1.push(speedup);
+            rows[i].2.push(hit_rate);
         }
     }
     let mut table = Table::new(&["Configuration", "Hit rate", "Speedup vs 64KB L1"]);

@@ -20,48 +20,83 @@ pub fn run(ctx: &Context) -> Report {
     let mut lat_speedups = vec![Vec::new(); pred_latencies.len()];
     let mut port_speedups = vec![Vec::new(); pred_ports.len()];
 
-    for &id in sweep {
+    let results = ctx.map_scenes("fig17_latency", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let rays = case.ao_workload().rays;
 
-        for (i, &lat) in isect_latencies.iter().enumerate() {
-            let mut base = ctx.gpu_baseline();
-            base.latency.intersection = lat;
-            let mut pred = ctx.gpu_predictor();
-            pred.latency.intersection = lat;
-            let b = Simulator::new(base).run(&case.bvh, &rays);
-            let p = Simulator::new(pred).run(&case.bvh, &rays);
-            isect_speedups[i].push(p.speedup_over(&b));
-        }
+        let isect: Vec<f64> = isect_latencies
+            .iter()
+            .map(|&lat| {
+                let mut base = ctx.gpu_baseline();
+                base.latency.intersection = lat;
+                let mut pred = ctx.gpu_predictor();
+                pred.latency.intersection = lat;
+                let b = Simulator::new(base).run(&case.bvh, &rays);
+                let p = Simulator::new(pred).run(&case.bvh, &rays);
+                p.speedup_over(&b)
+            })
+            .collect();
         let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
-        for (i, &lat) in pred_latencies.iter().enumerate() {
-            let mut pred = ctx.gpu_predictor();
-            pred.predictor_unit.access_latency = lat;
-            let p = Simulator::new(pred).run(&case.bvh, &rays);
-            lat_speedups[i].push(p.speedup_over(&baseline));
+        let lat: Vec<f64> = pred_latencies
+            .iter()
+            .map(|&lat| {
+                let mut pred = ctx.gpu_predictor();
+                pred.predictor_unit.access_latency = lat;
+                Simulator::new(pred)
+                    .run(&case.bvh, &rays)
+                    .speedup_over(&baseline)
+            })
+            .collect();
+        let ports: Vec<f64> = pred_ports
+            .iter()
+            .map(|&ports| {
+                let mut pred = ctx.gpu_predictor();
+                pred.predictor_unit.ports = ports;
+                Simulator::new(pred)
+                    .run(&case.bvh, &rays)
+                    .speedup_over(&baseline)
+            })
+            .collect();
+        (isect, lat, ports)
+    });
+    for (isect, lat, ports) in results {
+        for (i, s) in isect.into_iter().enumerate() {
+            isect_speedups[i].push(s);
         }
-        for (i, &ports) in pred_ports.iter().enumerate() {
-            let mut pred = ctx.gpu_predictor();
-            pred.predictor_unit.ports = ports;
-            let p = Simulator::new(pred).run(&case.bvh, &rays);
-            port_speedups[i].push(p.speedup_over(&baseline));
+        for (i, s) in lat.into_iter().enumerate() {
+            lat_speedups[i].push(s);
+        }
+        for (i, s) in ports.into_iter().enumerate() {
+            port_speedups[i].push(s);
         }
     }
 
     let mut table = Table::new(&["Parameter", "Value", "Predictor speedup (geomean)"]);
     for (i, &lat) in isect_latencies.iter().enumerate() {
         let gm = super::geomean_or_one(isect_speedups[i].iter().copied());
-        table.row(&["Intersection latency".to_string(), format!("{lat} cyc"), format!("{gm:.3}")]);
+        table.row(&[
+            "Intersection latency".to_string(),
+            format!("{lat} cyc"),
+            format!("{gm:.3}"),
+        ]);
         report.metric(format!("isect_lat_{lat}"), gm);
     }
     for (i, &lat) in pred_latencies.iter().enumerate() {
         let gm = super::geomean_or_one(lat_speedups[i].iter().copied());
-        table.row(&["Predictor latency".to_string(), format!("{lat} cyc"), format!("{gm:.3}")]);
+        table.row(&[
+            "Predictor latency".to_string(),
+            format!("{lat} cyc"),
+            format!("{gm:.3}"),
+        ]);
         report.metric(format!("pred_lat_{lat}"), gm);
     }
     for (i, &ports) in pred_ports.iter().enumerate() {
         let gm = super::geomean_or_one(port_speedups[i].iter().copied());
-        table.row(&["Predictor ports".to_string(), format!("{ports}/cyc"), format!("{gm:.3}")]);
+        table.row(&[
+            "Predictor ports".to_string(),
+            format!("{ports}/cyc"),
+            format!("{gm:.3}"),
+        ]);
         report.metric(format!("pred_ports_{ports}"), gm);
     }
     report.line(table.render());

@@ -3,9 +3,9 @@
 //! integration tests share one implementation.
 
 pub mod ext_adaptive_hash;
+pub mod ext_dynamic_scenes;
 pub mod ext_shadow_rays;
 pub mod ext_wide_bvh;
-pub mod ext_dynamic_scenes;
 pub mod fig01_memory_distribution;
 pub mod fig02_limit_study;
 pub mod fig11_correlation;
@@ -27,32 +27,49 @@ pub mod table8_hash;
 
 use crate::{Context, Report};
 
+/// An experiment entry point: pure function from context to report.
+pub type Experiment = fn(&Context) -> Report;
+
+/// Every experiment in paper order, as `(name, run)` pairs. This is the
+/// schedule consumed by [`run_all`] and by the determinism tests.
+pub const ALL: [(&str, Experiment); 22] = [
+    ("table1_scenes", table1_scenes::run),
+    ("fig01_memory_distribution", fig01_memory_distribution::run),
+    ("fig02_limit_study", fig02_limit_study::run),
+    ("fig11_correlation", fig11_correlation::run),
+    ("fig12_speedup", fig12_speedup::run),
+    ("fig13_memory_accesses", fig13_memory_accesses::run),
+    ("table4_energy", table4_energy::run),
+    ("table5_eq1", table5_eq1::run),
+    ("table6_table_size", table6_table_size::run),
+    ("table7_placement", table7_placement::run),
+    ("table8_hash", table8_hash::run),
+    ("sec613_node_replacement", sec613_node_replacement::run),
+    ("fig14_go_up_level", fig14_go_up_level::run),
+    ("fig15_repacking", fig15_repacking::run),
+    ("fig16_cache", fig16_cache::run),
+    ("fig17_latency", fig17_latency::run),
+    ("sec625_sm_sweep", sec625_sm_sweep::run),
+    ("sec64_gi", sec64_gi::run),
+    ("ext_dynamic_scenes", ext_dynamic_scenes::run),
+    ("ext_adaptive_hash", ext_adaptive_hash::run),
+    ("ext_shadow_rays", ext_shadow_rays::run),
+    ("ext_wide_bvh", ext_wide_bvh::run),
+];
+
 /// Runs every experiment in paper order.
+///
+/// Whole experiments are fanned over the shared job pool: each experiment
+/// still parallelizes internally, but the global permit budget keeps the
+/// total worker count bounded, so scheduling experiments concurrently
+/// fills the machine even while one experiment is in a serial stretch.
+/// Reports come back in paper order regardless of completion order.
 pub fn run_all(ctx: &Context) -> Vec<Report> {
-    vec![
-        table1_scenes::run(ctx),
-        fig01_memory_distribution::run(ctx),
-        fig02_limit_study::run(ctx),
-        fig11_correlation::run(ctx),
-        fig12_speedup::run(ctx),
-        fig13_memory_accesses::run(ctx),
-        table4_energy::run(ctx),
-        table5_eq1::run(ctx),
-        table6_table_size::run(ctx),
-        table7_placement::run(ctx),
-        table8_hash::run(ctx),
-        sec613_node_replacement::run(ctx),
-        fig14_go_up_level::run(ctx),
-        fig15_repacking::run(ctx),
-        fig16_cache::run(ctx),
-        fig17_latency::run(ctx),
-        sec625_sm_sweep::run(ctx),
-        sec64_gi::run(ctx),
-        ext_dynamic_scenes::run(ctx),
-        ext_adaptive_hash::run(ctx),
-        ext_shadow_rays::run(ctx),
-        ext_wide_bvh::run(ctx),
-    ]
+    ctx.runner("run_all")
+        .run(&ALL, |(name, _)| (*name).to_string(), |&(_, run)| run(ctx))
+        .into_iter()
+        .map(|report| report.value)
+        .collect()
 }
 
 /// Helper: geometric mean that tolerates empty input by returning 1.0.

@@ -16,22 +16,32 @@ pub fn run(ctx: &Context) -> Report {
     ];
     let mut savings = vec![Vec::new(); policies.len()];
     let mut verified = vec![Vec::new(); policies.len()];
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("sec613_node_replacement", |case| {
         let rays = case.ao_workload().rays;
-        for (i, &(_, policy)) in policies.iter().enumerate() {
-            let config = PredictorConfig {
-                nodes_per_entry: 4,
-                node_replacement: policy,
-                ..PredictorConfig::paper_default()
-            };
-            let sim = FunctionalSim::new(
-                config,
-                SimOptions { classify_accesses: false, ..SimOptions::default() },
-            );
-            let r = sim.run(&case.bvh, &rays);
-            savings[i].push(r.memory_savings());
-            verified[i].push(r.prediction.verified_rate());
+        policies
+            .iter()
+            .map(|&(_, policy)| {
+                let config = PredictorConfig {
+                    nodes_per_entry: 4,
+                    node_replacement: policy,
+                    ..PredictorConfig::paper_default()
+                };
+                let sim = FunctionalSim::new(
+                    config,
+                    SimOptions {
+                        classify_accesses: false,
+                        ..SimOptions::default()
+                    },
+                );
+                let r = sim.run(&case.bvh, &rays);
+                (r.memory_savings(), r.prediction.verified_rate())
+            })
+            .collect::<Vec<_>>()
+    });
+    for per_scene in results {
+        for (i, (saving, verify)) in per_scene.into_iter().enumerate() {
+            savings[i].push(saving);
+            verified[i].push(verify);
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

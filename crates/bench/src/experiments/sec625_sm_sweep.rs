@@ -11,21 +11,28 @@ pub fn run(ctx: &Context) -> Report {
     let sm_counts = [1usize, 2, 4, 6, 8];
     let mut savings = vec![Vec::new(); sm_counts.len()];
     let mut verified = vec![Vec::new(); sm_counts.len()];
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("sec625_sm_sweep", |case| {
         let rays = case.ao_workload().rays;
-        for (i, &sms) in sm_counts.iter().enumerate() {
-            let sim = FunctionalSim::new(
-                PredictorConfig::paper_default(),
-                SimOptions {
-                    num_predictors: sms,
-                    classify_accesses: false,
-                    ..SimOptions::default()
-                },
-            );
-            let r = sim.run(&case.bvh, &rays);
-            savings[i].push(r.memory_savings());
-            verified[i].push(r.prediction.verified_rate());
+        sm_counts
+            .iter()
+            .map(|&sms| {
+                let sim = FunctionalSim::new(
+                    PredictorConfig::paper_default(),
+                    SimOptions {
+                        num_predictors: sms,
+                        classify_accesses: false,
+                        ..SimOptions::default()
+                    },
+                );
+                let r = sim.run(&case.bvh, &rays);
+                (r.memory_savings(), r.prediction.verified_rate())
+            })
+            .collect::<Vec<_>>()
+    });
+    for per_scene in results {
+        for (i, (saving, verify)) in per_scene.into_iter().enumerate() {
+            savings[i].push(saving);
+            verified[i].push(verify);
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -33,7 +40,11 @@ pub fn run(ctx: &Context) -> Report {
     let mut table = Table::new(&["SMs", "Memory savings", "Retained vs 1 SM", "Verified"]);
     for (i, &sms) in sm_counts.iter().enumerate() {
         let s = mean(&savings[i]);
-        let retained = if one_sm.abs() < 1e-12 { 1.0 } else { s / one_sm };
+        let retained = if one_sm.abs() < 1e-12 {
+            1.0
+        } else {
+            s / one_sm
+        };
         table.row(&[
             format!("{sms}"),
             fmt_pct(s),

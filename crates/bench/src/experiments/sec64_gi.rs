@@ -9,31 +9,50 @@ use rip_render::{GiConfig, GiWorkload};
 /// speedup despite the predictor being designed for occlusion rays).
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("§6.4: global illumination (3 bounces, closest-hit)");
-    let mut table =
-        Table::new(&["Scene", "Rays", "Node savings", "Memory savings", "Verified"]);
+    let mut table = Table::new(&[
+        "Scene",
+        "Rays",
+        "Node savings",
+        "Memory savings",
+        "Verified",
+    ]);
     let mut node_savings = Vec::new();
     let mut mem_savings = Vec::new();
-    for id in ctx.scene_ids() {
+    let results = ctx.map_scenes("sec64_gi", &ctx.scene_ids(), |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let gi = GiWorkload::generate(&case.scene, &case.bvh, &GiConfig::default());
         // Closest-hit rays predict the leaf itself (Go Up Level 0): the
         // prediction only supplies a trim bound, so cheap probes beat the
         // wider ancestors that occlusion rays prefer.
-        let config = PredictorConfig { go_up_level: 0, ..PredictorConfig::paper_default() };
+        let config = PredictorConfig {
+            go_up_level: 0,
+            ..PredictorConfig::paper_default()
+        };
         let sim = FunctionalSim::new(
             config,
-            SimOptions { classify_accesses: false, ..SimOptions::default() },
+            SimOptions {
+                classify_accesses: false,
+                ..SimOptions::default()
+            },
         );
         let r = sim.run_closest(&case.bvh, &gi.rays);
+        (
+            gi.rays.len(),
+            r.node_savings(),
+            r.memory_savings(),
+            r.prediction.verified_rate(),
+        )
+    });
+    for (id, (rays, node, mem, verify)) in ctx.scene_ids().into_iter().zip(results) {
         table.row(&[
             id.code().to_string(),
-            format!("{}", gi.rays.len()),
-            fmt_pct(r.node_savings()),
-            fmt_pct(r.memory_savings()),
-            fmt_pct(r.prediction.verified_rate()),
+            format!("{rays}"),
+            fmt_pct(node),
+            fmt_pct(mem),
+            fmt_pct(verify),
         ]);
-        node_savings.push(r.node_savings());
-        mem_savings.push(r.memory_savings());
+        node_savings.push(node);
+        mem_savings.push(mem);
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     report.line(table.render());

@@ -16,21 +16,26 @@ pub fn run(ctx: &Context) -> Report {
         "AO rays",
         "Paper AO rays",
     ]);
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
-        let workload = case.ao_workload();
+    let stats = ctx.map_cases("table1_scenes", |case| {
+        (
+            case.bvh.triangle_count(),
+            case.bvh.depth(),
+            case.ao_workload().rays.len(),
+        )
+    });
+    for (id, (tris, depth, rays)) in ctx.scene_ids().into_iter().zip(stats) {
         table.row(&[
             id.name().to_string(),
             id.code().to_string(),
-            format!("{}", case.bvh.triangle_count()),
+            format!("{tris}"),
             format!("{}", id.paper_triangles()),
-            format!("{}", case.bvh.depth()),
+            format!("{depth}"),
             format!("{}", id.paper_bvh_depth()),
-            format!("{}", workload.rays.len()),
+            format!("{rays}"),
             format!("{}", id.paper_ao_rays()),
         ]);
-        report.metric(format!("tris_{}", id.code()), case.bvh.triangle_count() as f64);
-        report.metric(format!("depth_{}", id.code()), case.bvh.depth() as f64);
+        report.metric(format!("tris_{}", id.code()), tris as f64);
+        report.metric(format!("depth_{}", id.code()), depth as f64);
     }
     report.line(table.render());
     report.line(format!(

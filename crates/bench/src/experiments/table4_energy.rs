@@ -13,13 +13,13 @@ pub fn run(ctx: &Context) -> Report {
     let mut base_total = rip_energy::EnergyBreakdown::default();
     let mut pred_total = rip_energy::EnergyBreakdown::default();
     let mut scenes = 0.0f64;
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("table4_energy", |case| {
         let rays = case.ao_workload().rays;
         let base = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
         let pred = Simulator::new(ctx.gpu_predictor()).run(&case.bvh, &rays);
-        let bb = model.breakdown(&base);
-        let pb = model.breakdown(&pred);
+        (model.breakdown(&base), model.breakdown(&pred))
+    });
+    for (bb, pb) in results {
         base_total = add(&base_total, &bb);
         pred_total = add(&pred_total, &pb);
         scenes += 1.0;
@@ -31,11 +31,27 @@ pub fn run(ctx: &Context) -> Report {
     let mut table = Table::new(&["Component", "Baseline RT unit", "Change from Predictor"]);
     let rows: [(&str, f64, f64); 6] = [
         ("Base GPU", base_avg.base_gpu, delta.base_gpu),
-        ("Predictor table", base_avg.predictor_table, delta.predictor_table),
-        ("Warp repacking", base_avg.warp_repacking, delta.warp_repacking),
-        ("Traversal stack", base_avg.traversal_stack, delta.traversal_stack),
+        (
+            "Predictor table",
+            base_avg.predictor_table,
+            delta.predictor_table,
+        ),
+        (
+            "Warp repacking",
+            base_avg.warp_repacking,
+            delta.warp_repacking,
+        ),
+        (
+            "Traversal stack",
+            base_avg.traversal_stack,
+            delta.traversal_stack,
+        ),
         ("Ray buffer", base_avg.ray_buffer, delta.ray_buffer),
-        ("Ray intersections", base_avg.ray_intersections, delta.ray_intersections),
+        (
+            "Ray intersections",
+            base_avg.ray_intersections,
+            delta.ray_intersections,
+        ),
     ];
     for (label, b, d) in rows {
         table.row(&[label.to_string(), format!("{b:.2}"), format!("{d:+.2}")]);
@@ -43,7 +59,10 @@ pub fn run(ctx: &Context) -> Report {
     table.row(&[
         "Total".to_string(),
         format!("{:.1} nJ/ray", base_avg.total_nj_per_ray()),
-        format!("{:+.1} nJ/ray", pred_avg.total_nj_per_ray() - base_avg.total_nj_per_ray()),
+        format!(
+            "{:+.1} nJ/ray",
+            pred_avg.total_nj_per_ray() - base_avg.total_nj_per_ray()
+        ),
     ]);
     report.line(table.render());
     let saving = 1.0 - pred_avg.total_nj_per_ray() / base_avg.total_nj_per_ray().max(1e-12);
@@ -52,7 +71,10 @@ pub fn run(ctx: &Context) -> Report {
         saving * 100.0
     ));
     report.metric("baseline_nj_per_ray", base_avg.total_nj_per_ray());
-    report.metric("delta_nj_per_ray", pred_avg.total_nj_per_ray() - base_avg.total_nj_per_ray());
+    report.metric(
+        "delta_nj_per_ray",
+        pred_avg.total_nj_per_ray() - base_avg.total_nj_per_ray(),
+    );
     report.metric("energy_saving_fraction", saving);
     report
 }

@@ -17,16 +17,19 @@ pub fn run(ctx: &Context) -> Report {
     let mut act_sum = 0.0;
     let mut count = 0.0f64;
     let mut per_scene = Table::new(&["Scene", "v", "n", "p", "k", "m", "Estimated", "Actual"]);
-    for id in ctx.scene_ids() {
-        let case = ctx.build_case(id);
+    let results = ctx.map_cases("table5_eq1", |case| {
         let rays = case.ao_workload().rays;
         let sim = FunctionalSim::new(
             PredictorConfig::paper_default(),
-            SimOptions { classify_accesses: false, ..SimOptions::default() },
+            SimOptions {
+                classify_accesses: false,
+                ..SimOptions::default()
+            },
         );
         let r = sim.run(&case.bvh, &rays);
-        let model = r.eq1_model();
-        let actual = r.actual_nodes_skipped_per_ray();
+        (r.eq1_model(), r.actual_nodes_skipped_per_ray())
+    });
+    for (id, (model, actual)) in ctx.scene_ids().into_iter().zip(results) {
         per_scene.row(&[
             id.code().to_string(),
             format!("{:.3}", model.v),

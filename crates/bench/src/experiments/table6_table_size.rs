@@ -15,20 +15,34 @@ pub fn run(ctx: &Context) -> Report {
 
     // speedups[entries][nodes] per scene.
     let mut speedups = vec![vec![Vec::new(); node_counts.len()]; entry_counts.len()];
-    for &id in sweep {
+    let results = ctx.map_scenes("table6_table_size", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let rays = case.ao_workload().rays;
         let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
-        for (ei, &entries) in entry_counts.iter().enumerate() {
-            for (ni, &nodes) in node_counts.iter().enumerate() {
-                let mut cfg = ctx.gpu_predictor();
-                cfg.predictor = Some(PredictorConfig {
-                    entries,
-                    nodes_per_entry: nodes,
-                    ..PredictorConfig::paper_default()
-                });
-                let r = Simulator::new(cfg).run(&case.bvh, &rays);
-                speedups[ei][ni].push(r.speedup_over(&baseline));
+        entry_counts
+            .iter()
+            .map(|&entries| {
+                node_counts
+                    .iter()
+                    .map(|&nodes| {
+                        let mut cfg = ctx.gpu_predictor();
+                        cfg.predictor = Some(PredictorConfig {
+                            entries,
+                            nodes_per_entry: nodes,
+                            ..PredictorConfig::paper_default()
+                        });
+                        Simulator::new(cfg)
+                            .run(&case.bvh, &rays)
+                            .speedup_over(&baseline)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    for per_scene in results {
+        for (ei, per_entry) in per_scene.into_iter().enumerate() {
+            for (ni, speedup) in per_entry.into_iter().enumerate() {
+                speedups[ei][ni].push(speedup);
             }
         }
     }

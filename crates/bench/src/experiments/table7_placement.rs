@@ -8,24 +8,43 @@ use rip_gpusim::Simulator;
 /// speedup, 95.5% predicted, 24.6% verified; direct-mapped falls to 15.9%).
 pub fn run(ctx: &Context) -> Report {
     let mut report = Report::new("Table 7: comparison of placement policies");
-    let ways_options = [(1usize, "Direct-mapped"), (2, "2-way"), (4, "4-way"), (8, "8-way")];
+    let ways_options = [
+        (1usize, "Direct-mapped"),
+        (2, "2-way"),
+        (4, "4-way"),
+        (8, "8-way"),
+    ];
     let scene_ids = ctx.scene_ids();
     let sweep = &scene_ids[..scene_ids.len().min(3)];
     let mut speedups = vec![Vec::new(); ways_options.len()];
     let mut predicted = vec![Vec::new(); ways_options.len()];
     let mut verified = vec![Vec::new(); ways_options.len()];
-    for &id in sweep {
+    let results = ctx.map_scenes("table7_placement", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let rays = case.ao_workload().rays;
         let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
-        for (i, &(ways, _)) in ways_options.iter().enumerate() {
-            let mut cfg = ctx.gpu_predictor();
-            cfg.predictor =
-                Some(PredictorConfig { ways, ..PredictorConfig::paper_default() });
-            let r = Simulator::new(cfg).run(&case.bvh, &rays);
-            speedups[i].push(r.speedup_over(&baseline));
-            predicted[i].push(r.prediction.predicted_rate());
-            verified[i].push(r.prediction.verified_rate());
+        ways_options
+            .iter()
+            .map(|&(ways, _)| {
+                let mut cfg = ctx.gpu_predictor();
+                cfg.predictor = Some(PredictorConfig {
+                    ways,
+                    ..PredictorConfig::paper_default()
+                });
+                let r = Simulator::new(cfg).run(&case.bvh, &rays);
+                (
+                    r.speedup_over(&baseline),
+                    r.prediction.predicted_rate(),
+                    r.prediction.verified_rate(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    for per_scene in results {
+        for (i, (speedup, predict, verify)) in per_scene.into_iter().enumerate() {
+            speedups[i].push(speedup);
+            predicted[i].push(predict);
+            verified[i].push(verify);
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

@@ -12,19 +12,22 @@ pub fn run(ctx: &Context) -> Report {
     let scene_ids = ctx.scene_ids();
     let sweep = &scene_ids[..scene_ids.len().min(2)];
 
-    // Gather the per-scene baselines once.
-    let mut cases = Vec::new();
-    for &id in sweep {
+    // Gather the per-scene baselines once (in parallel across scenes).
+    let cases = ctx.map_scenes("table8_hash_cases", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let rays = case.ao_workload().rays;
         let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
-        cases.push((case, rays, baseline));
-    }
-    let run_hash = |hash: HashFunction| -> f64 {
+        (case, rays, baseline)
+    });
+    let run_hash = |hash: &HashFunction| -> f64 {
+        let hash = *hash;
         let mut speedups = Vec::new();
         for (case, rays, baseline) in &cases {
             let mut cfg = ctx.gpu_predictor();
-            cfg.predictor = Some(PredictorConfig { hash, ..PredictorConfig::paper_default() });
+            cfg.predictor = Some(PredictorConfig {
+                hash,
+                ..PredictorConfig::paper_default()
+            });
             let r = Simulator::new(cfg).run(&case.bvh, rays);
             speedups.push(r.speedup_over(baseline));
         }
@@ -34,15 +37,25 @@ pub fn run(ctx: &Context) -> Report {
     // Table 8a: Grid Spherical origin × direction bits.
     let origin_bits = [3u32, 4, 5];
     let direction_bits = [1u32, 2, 3, 4, 5];
+    let grid_hashes: Vec<HashFunction> = origin_bits
+        .iter()
+        .flat_map(|&ob| {
+            direction_bits
+                .iter()
+                .map(move |&db| HashFunction::GridSpherical {
+                    origin_bits: ob,
+                    direction_bits: db,
+                })
+        })
+        .collect();
+    let grid_speedups = ctx.pool().map(&grid_hashes, run_hash);
     let mut t8a = Table::new(&["Origin bits", "1 dir", "2 dir", "3 dir", "4 dir", "5 dir"]);
     let mut best_a = (0u32, 0u32, f64::MIN);
+    let mut grid_iter = grid_speedups.into_iter();
     for &ob in &origin_bits {
         let mut cells = vec![format!("{ob}")];
         for &db in &direction_bits {
-            let gm = run_hash(HashFunction::GridSpherical {
-                origin_bits: ob,
-                direction_bits: db,
-            });
+            let gm = grid_iter.next().expect("one speedup per grid combination");
             cells.push(format!("{:+.1}%", (gm - 1.0) * 100.0));
             report.metric(format!("gs_o{ob}_d{db}"), gm);
             if gm > best_a.2 {
@@ -62,12 +75,25 @@ pub fn run(ctx: &Context) -> Report {
 
     // Table 8b: Two Point origin bits × estimated length ratio.
     let ratios = [0.05f32, 0.15, 0.25, 0.35];
+    let tp_hashes: Vec<HashFunction> = origin_bits
+        .iter()
+        .flat_map(|&ob| {
+            ratios.iter().map(move |&r| HashFunction::TwoPoint {
+                origin_bits: ob,
+                length_ratio: r,
+            })
+        })
+        .collect();
+    let tp_speedups = ctx.pool().map(&tp_hashes, run_hash);
     let mut t8b = Table::new(&["Origin bits", "r=0.05", "r=0.15", "r=0.25", "r=0.35"]);
     let mut best_b = (0u32, 0.0f32, f64::MIN);
+    let mut tp_iter = tp_speedups.into_iter();
     for &ob in &origin_bits {
         let mut cells = vec![format!("{ob}")];
         for &r in &ratios {
-            let gm = run_hash(HashFunction::TwoPoint { origin_bits: ob, length_ratio: r });
+            let gm = tp_iter
+                .next()
+                .expect("one speedup per two-point combination");
             cells.push(format!("{:+.1}%", (gm - 1.0) * 100.0));
             report.metric(format!("tp_o{ob}_r{r}"), gm);
             if gm > best_b.2 {

@@ -1,10 +1,19 @@
-//! Shared experiment scaffolding: scales, scene cases, GPU configurations.
+//! Shared experiment scaffolding: scales, scene cases, GPU
+//! configurations, and the parallel execution context.
+//!
+//! Every experiment receives a [`Context`]: scale and scene coverage plus
+//! a [`JobPool`] and a process-shared [`CaseCache`] so scenes and BVHs
+//! are built once per `(scene, scale, viewport)` no matter how many
+//! experiments touch them, and persisted to the on-disk artifact store
+//! for later runs. Parallel runs collect results in input order, so
+//! experiment output is byte-identical at any `--jobs` count.
 
-use rip_bvh::Bvh;
+use rip_exec::{CaseCache, CaseKey, JobPool, ShardedRunner};
 use rip_gpusim::GpuConfig;
-use rip_math::Triangle;
-use rip_render::{AoConfig, AoWorkload};
-use rip_scene::{Scene, SceneId, SceneScale, SCENE_IDS};
+use rip_scene::{SceneId, SceneScale, SCENE_IDS};
+use std::sync::Arc;
+
+pub use rip_exec::Case;
 
 /// Which benchmark scenes an experiment covers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,49 +27,152 @@ pub enum SceneSelection {
 }
 
 /// Execution context shared by every experiment.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Context {
     /// Geometry/workload scale.
     pub scale: SceneScale,
     /// Scene coverage.
     pub selection: SceneSelection,
+    jobs: usize,
+    pool: JobPool,
+    cache: Arc<CaseCache>,
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("scale", &self.scale)
+            .field("selection", &self.selection)
+            .field("jobs", &self.jobs)
+            .finish()
+    }
+}
+
+/// Outcome of parsing a command line (see [`Context::parse_args`]).
+#[derive(Debug)]
+pub enum ParsedArgs {
+    /// Run with this context.
+    Run(Context),
+    /// `--help` was requested.
+    Help,
 }
 
 impl Context {
-    /// Creates a context.
+    /// Creates a context with default parallelism (`RIP_JOBS` env
+    /// override, else available parallelism).
     pub fn new(scale: SceneScale, selection: SceneSelection) -> Self {
-        Context { scale, selection }
+        Context::with_jobs(scale, selection, jobs_from_env())
     }
 
-    /// Parses a context from command-line arguments:
-    /// `--scale tiny|quick|paper` and `--scenes N` (first N scenes).
-    /// Unknown arguments are ignored so binaries can add their own.
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
+    /// Creates a context with an explicit worker-thread count.
+    pub fn with_jobs(scale: SceneScale, selection: SceneSelection, jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        Context {
+            scale,
+            selection,
+            jobs,
+            pool: JobPool::new(jobs),
+            cache: Arc::new(CaseCache::new()),
+        }
+    }
+
+    /// The usage text shared by every experiment binary.
+    pub fn usage() -> &'static str {
+        "USAGE: <experiment> [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --scale tiny|quick|paper  geometry/workload scale (default: quick)\n\
+         \x20 --scenes N                restrict to the first N Table-1 scenes\n\
+         \x20 --jobs N                  worker threads (default: RIP_JOBS env, else\n\
+         \x20                           available parallelism; 1 = serial)\n\
+         \x20 --help                    print this help\n\
+         \n\
+         ENVIRONMENT:\n\
+         \x20 RIP_JOBS       default worker-thread count\n\
+         \x20 RIP_CACHE_DIR  scene/BVH artifact store (set empty to disable;\n\
+         \x20                default: <system temp dir>/rip-artifacts)\n\
+         \n\
+         Output at a given scale is byte-identical for every --jobs value."
+    }
+
+    /// Parses a context from command-line arguments; the production entry
+    /// point is [`Context::from_args`].
+    ///
+    /// Malformed values (`--scale mars`, `--jobs zero`, missing operands)
+    /// are errors. Unknown arguments are *not* errors — they are reported
+    /// on stderr and ignored so binaries can grow private flags — but a
+    /// `--help` anywhere wins.
+    pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
         let mut scale = SceneScale::Quick;
         let mut selection = SceneSelection::All;
+        let mut jobs = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
+                "--help" | "-h" => return Ok(ParsedArgs::Help),
                 "--scale" => {
-                    if let Some(v) = it.next() {
-                        scale = SceneScale::parse(v).unwrap_or_else(|| {
-                            eprintln!("unknown scale '{v}', using quick");
-                            SceneScale::Quick
-                        });
-                    }
+                    let v = it
+                        .next()
+                        .ok_or("--scale requires a value (tiny|quick|paper)")?;
+                    scale = SceneScale::parse(v).ok_or_else(|| {
+                        format!("unknown scale '{v}' (expected tiny|quick|paper)")
+                    })?;
                 }
                 "--scenes" => {
-                    if let Some(v) = it.next() {
-                        if let Ok(n) = v.parse::<usize>() {
-                            selection = SceneSelection::Subset(n.clamp(1, SCENE_IDS.len()));
-                        }
+                    let v = it.next().ok_or("--scenes requires a count")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid scene count '{v}' (expected a number)"))?;
+                    if n == 0 {
+                        return Err("--scenes must be at least 1".into());
                     }
+                    selection = SceneSelection::Subset(n.min(SCENE_IDS.len()));
                 }
-                _ => {}
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs requires a count")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid job count '{v}' (expected a number)"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    jobs = Some(n);
+                }
+                other => {
+                    eprintln!("warning: ignoring unknown argument '{other}' (see --help)");
+                }
             }
         }
-        Context { scale, selection }
+        Ok(ParsedArgs::Run(Context::with_jobs(
+            scale,
+            selection,
+            jobs.unwrap_or_else(jobs_from_env),
+        )))
+    }
+
+    /// Parses the process arguments, printing help or errors as needed.
+    ///
+    /// Exits with status 0 after printing usage for `--help`, and with
+    /// status 2 (plus a stderr diagnostic and the usage text) on
+    /// malformed arguments. Also installs the context's job count as the
+    /// process-wide budget so nested pools share it.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Context::parse_args(&args) {
+            Ok(ParsedArgs::Run(ctx)) => {
+                rip_exec::set_global_budget(ctx.jobs);
+                ctx
+            }
+            Ok(ParsedArgs::Help) => {
+                println!("{}", Context::usage());
+                std::process::exit(0);
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{}", Context::usage());
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The scene ids this context covers.
@@ -70,6 +182,47 @@ impl Context {
             SceneSelection::Subset(n) => SCENE_IDS[..(*n).min(SCENE_IDS.len())].to_vec(),
             SceneSelection::Explicit(ids) => ids.clone(),
         }
+    }
+
+    /// Worker threads this context targets (1 = serial).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The job pool experiments schedule onto.
+    pub fn pool(&self) -> &JobPool {
+        &self.pool
+    }
+
+    /// The shared scene/BVH cache.
+    pub fn cache(&self) -> &CaseCache {
+        &self.cache
+    }
+
+    /// A sharded runner named `name` on this context's pool.
+    pub fn runner(&self, name: &str) -> ShardedRunner<'_> {
+        ShardedRunner::new(&self.pool, name)
+    }
+
+    /// Fans `f` over this context's scenes (each given its built case),
+    /// returning results in Table-1 order regardless of scheduling.
+    pub fn map_cases<U: Send>(&self, name: &str, f: impl Fn(&Case) -> U + Sync) -> Vec<U> {
+        self.map_scenes(name, &self.scene_ids(), |id| f(&self.build_case(id)))
+    }
+
+    /// Fans `f` over an explicit scene list (the closure builds whatever
+    /// case/viewport it needs), returning results in input order.
+    pub fn map_scenes<U: Send>(
+        &self,
+        name: &str,
+        ids: &[SceneId],
+        f: impl Fn(SceneId) -> U + Sync,
+    ) -> Vec<U> {
+        self.runner(name)
+            .run(ids, |id| id.code().to_string(), |&id| f(id))
+            .into_iter()
+            .map(|report| report.value)
+            .collect()
     }
 
     /// Viewport edge (square) for the main experiments. The paper renders
@@ -88,17 +241,16 @@ impl Context {
         (self.viewport() / 2).max(32)
     }
 
-    /// Builds a scene case (scene + BVH) at this context's scale.
-    pub fn build_case(&self, id: SceneId) -> Case {
+    /// Returns the shared case (scene + BVH) for `id` at this context's
+    /// scale, building it at most once per process.
+    pub fn build_case(&self, id: SceneId) -> Arc<Case> {
         self.build_case_with_viewport(id, self.viewport())
     }
 
-    /// Builds a scene case with an explicit viewport edge.
-    pub fn build_case_with_viewport(&self, id: SceneId, viewport: u32) -> Case {
-        let scene = id.build_with_viewport(self.scale, viewport, viewport);
-        let tris: Vec<Triangle> = scene.mesh.triangles().collect();
-        let bvh = Bvh::build(&tris);
-        Case { id, scene, bvh }
+    /// Returns the shared case for an explicit viewport edge.
+    pub fn build_case_with_viewport(&self, id: SceneId, viewport: u32) -> Arc<Case> {
+        self.cache
+            .get_or_build(CaseKey::square(id, self.scale, viewport))
     }
 
     /// The baseline Table-2 GPU configuration.
@@ -112,21 +264,17 @@ impl Context {
     }
 }
 
-/// A built benchmark case.
-#[derive(Clone, Debug)]
-pub struct Case {
-    /// Which scene.
-    pub id: SceneId,
-    /// Scene geometry and camera.
-    pub scene: Scene,
-    /// The acceleration structure.
-    pub bvh: Bvh,
-}
-
-impl Case {
-    /// Generates this case's AO workload with the §5.2 parameters.
-    pub fn ao_workload(&self) -> AoWorkload {
-        AoWorkload::generate(&self.scene, &self.bvh, &AoConfig::default())
+/// `RIP_JOBS` env override, else the machine's available parallelism.
+fn jobs_from_env() -> usize {
+    match std::env::var("RIP_JOBS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring invalid RIP_JOBS='{v}' (expected a positive number)");
+                rip_exec::available_parallelism()
+            }
+        },
+        Err(_) => rip_exec::available_parallelism(),
     }
 }
 
@@ -134,14 +282,23 @@ impl Case {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn selection_expansion() {
         let all = Context::new(SceneScale::Tiny, SceneSelection::All);
         assert_eq!(all.scene_ids().len(), 7);
         let two = Context::new(SceneScale::Tiny, SceneSelection::Subset(2));
-        assert_eq!(two.scene_ids(), vec![SceneId::Sibenik, SceneId::CrytekSponza]);
-        let explicit =
-            Context::new(SceneScale::Tiny, SceneSelection::Explicit(vec![SceneId::LostEmpire]));
+        assert_eq!(
+            two.scene_ids(),
+            vec![SceneId::Sibenik, SceneId::CrytekSponza]
+        );
+        let explicit = Context::new(
+            SceneScale::Tiny,
+            SceneSelection::Explicit(vec![SceneId::LostEmpire]),
+        );
         assert_eq!(explicit.scene_ids(), vec![SceneId::LostEmpire]);
     }
 
@@ -163,10 +320,85 @@ mod tests {
     }
 
     #[test]
+    fn build_case_is_shared_across_requests() {
+        let ctx = Context::new(SceneScale::Tiny, SceneSelection::All);
+        let a = ctx.build_case(SceneId::Sibenik);
+        let b = ctx.build_case(SceneId::Sibenik);
+        assert!(Arc::ptr_eq(&a, &b));
+        let clone = ctx.clone();
+        let c = clone.build_case(SceneId::Sibenik);
+        assert!(Arc::ptr_eq(&a, &c), "clones share the cache");
+    }
+
+    #[test]
     fn ao_workload_generates() {
         let ctx = Context::new(SceneScale::Tiny, SceneSelection::All);
         let case = ctx.build_case_with_viewport(SceneId::FireplaceRoom, 16);
         let w = case.ao_workload();
         assert!(!w.rays.is_empty());
+    }
+
+    #[test]
+    fn parse_args_accepts_known_flags() {
+        let parsed =
+            Context::parse_args(&args(&["--scale", "tiny", "--scenes", "3", "--jobs", "2"]))
+                .unwrap();
+        let ParsedArgs::Run(ctx) = parsed else {
+            panic!("expected a context")
+        };
+        assert_eq!(ctx.scale, SceneScale::Tiny);
+        assert_eq!(ctx.selection, SceneSelection::Subset(3));
+        assert_eq!(ctx.jobs(), 2);
+    }
+
+    #[test]
+    fn parse_args_reports_malformed_values() {
+        for bad in [
+            &["--scale", "mars"][..],
+            &["--scale"][..],
+            &["--scenes", "zero"][..],
+            &["--scenes", "0"][..],
+            &["--jobs", "-3"][..],
+            &["--jobs", "0"][..],
+            &["--jobs"][..],
+        ] {
+            assert!(
+                Context::parse_args(&args(bad)).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_args_help_and_unknown() {
+        assert!(matches!(
+            Context::parse_args(&args(&["--help"])).unwrap(),
+            ParsedArgs::Help
+        ));
+        assert!(matches!(
+            Context::parse_args(&args(&["--scale", "tiny", "-h"])).unwrap(),
+            ParsedArgs::Help
+        ));
+        // Unknown flags warn but do not fail.
+        let parsed = Context::parse_args(&args(&["--frobnicate", "--scenes", "2"])).unwrap();
+        let ParsedArgs::Run(ctx) = parsed else {
+            panic!("expected a context")
+        };
+        assert_eq!(ctx.selection, SceneSelection::Subset(2));
+    }
+
+    #[test]
+    fn scenes_clamp_to_suite_size() {
+        let ParsedArgs::Run(ctx) = Context::parse_args(&args(&["--scenes", "99"])).unwrap() else {
+            panic!("expected a context")
+        };
+        assert_eq!(ctx.selection, SceneSelection::Subset(7));
+    }
+
+    #[test]
+    fn map_cases_returns_table_order() {
+        let ctx = Context::with_jobs(SceneScale::Tiny, SceneSelection::Subset(3), 3);
+        let codes = ctx.map_cases("test", |case| case.id.code().to_string());
+        assert_eq!(codes, vec!["SB", "SP", "LE"]);
     }
 }

@@ -27,5 +27,5 @@ pub mod experiments;
 mod harness;
 mod table;
 
-pub use harness::{Case, Context, SceneSelection};
+pub use harness::{Case, Context, ParsedArgs, SceneSelection};
 pub use table::{fmt_f64, fmt_pct, Report, Table};

@@ -15,7 +15,10 @@ pub struct Report {
 impl Report {
     /// Creates a report with the given id.
     pub fn new(id: impl Into<String>) -> Self {
-        Report { id: id.into(), ..Default::default() }
+        Report {
+            id: id.into(),
+            ..Default::default()
+        }
     }
 
     /// Appends a line of text.
@@ -31,7 +34,10 @@ impl Report {
 
     /// Looks up a recorded metric.
     pub fn get_metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 }
 
@@ -62,7 +68,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -72,7 +81,8 @@ impl Table {
     /// Panics when the cell count differs from the header count.
     pub fn row(&mut self, cells: &[impl AsRef<str>]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
     }
 
     /// Renders the table with aligned columns.

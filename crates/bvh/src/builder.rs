@@ -46,7 +46,11 @@ pub struct BvhBuilder {
 
 impl Default for BvhBuilder {
     fn default() -> Self {
-        BvhBuilder { split_method: SplitMethod::BinnedSah, max_leaf_size: 4, bins: 16 }
+        BvhBuilder {
+            split_method: SplitMethod::BinnedSah,
+            max_leaf_size: 4,
+            bins: 16,
+        }
     }
 }
 
@@ -99,11 +103,18 @@ impl BvhBuilder {
     ///
     /// Panics when `triangles` is empty.
     pub fn build(&self, triangles: &[Triangle]) -> Bvh {
-        assert!(!triangles.is_empty(), "cannot build a BVH over zero triangles");
+        assert!(
+            !triangles.is_empty(),
+            "cannot build a BVH over zero triangles"
+        );
         let mut refs: Vec<TriRef> = triangles
             .iter()
             .enumerate()
-            .map(|(i, t)| TriRef { index: i as u32, bounds: t.bounds(), centroid: t.centroid() })
+            .map(|(i, t)| TriRef {
+                index: i as u32,
+                bounds: t.bounds(),
+                centroid: t.centroid(),
+            })
             .collect();
 
         let mut nodes: Vec<BvhNode> = Vec::with_capacity(triangles.len() * 2);
@@ -135,7 +146,9 @@ impl BvhBuilder {
         parent: Option<NodeId>,
         depth: u32,
     ) {
-        let bounds = refs[start..end].iter().fold(Aabb::empty(), |b, r| b.union(&r.bounds));
+        let bounds = refs[start..end]
+            .iter()
+            .fold(Aabb::empty(), |b, r| b.union(&r.bounds));
         let count = end - start;
 
         let split = if count <= self.max_leaf_size as usize {
@@ -153,7 +166,10 @@ impl BvhBuilder {
                 tri_order.extend(refs[start..end].iter().map(|r| r.index));
                 nodes[slot] = BvhNode {
                     bounds,
-                    kind: NodeKind::Leaf { first, count: count as u32 },
+                    kind: NodeKind::Leaf {
+                        first,
+                        count: count as u32,
+                    },
                     parent,
                     depth,
                 };
@@ -170,8 +186,26 @@ impl BvhBuilder {
                 };
                 nodes.push(placeholder);
                 nodes.push(placeholder);
-                self.build_node(nodes, tri_order, refs, start, mid, left_slot, Some(NodeId::new(slot as u32)), depth + 1);
-                self.build_node(nodes, tri_order, refs, mid, end, right_slot, Some(NodeId::new(slot as u32)), depth + 1);
+                self.build_node(
+                    nodes,
+                    tri_order,
+                    refs,
+                    start,
+                    mid,
+                    left_slot,
+                    Some(NodeId::new(slot as u32)),
+                    depth + 1,
+                );
+                self.build_node(
+                    nodes,
+                    tri_order,
+                    refs,
+                    mid,
+                    end,
+                    right_slot,
+                    Some(NodeId::new(slot as u32)),
+                    depth + 1,
+                );
                 nodes[slot] = BvhNode {
                     bounds,
                     kind: NodeKind::Interior {
@@ -204,7 +238,8 @@ impl BvhBuilder {
         let mut bin_bounds = vec![Aabb::empty(); nbins];
         let mut bin_counts = vec![0usize; nbins];
         let k = nbins as f32 * (1.0 - 1e-6) / extent;
-        let bin_of = |c: Vec3| (((c[axis] - centroid_bounds.min[axis]) * k) as usize).min(nbins - 1);
+        let bin_of =
+            |c: Vec3| (((c[axis] - centroid_bounds.min[axis]) * k) as usize).min(nbins - 1);
         for r in refs.iter() {
             let b = bin_of(r.centroid);
             bin_bounds[b] = bin_bounds[b].union(&r.bounds);
@@ -239,7 +274,10 @@ impl BvhBuilder {
 
         // Compare against the cost of not splitting (SAH with traversal
         // cost folded into a 1.2× relative intersection weight).
-        let parent_area = refs.iter().fold(Aabb::empty(), |b, r| b.union(&r.bounds)).surface_area();
+        let parent_area = refs
+            .iter()
+            .fold(Aabb::empty(), |b, r| b.union(&r.bounds))
+            .surface_area();
         let leaf_cost = total as f32 * parent_area;
         if split_cost / parent_area.max(1e-20) + 1.2 >= leaf_cost / parent_area.max(1e-20)
             && total <= 2 * self.max_leaf_size as usize
@@ -263,7 +301,9 @@ impl BvhBuilder {
         let axis = centroid_bounds.diagonal().largest_axis();
         let mid = refs.len() / 2;
         refs.select_nth_unstable_by(mid, |a, b| {
-            a.centroid[axis].partial_cmp(&b.centroid[axis]).unwrap_or(std::cmp::Ordering::Equal)
+            a.centroid[axis]
+                .partial_cmp(&b.centroid[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         Some(mid)
     }
@@ -304,7 +344,10 @@ mod tests {
     #[test]
     fn leaf_size_respected() {
         for method in [SplitMethod::BinnedSah, SplitMethod::Median] {
-            let bvh = BvhBuilder::new().split_method(method).max_leaf_size(3).build(&strip(100));
+            let bvh = BvhBuilder::new()
+                .split_method(method)
+                .max_leaf_size(3)
+                .build(&strip(100));
             for node in bvh.nodes() {
                 if let NodeKind::Leaf { count, .. } = node.kind {
                     assert!(count <= 6, "{method:?} leaf with {count} tris");
@@ -323,8 +366,9 @@ mod tests {
     #[test]
     fn coincident_centroids_still_terminate() {
         // 64 identical triangles: centroid extent is zero on every axis.
-        let tris: Vec<Triangle> =
-            (0..64).map(|_| Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)).collect();
+        let tris: Vec<Triangle> = (0..64)
+            .map(|_| Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y))
+            .collect();
         let bvh = BvhBuilder::new().max_leaf_size(2).build(&tris);
         bvh.validate().unwrap();
     }

@@ -52,7 +52,18 @@ impl Bvh {
     ) -> Self {
         let depth = nodes.iter().map(|n| n.depth).max().unwrap_or(0);
         let layout = MemoryLayout::for_tree(nodes.len(), triangles.len());
-        Bvh { nodes, tri_order, triangles, depth, layout }
+        Bvh {
+            nodes,
+            tri_order,
+            triangles,
+            depth,
+            layout,
+        }
+    }
+
+    /// Raw node/order/triangle buffers for serialization (crate-internal).
+    pub(crate) fn raw_parts(&self) -> (&[BvhNode], &[u32], &[Triangle]) {
+        (&self.nodes, &self.tri_order, &self.triangles)
     }
 
     /// Number of nodes (interior + leaf).
@@ -160,8 +171,7 @@ impl Bvh {
         while let Some(id) = stack.pop() {
             match self.node(id).kind {
                 NodeKind::Leaf { first, count } => {
-                    if self.tri_order[first as usize..(first + count) as usize]
-                        .contains(&tri_index)
+                    if self.tri_order[first as usize..(first + count) as usize].contains(&tri_index)
                     {
                         return Some(id);
                     }
@@ -285,7 +295,12 @@ impl Bvh {
                         }
                     }
                 }
-                NodeKind::Interior { left, right, left_bounds, right_bounds } => {
+                NodeKind::Interior {
+                    left,
+                    right,
+                    left_bounds,
+                    right_bounds,
+                } => {
                     for (child, cb) in [(left, left_bounds), (right, right_bounds)] {
                         let cnode = self.node(child);
                         if cnode.parent != Some(id) {
@@ -405,8 +420,13 @@ mod tests {
                 Vec3::new(0.5 + (i % 6) as f32, 6.0, 0.5 + (i / 6) as f32),
                 -Vec3::Y,
             );
-            let fast = bvh.intersect(&ray, TraversalKind::ClosestHit).hit.map(|h| h.tri_index);
-            let brute = bvh.intersect_brute_force(&ray, TraversalKind::ClosestHit).map(|(t, _)| t);
+            let fast = bvh
+                .intersect(&ray, TraversalKind::ClosestHit)
+                .hit
+                .map(|h| h.tri_index);
+            let brute = bvh
+                .intersect_brute_force(&ray, TraversalKind::ClosestHit)
+                .map(|(t, _)| t);
             assert_eq!(fast, brute, "refit broke traversal for ray {i}");
         }
     }

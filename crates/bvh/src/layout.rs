@@ -39,7 +39,12 @@ impl MemoryLayout {
         let node_base = 0u64;
         let nodes_end = node_base + node_count as u64 * NODE_SIZE;
         let tri_base = nodes_end.next_multiple_of(128);
-        MemoryLayout { node_base, tri_base, node_count: node_count as u64, tri_count: tri_count as u64 }
+        MemoryLayout {
+            node_base,
+            tri_base,
+            node_count: node_count as u64,
+            tri_count: tri_count as u64,
+        }
     }
 
     /// Byte address of a node record.
@@ -60,7 +65,10 @@ impl MemoryLayout {
     /// Panics when the triangle is out of range.
     #[inline]
     pub fn tri_address(&self, tri_index: u32) -> u64 {
-        assert!((tri_index as u64) < self.tri_count, "triangle {tri_index} out of range");
+        assert!(
+            (tri_index as u64) < self.tri_count,
+            "triangle {tri_index} out of range"
+        );
         self.tri_base + tri_index as u64 * TRI_SIZE
     }
 
@@ -90,8 +98,14 @@ mod tests {
     #[test]
     fn two_nodes_share_a_line() {
         let l = MemoryLayout::for_tree(4, 1);
-        assert_eq!(l.node_address(NodeId::new(0)) / 128, l.node_address(NodeId::new(1)) / 128);
-        assert_ne!(l.node_address(NodeId::new(1)) / 128, l.node_address(NodeId::new(2)) / 128);
+        assert_eq!(
+            l.node_address(NodeId::new(0)) / 128,
+            l.node_address(NodeId::new(1)) / 128
+        );
+        assert_ne!(
+            l.node_address(NodeId::new(1)) / 128,
+            l.node_address(NodeId::new(2)) / 128
+        );
     }
 
     #[test]

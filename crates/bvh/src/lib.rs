@@ -34,12 +34,13 @@ mod builder;
 mod bvh;
 mod layout;
 mod node;
+pub mod serial;
 pub mod sorting;
-pub mod stackless;
-mod wide;
 mod stack;
+pub mod stackless;
 mod stats;
 mod traversal;
+mod wide;
 
 pub use builder::{BvhBuilder, SplitMethod};
 pub use bvh::Bvh;

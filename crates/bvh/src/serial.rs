@@ -1,0 +1,282 @@
+//! Compact binary serialization of a built BVH.
+//!
+//! The artifact cache in `rip-exec` persists built acceleration structures
+//! so repeated experiment runs skip BVH construction. The format is a
+//! straightforward little-endian dump of the Aila–Laine node buffer, the
+//! leaf-order triangle permutation, and the triangle soup — everything
+//! [`Bvh::from_parts`] needs to reassemble the tree (depth and memory
+//! layout are recomputed on load).
+//!
+//! The format is versioned by [`FORMAT_VERSION`]; decoding rejects foreign
+//! magic/version bytes and validates the reassembled tree, so a stale or
+//! corrupt artifact falls back to a rebuild instead of producing garbage.
+
+use crate::bvh::Bvh;
+use crate::node::{BvhNode, NodeId, NodeKind};
+use rip_math::{Aabb, Triangle, Vec3};
+
+/// Bumped whenever the encoded layout changes; part of the header *and*
+/// of the artifact cache key in `rip-exec`.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"RBVH";
+const TAG_INTERIOR: u8 = 0;
+const TAG_LEAF: u8 = 1;
+const NO_PARENT: u32 = u32::MAX;
+
+/// Encodes `bvh` into a self-contained byte buffer.
+pub fn encode(bvh: &Bvh) -> Vec<u8> {
+    let (nodes, tri_order, triangles) = bvh.raw_parts();
+    // Node record: bounds (24) + tag (1) + payload (≤56) + parent (4) + depth (4).
+    let mut out =
+        Vec::with_capacity(16 + nodes.len() * 90 + tri_order.len() * 4 + triangles.len() * 36);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(tri_order.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(triangles.len() as u32).to_le_bytes());
+    for node in nodes {
+        put_aabb(&mut out, &node.bounds);
+        match node.kind {
+            NodeKind::Interior {
+                left,
+                right,
+                left_bounds,
+                right_bounds,
+            } => {
+                out.push(TAG_INTERIOR);
+                out.extend_from_slice(&left.index().to_le_bytes());
+                out.extend_from_slice(&right.index().to_le_bytes());
+                put_aabb(&mut out, &left_bounds);
+                put_aabb(&mut out, &right_bounds);
+            }
+            NodeKind::Leaf { first, count } => {
+                out.push(TAG_LEAF);
+                out.extend_from_slice(&first.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&node.parent.map_or(NO_PARENT, NodeId::index).to_le_bytes());
+        out.extend_from_slice(&node.depth.to_le_bytes());
+    }
+    for &slot in tri_order {
+        out.extend_from_slice(&slot.to_le_bytes());
+    }
+    for tri in triangles {
+        put_vec3(&mut out, &tri.a);
+        put_vec3(&mut out, &tri.b);
+        put_vec3(&mut out, &tri.c);
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`encode`] and validates the result.
+///
+/// Any structural problem — wrong magic, foreign version, truncation,
+/// or a tree that fails [`Bvh::validate`] — is reported as `Err` so the
+/// caller can rebuild from geometry instead.
+pub fn decode(bytes: &[u8]) -> Result<Bvh, String> {
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err("not a BVH artifact (bad magic)".into());
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "BVH artifact version {version}, expected {FORMAT_VERSION}"
+        ));
+    }
+    let node_count = r.u32()? as usize;
+    let order_count = r.u32()? as usize;
+    let tri_count = r.u32()? as usize;
+
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let bounds = r.aabb()?;
+        let kind = match r.u8()? {
+            TAG_INTERIOR => NodeKind::Interior {
+                left: NodeId::new(r.u32()?),
+                right: NodeId::new(r.u32()?),
+                left_bounds: r.aabb()?,
+                right_bounds: r.aabb()?,
+            },
+            TAG_LEAF => NodeKind::Leaf {
+                first: r.u32()?,
+                count: r.u32()?,
+            },
+            tag => return Err(format!("unknown node tag {tag}")),
+        };
+        let parent = match r.u32()? {
+            NO_PARENT => None,
+            index => Some(NodeId::new(index)),
+        };
+        let depth = r.u32()?;
+        nodes.push(BvhNode {
+            bounds,
+            kind,
+            parent,
+            depth,
+        });
+    }
+    let mut tri_order = Vec::with_capacity(order_count);
+    for _ in 0..order_count {
+        let slot = r.u32()?;
+        if slot as usize >= tri_count {
+            return Err(format!(
+                "triangle slot {slot} out of range ({tri_count} triangles)"
+            ));
+        }
+        tri_order.push(slot);
+    }
+    let mut triangles = Vec::with_capacity(tri_count);
+    for _ in 0..tri_count {
+        triangles.push(Triangle::new(r.vec3()?, r.vec3()?, r.vec3()?));
+    }
+    if r.at != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after BVH artifact",
+            bytes.len() - r.at
+        ));
+    }
+
+    let bvh = Bvh::from_parts(nodes, tri_order, triangles);
+    bvh.validate()
+        .map_err(|e| format!("decoded BVH failed validation: {e}"))?;
+    Ok(bvh)
+}
+
+fn put_vec3(out: &mut Vec<u8>, v: &Vec3) {
+    out.extend_from_slice(&v.x.to_le_bytes());
+    out.extend_from_slice(&v.y.to_le_bytes());
+    out.extend_from_slice(&v.z.to_le_bytes());
+}
+
+fn put_aabb(out: &mut Vec<u8>, b: &Aabb) {
+    put_vec3(out, &b.min);
+    put_vec3(out, &b.max);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err("truncated BVH artifact".into()),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn vec3(&mut self) -> Result<Vec3, String> {
+        Ok(Vec3::new(self.f32()?, self.f32()?, self.f32()?))
+    }
+
+    fn aabb(&mut self) -> Result<Aabb, String> {
+        Ok(Aabb {
+            min: self.vec3()?,
+            max: self.vec3()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_bvh(n: usize) -> Bvh {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let tris: Vec<Triangle> = (0..n)
+            .map(|_| {
+                let base = Vec3::new(
+                    rng.gen_range(-8.0f32..8.0),
+                    rng.gen_range(-8.0f32..8.0),
+                    rng.gen_range(-8.0f32..8.0),
+                );
+                Triangle::new(
+                    base,
+                    base + Vec3::new(rng.gen_range(0.1f32..1.0), 0.0, 0.0),
+                    base + Vec3::new(0.0, rng.gen_range(0.1f32..1.0), 0.0),
+                )
+            })
+            .collect();
+        Bvh::build(&tris)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let bvh = sample_bvh(300);
+        let decoded = decode(&encode(&bvh)).unwrap();
+        assert_eq!(decoded.node_count(), bvh.node_count());
+        assert_eq!(decoded.depth(), bvh.depth());
+        assert_eq!(decoded.nodes(), bvh.nodes());
+        assert_eq!(decoded.triangle_count(), bvh.triangle_count());
+        for i in 0..bvh.triangle_count() as u32 {
+            assert_eq!(decoded.tri_order_at(i), bvh.tri_order_at(i));
+            assert_eq!(decoded.triangle(i), bvh.triangle(i));
+        }
+        decoded.validate().unwrap();
+    }
+
+    #[test]
+    fn reencode_is_byte_identical() {
+        let bvh = sample_bvh(150);
+        let bytes = encode(&bvh);
+        assert_eq!(encode(&decode(&bytes).unwrap()), bytes);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let bvh = sample_bvh(40);
+        let bytes = encode(&bvh);
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(decode(&bad_magic).unwrap_err().contains("magic"));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xEE;
+        assert!(decode(&bad_version).unwrap_err().contains("version"));
+
+        assert!(decode(&bytes[..bytes.len() - 3])
+            .unwrap_err()
+            .contains("truncated"));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_corrupt_structure() {
+        let bvh = sample_bvh(40);
+        // Duplicate a leaf-order slot: the stream still parses, but the
+        // reassembled tree references one triangle twice and misses
+        // another, which validation must reject.
+        let (nodes, tri_order, triangles) = bvh.raw_parts();
+        let mut corrupt_order = tri_order.to_vec();
+        corrupt_order[1] = corrupt_order[0];
+        let corrupt = Bvh::from_parts(nodes.to_vec(), corrupt_order, triangles.to_vec());
+        assert!(decode(&encode(&corrupt))
+            .unwrap_err()
+            .contains("validation"));
+    }
+}

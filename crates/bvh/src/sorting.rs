@@ -55,7 +55,9 @@ mod tests {
     fn sorting_reduces_successive_origin_distance() {
         let (mut rays, bounds) = random_rays(2000, 3);
         let dist = |rs: &[Ray]| {
-            rs.windows(2).map(|w| (w[0].origin - w[1].origin).length() as f64).sum::<f64>()
+            rs.windows(2)
+                .map(|w| (w[0].origin - w[1].origin).length() as f64)
+                .sum::<f64>()
         };
         let before = dist(&rays);
         sort_rays(&mut rays, &bounds);
@@ -72,8 +74,10 @@ mod tests {
         let perm = sort_permutation(&rays, &bounds);
         let mut sorted = rays.clone();
         sort_rays(&mut sorted, &bounds);
-        let via_perm: Vec<u64> =
-            perm.iter().map(|&i| ray_sort_key(&rays[i as usize], &bounds)).collect();
+        let via_perm: Vec<u64> = perm
+            .iter()
+            .map(|&i| ray_sort_key(&rays[i as usize], &bounds))
+            .collect();
         let direct: Vec<u64> = sorted.iter().map(|r| ray_sort_key(r, &bounds)).collect();
         assert_eq!(via_perm, direct);
     }

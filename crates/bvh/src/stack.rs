@@ -38,7 +38,12 @@ impl TraversalStack {
 
     /// Creates an empty stack with a custom hardware capacity.
     pub fn with_hw_capacity(hw_capacity: usize) -> Self {
-        TraversalStack { entries: Vec::new(), hw_capacity, spills: 0, max_depth: 0 }
+        TraversalStack {
+            entries: Vec::new(),
+            hw_capacity,
+            spills: 0,
+            max_depth: 0,
+        }
     }
 
     /// Pushes a node, counting a spill when the stack exceeds the hardware

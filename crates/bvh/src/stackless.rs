@@ -76,7 +76,12 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
         loop {
             let node = bvh.node(node_id);
             match node.kind {
-                NodeKind::Interior { left, right, left_bounds, right_bounds } => {
+                NodeKind::Interior {
+                    left,
+                    right,
+                    left_bounds,
+                    right_bounds,
+                } => {
                     stats.interior_fetches += 1;
                     stats.box_tests += 2;
                     let t_left = left_bounds.intersect_with_inv(&ray_eff, inv_dir);
@@ -92,8 +97,11 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
                     };
                     let bit = 1u64 << level;
                     let take_far = trail & bit != 0;
-                    let (child, t_child) =
-                        if take_far { (far, t_far) } else { (near, t_near) };
+                    let (child, t_child) = if take_far {
+                        (far, t_far)
+                    } else {
+                        (near, t_near)
+                    };
                     match t_child {
                         Some(_) => {
                             node_id = child;
@@ -126,7 +134,11 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
                             _ => ray_eff,
                         };
                         if let Some(h) = tri.intersect(&bound) {
-                            let hit = Hit { t: h.t, tri_index, leaf: node_id };
+                            let hit = Hit {
+                                t: h.t,
+                                tri_index,
+                                leaf: node_id,
+                            };
                             if best.is_none_or(|b| hit.t < b.t) {
                                 best = Some(hit);
                             }
@@ -144,7 +156,11 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
             }
         }
     }
-    StacklessResult { hit: best, stats, restarts }
+    StacklessResult {
+        hit: best,
+        stats,
+        restarts,
+    }
 }
 
 /// Advances the trail after exhausting the subtree entered at `level`:
@@ -188,8 +204,16 @@ mod tests {
                     rng.gen_range(-5.0..5.0),
                     rng.gen_range(-5.0..5.0),
                 );
-                let e1 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
-                let e2 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                let e1 = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
+                let e2 = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
                 Triangle::new(base, base + e1, base + e2)
             })
             .collect()
@@ -246,7 +270,10 @@ mod tests {
             restarts += sl.restarts;
         }
         assert!(restarts > 0, "closest-hit rays should need restarts");
-        assert!(extra >= 0, "stackless cannot fetch fewer interior nodes overall");
+        assert!(
+            extra >= 0,
+            "stackless cannot fetch fewer interior nodes overall"
+        );
     }
 
     #[test]
@@ -274,10 +301,18 @@ mod tests {
     #[test]
     fn single_leaf_tree_works() {
         let bvh = Bvh::build(&[Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)]);
-        let hit = traverse(&bvh, &Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z), TraversalKind::AnyHit);
+        let hit = traverse(
+            &bvh,
+            &Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z),
+            TraversalKind::AnyHit,
+        );
         assert!(hit.hit.is_some());
         assert_eq!(hit.restarts, 0);
-        let miss = traverse(&bvh, &Ray::new(Vec3::new(5.0, 5.0, -1.0), Vec3::Z), TraversalKind::AnyHit);
+        let miss = traverse(
+            &bvh,
+            &Ray::new(Vec3::new(5.0, 5.0, -1.0), Vec3::Z),
+            TraversalKind::AnyHit,
+        );
         assert!(miss.hit.is_none());
     }
 }

@@ -112,7 +112,13 @@ impl Traversal {
             stack.push(n);
         }
         let current = stack.pop();
-        Traversal { kind, stack, current, best: None, stats: TraversalStats::default() }
+        Traversal {
+            kind,
+            stack,
+            current,
+            best: None,
+            stats: TraversalStats::default(),
+        }
     }
 
     /// The node record the traversal needs next, or `None` when finished.
@@ -160,7 +166,12 @@ impl Traversal {
         let inv_dir = ray_eff.inv_direction();
         let node = bvh.node(node_id);
         match node.kind {
-            NodeKind::Interior { left, right, left_bounds, right_bounds } => {
+            NodeKind::Interior {
+                left,
+                right,
+                left_bounds,
+                right_bounds,
+            } => {
                 self.stats.interior_fetches += 1;
                 self.stats.box_tests += 2;
                 let t_left = left_bounds.intersect_with_inv(&ray_eff, inv_dir);
@@ -169,7 +180,11 @@ impl Traversal {
                 match (t_left, t_right) {
                     (Some(tl), Some(tr)) => {
                         // Visit the closer child first (§2.4).
-                        let (near, far) = if tl <= tr { (left, right) } else { (right, left) };
+                        let (near, far) = if tl <= tr {
+                            (left, right)
+                        } else {
+                            (right, left)
+                        };
                         self.stack.push(far);
                         self.current = Some(near);
                     }
@@ -177,7 +192,10 @@ impl Traversal {
                     (None, Some(_)) => self.current = Some(right),
                     (None, None) => self.current = self.stack.pop(),
                 }
-                StepEvent::Interior { node: node_id, child_hits }
+                StepEvent::Interior {
+                    node: node_id,
+                    child_hits,
+                }
             }
             NodeKind::Leaf { .. } => {
                 self.stats.leaf_fetches += 1;
@@ -193,7 +211,11 @@ impl Traversal {
                         _ => ray_eff,
                     };
                     if let Some(h) = tri.intersect(&bound) {
-                        let hit = Hit { t: h.t, tri_index, leaf: node_id };
+                        let hit = Hit {
+                            t: h.t,
+                            tri_index,
+                            leaf: node_id,
+                        };
                         found = Some(match found {
                             Some(prev) if prev.t <= hit.t => prev,
                             _ => hit,
@@ -213,7 +235,11 @@ impl Traversal {
                     (TraversalKind::AnyHit, Some(_)) => None, // Algorithm 1 line 15
                     _ => self.stack.pop(),
                 };
-                StepEvent::Leaf { node: node_id, tris_tested, found }
+                StepEvent::Leaf {
+                    node: node_id,
+                    tris_tested,
+                    found,
+                }
             }
         }
     }
@@ -223,7 +249,10 @@ impl Traversal {
         while self.current.is_some() {
             self.step(bvh, ray);
         }
-        TraversalResult { hit: self.best, stats: self.stats() }
+        TraversalResult {
+            hit: self.best,
+            stats: self.stats(),
+        }
     }
 }
 
@@ -240,7 +269,11 @@ mod tests {
                 for j in 0..4 {
                     let o = Vec3::new(i as f32, j as f32, z);
                     tris.push(Triangle::new(o, o + Vec3::X, o + Vec3::Y));
-                    tris.push(Triangle::new(o + Vec3::X, o + Vec3::X + Vec3::Y, o + Vec3::Y));
+                    tris.push(Triangle::new(
+                        o + Vec3::X,
+                        o + Vec3::X + Vec3::Y,
+                        o + Vec3::Y,
+                    ));
                 }
             }
         }
@@ -282,7 +315,11 @@ mod tests {
         let mut seeded = Traversal::from_nodes(TraversalKind::AnyHit, &[leaf]);
         let r = seeded.run(&bvh, &ray);
         assert!(r.hit.is_some());
-        assert_eq!(r.stats.node_fetches(), 1, "prediction should skip interior nodes");
+        assert_eq!(
+            r.stats.node_fetches(),
+            1,
+            "prediction should skip interior nodes"
+        );
         assert!(r.stats.node_fetches() < full.stats.node_fetches());
     }
 
@@ -304,7 +341,9 @@ mod tests {
         let ray = Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z);
         let mut tr = Traversal::new(TraversalKind::AnyHit);
         match tr.step(&bvh, &ray) {
-            StepEvent::Leaf { tris_tested, found, .. } => {
+            StepEvent::Leaf {
+                tris_tested, found, ..
+            } => {
                 assert_eq!(tris_tested, vec![0]);
                 assert!(found.is_some());
             }
@@ -329,7 +368,10 @@ mod tests {
     #[test]
     fn stats_spills_propagate() {
         let bvh = two_walls();
-        let ray = Ray::new(Vec3::new(2.0, 2.0, 0.0), Vec3::new(0.1, 0.1, 1.0).normalized());
+        let ray = Ray::new(
+            Vec3::new(2.0, 2.0, 0.0),
+            Vec3::new(0.1, 0.1, 1.0).normalized(),
+        );
         let r = bvh.intersect(&ray, TraversalKind::ClosestHit);
         // Not asserting a specific number — just that the plumbed counter
         // matches the stack's own.

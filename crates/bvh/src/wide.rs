@@ -115,8 +115,7 @@ impl WideBvh {
                             continue;
                         }
                         stats.box_tests += 1;
-                        if let Some(t) = node.bounds[slot].intersect_with_inv(&ray_eff, inv_dir)
-                        {
+                        if let Some(t) = node.bounds[slot].intersect_with_inv(&ray_eff, inv_dir) {
                             hits.push((t, node.children[slot]));
                         }
                     }
@@ -140,7 +139,11 @@ impl WideBvh {
                             // Leaf ids are not meaningful in the wide tree;
                             // report the binary leaf for interoperability.
                             let leaf = bvh.leaf_of_triangle(tri_index).unwrap_or(NodeId::ROOT);
-                            let hit = Hit { t: h.t, tri_index, leaf };
+                            let hit = Hit {
+                                t: h.t,
+                                tri_index,
+                                leaf,
+                            };
                             if best.is_none_or(|b| hit.t < b.t) {
                                 best = Some(hit);
                             }
@@ -168,7 +171,9 @@ fn build_wide(bvh: &Bvh, binary: NodeId, slot: usize, nodes: &mut Vec<WideNode>)
         .position(|&m| !bvh.node(m).is_leaf() && members.len() < WIDE_ARITY)
     {
         let node = bvh.node(members[pos]);
-        let NodeKind::Interior { left, right, .. } = node.kind else { unreachable!() };
+        let NodeKind::Interior { left, right, .. } = node.kind else {
+            unreachable!()
+        };
         members.remove(pos);
         members.push(left);
         members.push(right);
@@ -217,8 +222,16 @@ mod tests {
                     rng.gen_range(-5.0..5.0),
                     rng.gen_range(-5.0..5.0),
                 );
-                let e1 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
-                let e2 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                let e1 = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
+                let e2 = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
                 Triangle::new(base, base + e1, base + e2)
             })
             .collect()
@@ -272,8 +285,10 @@ mod tests {
                 .intersect(&binary, &ray, TraversalKind::ClosestHit)
                 .stats
                 .interior_fetches;
-            binary_fetches +=
-                binary.intersect(&ray, TraversalKind::ClosestHit).stats.interior_fetches;
+            binary_fetches += binary
+                .intersect(&ray, TraversalKind::ClosestHit)
+                .stats
+                .interior_fetches;
         }
         assert!(
             wide_fetches * 3 < binary_fetches * 2,

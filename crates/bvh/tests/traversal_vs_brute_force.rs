@@ -16,15 +16,27 @@ fn random_soup(n: usize, seed: u64) -> Vec<Triangle> {
                 rng.gen_range(-5.0..5.0),
                 rng.gen_range(-5.0..5.0),
             );
-            let e1 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
-            let e2 = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            let e1 = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
+            let e2 = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
             Triangle::new(base, base + e1, base + e2)
         })
         .collect()
 }
 
 fn random_ray(rng: &mut SmallRng) -> Ray {
-    let o = Vec3::new(rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0));
+    let o = Vec3::new(
+        rng.gen_range(-8.0..8.0),
+        rng.gen_range(-8.0..8.0),
+        rng.gen_range(-8.0..8.0),
+    );
     let d = rip_math::sampling::uniform_sphere(rng.gen(), rng.gen());
     Ray::segment(o, d, rng.gen_range(1.0..20.0))
 }

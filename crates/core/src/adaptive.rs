@@ -62,10 +62,16 @@ impl AdaptivePredictor {
     /// Grid Spherical 5/3 and Two Point 4 bits / ratio 0.15 (the two best
     /// configurations of Table 8).
     pub fn paper_budget(scene_bounds: Aabb) -> Self {
-        let grid = PredictorConfig { entries: 512, ..PredictorConfig::paper_default() };
+        let grid = PredictorConfig {
+            entries: 512,
+            ..PredictorConfig::paper_default()
+        };
         let two_point = PredictorConfig {
             entries: 512,
-            hash: crate::HashFunction::TwoPoint { origin_bits: 4, length_ratio: 0.15 },
+            hash: crate::HashFunction::TwoPoint {
+                origin_bits: 4,
+                length_ratio: 0.15,
+            },
             ..PredictorConfig::paper_default()
         };
         Self::new(grid, two_point, scene_bounds)
@@ -165,8 +171,10 @@ mod tests {
         let bvh = ceiling_bvh();
         let mut adaptive = AdaptivePredictor::paper_budget(bvh.bounds());
         for ray in rays(800) {
-            let reference =
-                bvh.intersect(&ray, rip_bvh::TraversalKind::AnyHit).hit.is_some();
+            let reference = bvh
+                .intersect(&ray, rip_bvh::TraversalKind::AnyHit)
+                .hit
+                .is_some();
             let trace = adaptive.trace_occlusion(&bvh, &ray);
             assert_eq!(reference, trace.hit.is_some());
         }

@@ -71,8 +71,7 @@ impl PredictorConfig {
     /// Storage cost of the table in bytes: per entry, 1 valid bit + tag +
     /// 27 bits per node slot (§6.1.1).
     pub fn table_bytes(&self) -> usize {
-        let bits_per_entry =
-            1 + self.hash.bits() as usize + 27 * self.nodes_per_entry;
+        let bits_per_entry = 1 + self.hash.bits() as usize + 27 * self.nodes_per_entry;
         self.entries * bits_per_entry / 8
     }
 
@@ -88,7 +87,10 @@ impl PredictorConfig {
             return Err("entries, ways and nodes_per_entry must be positive".into());
         }
         if !self.entries.is_multiple_of(self.ways) {
-            return Err(format!("{} entries not divisible by {} ways", self.entries, self.ways));
+            return Err(format!(
+                "{} entries not divisible by {} ways",
+                self.entries, self.ways
+            ));
         }
         if !self.sets().is_power_of_two() {
             return Err(format!("{} sets is not a power of two", self.sets()));

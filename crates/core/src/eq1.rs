@@ -64,34 +64,64 @@ mod tests {
 
     #[test]
     fn skipped_plus_per_ray_equals_n() {
-        let m = Eq1Model { p: 0.9, v: 0.3, n: 30.0, k: 1.0, m: 3.0 };
+        let m = Eq1Model {
+            p: 0.9,
+            v: 0.3,
+            n: 30.0,
+            k: 1.0,
+            m: 3.0,
+        };
         assert!((m.estimated_nodes_skipped() + m.estimated_nodes_per_ray() - m.n).abs() < 1e-12);
     }
 
     #[test]
     fn overprediction_hurts() {
-        let base = Eq1Model { p: 0.5, v: 0.3, n: 30.0, k: 1.0, m: 3.0 };
+        let base = Eq1Model {
+            p: 0.5,
+            v: 0.3,
+            n: 30.0,
+            k: 1.0,
+            m: 3.0,
+        };
         let over = Eq1Model { p: 0.9, ..base };
         assert!(over.estimated_nodes_skipped() < base.estimated_nodes_skipped());
     }
 
     #[test]
     fn higher_verification_helps() {
-        let base = Eq1Model { p: 0.9, v: 0.2, n: 30.0, k: 1.0, m: 3.0 };
+        let base = Eq1Model {
+            p: 0.9,
+            v: 0.2,
+            n: 30.0,
+            k: 1.0,
+            m: 3.0,
+        };
         let better = Eq1Model { v: 0.4, ..base };
         assert!(better.estimated_nodes_skipped() > base.estimated_nodes_skipped());
     }
 
     #[test]
     fn table5_numbers_reproduce() {
-        let m = Eq1Model { p: 0.955, v: 0.246, n: 28.382, k: 1.0, m: 2.810 };
+        let m = Eq1Model {
+            p: 0.955,
+            v: 0.246,
+            n: 28.382,
+            k: 1.0,
+            m: 2.810,
+        };
         assert!((m.estimated_nodes_skipped() - 4.298).abs() < 0.01);
         assert!(m.is_profitable());
     }
 
     #[test]
     fn unprofitable_when_mispredictions_dominate() {
-        let m = Eq1Model { p: 1.0, v: 0.01, n: 10.0, k: 4.0, m: 5.0 };
+        let m = Eq1Model {
+            p: 1.0,
+            v: 0.01,
+            n: 10.0,
+            k: 4.0,
+            m: 5.0,
+        };
         assert!(!m.is_profitable());
     }
 }

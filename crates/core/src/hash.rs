@@ -45,7 +45,10 @@ impl Default for HashFunction {
     /// The paper's best configuration: Grid Spherical with 5 origin bits
     /// and 3 direction bits (Table 3).
     fn default() -> Self {
-        HashFunction::GridSpherical { origin_bits: 5, direction_bits: 3 }
+        HashFunction::GridSpherical {
+            origin_bits: 5,
+            direction_bits: 3,
+        }
     }
 }
 
@@ -53,9 +56,10 @@ impl HashFunction {
     /// Width of the produced hash in bits (also the predictor tag width).
     pub fn bits(&self) -> u32 {
         match *self {
-            HashFunction::GridSpherical { origin_bits, direction_bits } => {
-                (3 * origin_bits).max(2 * direction_bits + 1)
-            }
+            HashFunction::GridSpherical {
+                origin_bits,
+                direction_bits,
+            } => (3 * origin_bits).max(2 * direction_bits + 1),
             HashFunction::TwoPoint { origin_bits, .. } => 3 * origin_bits,
         }
     }
@@ -68,15 +72,23 @@ impl HashFunction {
     /// length ratio is not in `(0, 1]`.
     pub fn validate(&self) -> Result<(), String> {
         match *self {
-            HashFunction::GridSpherical { origin_bits, direction_bits } => {
+            HashFunction::GridSpherical {
+                origin_bits,
+                direction_bits,
+            } => {
                 if origin_bits == 0 || 3 * origin_bits > 30 {
                     return Err(format!("origin_bits {origin_bits} out of range [1, 10]"));
                 }
                 if direction_bits == 0 || direction_bits > 8 {
-                    return Err(format!("direction_bits {direction_bits} out of range [1, 8]"));
+                    return Err(format!(
+                        "direction_bits {direction_bits} out of range [1, 8]"
+                    ));
                 }
             }
-            HashFunction::TwoPoint { origin_bits, length_ratio } => {
+            HashFunction::TwoPoint {
+                origin_bits,
+                length_ratio,
+            } => {
                 if origin_bits == 0 || 3 * origin_bits > 30 {
                     return Err(format!("origin_bits {origin_bits} out of range [1, 10]"));
                 }
@@ -117,8 +129,13 @@ impl RayHasher {
     /// Panics when the hash parameters are invalid (see
     /// [`HashFunction::validate`]).
     pub fn new(function: HashFunction, scene_bounds: Aabb) -> Self {
-        function.validate().expect("invalid hash function parameters");
-        RayHasher { function, scene_bounds }
+        function
+            .validate()
+            .expect("invalid hash function parameters");
+        RayHasher {
+            function,
+            scene_bounds,
+        }
     }
 
     /// The configured hash function.
@@ -129,7 +146,10 @@ impl RayHasher {
     /// Hashes a ray to `bits()` bits.
     pub fn hash(&self, ray: &Ray) -> u32 {
         match self.function {
-            HashFunction::GridSpherical { origin_bits, direction_bits } => {
+            HashFunction::GridSpherical {
+                origin_bits,
+                direction_bits,
+            } => {
                 let origin = grid_hash(ray.origin, &self.scene_bounds, origin_bits);
                 let s = spherical::to_spherical_deg(ray.direction);
                 // θ ∈ [0,180) as an 8-bit integer; take the top m bits.
@@ -141,7 +161,10 @@ impl RayHasher {
                 let dir = (theta_bits << (direction_bits + 1)) | phi_bits;
                 origin ^ dir
             }
-            HashFunction::TwoPoint { origin_bits, length_ratio } => {
+            HashFunction::TwoPoint {
+                origin_bits,
+                length_ratio,
+            } => {
                 let origin = grid_hash(ray.origin, &self.scene_bounds, origin_bits);
                 let l = self.scene_bounds.max_extent();
                 let d = ray.direction.try_normalized().unwrap_or(Vec3::Z);
@@ -168,7 +191,11 @@ pub fn fold_hash(hash: u32, n_bits: u32, m_bits: u32) -> u32 {
         return 0;
     }
     if m_bits >= n_bits {
-        return if n_bits >= 32 { hash } else { hash & ((1u32 << n_bits) - 1) };
+        return if n_bits >= 32 {
+            hash
+        } else {
+            hash & ((1u32 << n_bits) - 1)
+        };
     }
     let mask = (1u32 << m_bits) - 1;
     let mut acc = 0u32;
@@ -216,9 +243,18 @@ mod tests {
     #[test]
     fn hash_fits_in_declared_bits() {
         for f in [
-            HashFunction::GridSpherical { origin_bits: 5, direction_bits: 3 },
-            HashFunction::GridSpherical { origin_bits: 3, direction_bits: 5 },
-            HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.15 },
+            HashFunction::GridSpherical {
+                origin_bits: 5,
+                direction_bits: 3,
+            },
+            HashFunction::GridSpherical {
+                origin_bits: 3,
+                direction_bits: 5,
+            },
+            HashFunction::TwoPoint {
+                origin_bits: 5,
+                length_ratio: 0.15,
+            },
         ] {
             let h = RayHasher::new(f, bounds());
             for i in 0..200 {
@@ -236,11 +272,17 @@ mod tests {
     #[test]
     fn two_point_ratio_changes_collisions() {
         let near = RayHasher::new(
-            HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.05 },
+            HashFunction::TwoPoint {
+                origin_bits: 5,
+                length_ratio: 0.05,
+            },
             bounds(),
         );
         let far = RayHasher::new(
-            HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.35 },
+            HashFunction::TwoPoint {
+                origin_bits: 5,
+                length_ratio: 0.35,
+            },
             bounds(),
         );
         // Two rays from the same cell diverging slightly: with a short
@@ -279,25 +321,40 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(HashFunction::GridSpherical { origin_bits: 0, direction_bits: 3 }
-            .validate()
-            .is_err());
-        assert!(HashFunction::GridSpherical { origin_bits: 11, direction_bits: 3 }
-            .validate()
-            .is_err());
-        assert!(HashFunction::TwoPoint { origin_bits: 5, length_ratio: 0.0 }
-            .validate()
-            .is_err());
-        assert!(HashFunction::TwoPoint { origin_bits: 5, length_ratio: 1.5 }
-            .validate()
-            .is_err());
+        assert!(HashFunction::GridSpherical {
+            origin_bits: 0,
+            direction_bits: 3
+        }
+        .validate()
+        .is_err());
+        assert!(HashFunction::GridSpherical {
+            origin_bits: 11,
+            direction_bits: 3
+        }
+        .validate()
+        .is_err());
+        assert!(HashFunction::TwoPoint {
+            origin_bits: 5,
+            length_ratio: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(HashFunction::TwoPoint {
+            origin_bits: 5,
+            length_ratio: 1.5
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     #[should_panic(expected = "invalid hash")]
     fn hasher_panics_on_invalid_function() {
         let _ = RayHasher::new(
-            HashFunction::GridSpherical { origin_bits: 0, direction_bits: 1 },
+            HashFunction::GridSpherical {
+                origin_bits: 0,
+                direction_bits: 1,
+            },
             bounds(),
         );
     }

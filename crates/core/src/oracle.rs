@@ -37,7 +37,10 @@ impl OracleMode {
 
     /// Whether the training store is unbounded.
     pub fn unbounded(self) -> bool {
-        matches!(self, OracleMode::UnboundedTraining | OracleMode::ImmediateUpdates)
+        matches!(
+            self,
+            OracleMode::UnboundedTraining | OracleMode::ImmediateUpdates
+        )
     }
 
     /// Short label used in the limit-study figure.

@@ -1,8 +1,8 @@
 //! The predictor module: table + hash + Go Up Level + training pipeline.
 
-use crate::{PredictionStats, PredictorConfig, PredictorTable, RayHasher};
 #[cfg(test)]
 use crate::OracleMode;
+use crate::{PredictionStats, PredictorConfig, PredictorTable, RayHasher};
 use rip_bvh::{Bvh, NodeId};
 use rip_math::{Aabb, Ray};
 use std::collections::{HashSet, VecDeque};
@@ -127,7 +127,9 @@ impl Predictor {
     /// [`Predictor::oracle_lookup`].
     pub fn lookup(&mut self, ray: &Ray) -> Option<Prediction> {
         let hash = self.hash_ray(ray);
-        self.table.lookup(hash).map(|nodes| Prediction { hash, nodes })
+        self.table
+            .lookup(hash)
+            .map(|nodes| Prediction { hash, nodes })
     }
 
     /// Oracle lookup (§6.3): returns the deepest stored node lying on the
@@ -141,13 +143,19 @@ impl Predictor {
             ancestor_chain
                 .iter()
                 .find(|n| self.unbounded_store.contains(n))
-                .map(|&n| Prediction { hash, nodes: vec![n] })
+                .map(|&n| Prediction {
+                    hash,
+                    nodes: vec![n],
+                })
         } else {
             let stored: HashSet<NodeId> = self.table.stored_nodes().collect();
             ancestor_chain
                 .iter()
                 .find(|n| stored.contains(n))
-                .map(|&n| Prediction { hash, nodes: vec![n] })
+                .map(|&n| Prediction {
+                    hash,
+                    nodes: vec![n],
+                })
         }
     }
 
@@ -207,7 +215,10 @@ mod tests {
     }
 
     fn immediate_config() -> PredictorConfig {
-        PredictorConfig { update_delay: 0, ..PredictorConfig::paper_default() }
+        PredictorConfig {
+            update_delay: 0,
+            ..PredictorConfig::paper_default()
+        }
     }
 
     #[test]
@@ -227,7 +238,10 @@ mod tests {
     #[test]
     fn update_delay_defers_visibility() {
         let bvh = test_bvh();
-        let config = PredictorConfig { update_delay: 3, ..PredictorConfig::paper_default() };
+        let config = PredictorConfig {
+            update_delay: 3,
+            ..PredictorConfig::paper_default()
+        };
         let mut p = Predictor::new(config, bvh.bounds());
         let ray = Ray::new(Vec3::new(2.5, 3.0, 2.5), -Vec3::Y);
         let hash = p.hash_ray(&ray);
@@ -240,13 +254,20 @@ mod tests {
         }
         p.begin_ray();
         p.begin_ray();
-        assert!(p.lookup(&ray).is_some(), "update should be visible after the delay");
+        assert!(
+            p.lookup(&ray).is_some(),
+            "update should be visible after the delay"
+        );
     }
 
     #[test]
     fn go_up_level_zero_stores_leaf_itself() {
         let bvh = test_bvh();
-        let config = PredictorConfig { go_up_level: 0, update_delay: 0, ..Default::default() };
+        let config = PredictorConfig {
+            go_up_level: 0,
+            update_delay: 0,
+            ..Default::default()
+        };
         let mut p = Predictor::new(config, bvh.bounds());
         let ray = Ray::new(Vec3::new(0.2, 3.0, 0.2), -Vec3::Y);
         let hash = p.hash_ray(&ray);
@@ -270,7 +291,9 @@ mod tests {
         while let Some(parent) = bvh.node(*chain.last().unwrap()).parent {
             chain.push(parent);
         }
-        let pred = p.oracle_lookup(&ray, &chain).expect("stored ancestor on chain");
+        let pred = p
+            .oracle_lookup(&ray, &chain)
+            .expect("stored ancestor on chain");
         assert_eq!(pred.nodes, vec![bvh.ancestor(leaf, 3)]);
         // A chain that avoids the stored node yields no prediction.
         assert!(p.oracle_lookup(&ray, &[]).is_none());

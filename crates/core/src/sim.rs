@@ -28,7 +28,11 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { num_predictors: 1, warp_size: 32, classify_accesses: true }
+        SimOptions {
+            num_predictors: 1,
+            warp_size: 32,
+            classify_accesses: true,
+        }
     }
 }
 
@@ -65,12 +69,18 @@ impl FunctionalReport {
     /// Fractional reduction of total memory accesses
     /// (`1 − with/baseline`); ~13% in §6.
     pub fn memory_savings(&self) -> f64 {
-        savings(self.with_predictor.memory_accesses(), self.baseline.memory_accesses())
+        savings(
+            self.with_predictor.memory_accesses(),
+            self.baseline.memory_accesses(),
+        )
     }
 
     /// Fractional reduction of BVH node fetches.
     pub fn node_savings(&self) -> f64 {
-        savings(self.with_predictor.node_fetches(), self.baseline.node_fetches())
+        savings(
+            self.with_predictor.node_fetches(),
+            self.baseline.node_fetches(),
+        )
     }
 
     /// Fractional reduction of triangle fetches.
@@ -110,8 +120,7 @@ impl FunctionalReport {
         if self.baseline.memory_accesses() == 0 {
             0.0
         } else {
-            self.prediction_eval.memory_accesses() as f64
-                / self.baseline.memory_accesses() as f64
+            self.prediction_eval.memory_accesses() as f64 / self.baseline.memory_accesses() as f64
         }
     }
 
@@ -186,7 +195,10 @@ impl FunctionalSim {
         let mut predictors: Vec<Predictor> = (0..self.options.num_predictors)
             .map(|_| Predictor::new(self.config, bvh.bounds()))
             .collect();
-        let mut report = FunctionalReport { rays: rays.len() as u64, ..Default::default() };
+        let mut report = FunctionalReport {
+            rays: rays.len() as u64,
+            ..Default::default()
+        };
         let mut node_seen = vec![false; bvh.node_count()];
         let mut tri_seen = vec![false; bvh.triangle_count()];
 
@@ -268,7 +280,11 @@ mod tests {
             for j in 0..24 {
                 let o = Vec3::new(i as f32, 0.0, j as f32);
                 tris.push(Triangle::new(o, o + Vec3::X, o + Vec3::Z));
-                tris.push(Triangle::new(o + Vec3::X, o + Vec3::X + Vec3::Z, o + Vec3::Z));
+                tris.push(Triangle::new(
+                    o + Vec3::X,
+                    o + Vec3::X + Vec3::Z,
+                    o + Vec3::Z,
+                ));
             }
         }
         Bvh::build(&tris)
@@ -289,7 +305,8 @@ mod tests {
             );
             for _ in 0..4 {
                 // Downward AO rays from a virtual surface above the floor.
-                let d = rip_math::sampling::cosine_hemisphere_around(-Vec3::Y, rng.gen(), rng.gen());
+                let d =
+                    rip_math::sampling::cosine_hemisphere_around(-Vec3::Y, rng.gen(), rng.gen());
                 rays.push(Ray::segment(o, d, 6.0));
                 if rays.len() == n {
                     break;
@@ -300,7 +317,10 @@ mod tests {
     }
 
     fn quick_config() -> PredictorConfig {
-        PredictorConfig { update_delay: 8, ..PredictorConfig::paper_default() }
+        PredictorConfig {
+            update_delay: 8,
+            ..PredictorConfig::paper_default()
+        }
     }
 
     #[test]
@@ -309,8 +329,16 @@ mod tests {
         let rays = ao_like_rays(3000, 7);
         let sim = FunctionalSim::new(quick_config(), SimOptions::default());
         let report = sim.run(&bvh, &rays);
-        assert!(report.prediction.verified_rate() > 0.1, "v = {}", report.prediction.verified_rate());
-        assert!(report.node_savings() > 0.0, "node savings {}", report.node_savings());
+        assert!(
+            report.prediction.verified_rate() > 0.1,
+            "v = {}",
+            report.prediction.verified_rate()
+        );
+        assert!(
+            report.node_savings() > 0.0,
+            "node savings {}",
+            report.node_savings()
+        );
         assert!(report.with_predictor.node_fetches() < report.baseline.node_fetches());
     }
 
@@ -359,7 +387,10 @@ mod tests {
         }
         // Each idealization step should not hurt (allow small noise).
         for w in savings.windows(2) {
-            assert!(w[1] >= w[0] - 0.02, "oracle ladder not monotone: {savings:?}");
+            assert!(
+                w[1] >= w[0] - 0.02,
+                "oracle ladder not monotone: {savings:?}"
+            );
         }
     }
 
@@ -372,7 +403,10 @@ mod tests {
         let one = FunctionalSim::new(quick_config(), SimOptions::default()).run(&bvh, &rays);
         let many = FunctionalSim::new(
             quick_config(),
-            SimOptions { num_predictors: 8, ..SimOptions::default() },
+            SimOptions {
+                num_predictors: 8,
+                ..SimOptions::default()
+            },
         )
         .run(&bvh, &rays);
         assert!(

@@ -108,7 +108,13 @@ mod tests {
 
     #[test]
     fn accumulation() {
-        let mut a = PredictionStats { rays: 10, hits: 5, predicted: 4, verified: 2, ..Default::default() };
+        let mut a = PredictionStats {
+            rays: 10,
+            hits: 5,
+            predicted: 4,
+            verified: 2,
+            ..Default::default()
+        };
         let b = a;
         a += b;
         assert_eq!(a.rays, 20);

@@ -63,8 +63,15 @@ impl PredictorTable {
     /// [`PredictorConfig::validate`]).
     pub fn new(config: PredictorConfig) -> Self {
         config.validate().expect("invalid predictor configuration");
-        let sets = (0..config.sets()).map(|_| vec![None; config.ways]).collect();
-        PredictorTable { config, sets, clock: 0, stats: TableStats::default() }
+        let sets = (0..config.sets())
+            .map(|_| vec![None; config.ways])
+            .collect();
+        PredictorTable {
+            config,
+            sets,
+            clock: 0,
+            stats: TableStats::default(),
+        }
     }
 
     /// The configuration this table was built with.
@@ -112,9 +119,7 @@ impl PredictorTable {
         self.clock += 1;
         let idx = self.set_index(hash);
         let clock = self.clock;
-        if let Some(entry) =
-            self.sets[idx].iter_mut().flatten().find(|e| e.tag == hash)
-        {
+        if let Some(entry) = self.sets[idx].iter_mut().flatten().find(|e| e.tag == hash) {
             if let Some(pos) = entry.nodes.iter().position(|&n| n == node) {
                 entry.usage[pos].touch(clock);
             }
@@ -158,7 +163,12 @@ impl PredictorTable {
         // Case 2: allocate a way (prefer an invalid one, else evict LRU).
         let mut usage = SlotUsage::default();
         usage.touch(clock);
-        let fresh = Entry { tag: hash, nodes: vec![node], usage: vec![usage], last_use: clock };
+        let fresh = Entry {
+            tag: hash,
+            nodes: vec![node],
+            usage: vec![usage],
+            last_use: clock,
+        };
         if let Some(slot) = set.iter_mut().find(|w| w.is_none()) {
             *slot = Some(fresh);
             return;
@@ -176,7 +186,11 @@ impl PredictorTable {
     /// Iterates over every node currently stored anywhere in the table
     /// (used by the OL oracle of §6.3).
     pub fn stored_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.sets.iter().flatten().flatten().flat_map(|e| e.nodes.iter().copied())
+        self.sets
+            .iter()
+            .flatten()
+            .flatten()
+            .flat_map(|e| e.nodes.iter().copied())
     }
 
     /// Removes every entry, keeping statistics.
@@ -235,17 +249,13 @@ mod tests {
     #[test]
     fn set_eviction_is_lru() {
         let mut t = PredictorTable::new(small_config(2, 1));
-        // Three tags mapping to the same set (sets = 32? entries=32, ways=2
-        // → 16 sets, index_bits 4). Build tags with equal fold.
-        let mk = |salt: u32| {
-            let h = salt << 4; // keep low 4 bits 0; fold XORs chunks
-            h ^ (h >> 4) & 0 // keep simple: rely on fold over chunks
-        };
-        let _ = mk;
-        // Simpler: find three 15-bit hashes with equal fold by search.
+        // Three tags mapping to the same set (entries=32, ways=2 → 16 sets,
+        // index_bits 4): find three 15-bit hashes with equal fold by search.
         let target = fold_hash(0x11, 15, 4);
-        let same: Vec<u32> =
-            (0u32..1 << 15).filter(|&h| fold_hash(h, 15, 4) == target).take(3).collect();
+        let same: Vec<u32> = (0u32..1 << 15)
+            .filter(|&h| fold_hash(h, 15, 4) == target)
+            .take(3)
+            .collect();
         let (a, b, c) = (same[0], same[1], same[2]);
         t.insert(a, NodeId::new(1));
         t.insert(b, NodeId::new(2));
@@ -322,9 +332,14 @@ mod tests {
         // not use the same entry."
         let mut t = PredictorTable::new(small_config(1, 1));
         let target = fold_hash(0x5, 15, 4);
-        let same: Vec<u32> =
-            (0u32..1 << 15).filter(|&h| fold_hash(h, 15, 4) == target).take(2).collect();
+        let same: Vec<u32> = (0u32..1 << 15)
+            .filter(|&h| fold_hash(h, 15, 4) == target)
+            .take(2)
+            .collect();
         t.insert(same[0], NodeId::new(1));
-        assert!(t.lookup(same[1]).is_none(), "conflicting hash must miss, not alias");
+        assert!(
+            t.lookup(same[1]).is_none(),
+            "conflicting hash must miss, not alias"
+        );
     }
 }

@@ -266,14 +266,21 @@ mod tests {
             for j in 0..16 {
                 let o = Vec3::new(i as f32, 0.0, j as f32);
                 tris.push(Triangle::new(o, o + Vec3::X, o + Vec3::Z));
-                tris.push(Triangle::new(o + Vec3::X, o + Vec3::X + Vec3::Z, o + Vec3::Z));
+                tris.push(Triangle::new(
+                    o + Vec3::X,
+                    o + Vec3::X + Vec3::Z,
+                    o + Vec3::Z,
+                ));
             }
         }
         Bvh::build(&tris)
     }
 
     fn immediate() -> PredictorConfig {
-        PredictorConfig { update_delay: 0, ..PredictorConfig::paper_default() }
+        PredictorConfig {
+            update_delay: 0,
+            ..PredictorConfig::paper_default()
+        }
     }
 
     #[test]
@@ -302,7 +309,11 @@ mod tests {
         let b = Ray::new(Vec3::new(7.35, 2.0, 7.32), -Vec3::Y);
         trace_occlusion(&mut p, &bvh, &a);
         let tb = trace_occlusion(&mut p, &bvh, &b);
-        assert_eq!(tb.outcome, RayOutcome::Verified, "similar ray should verify");
+        assert_eq!(
+            tb.outcome,
+            RayOutcome::Verified,
+            "similar ray should verify"
+        );
     }
 
     #[test]
@@ -343,7 +354,11 @@ mod tests {
                 (i % 11) as f32 + (rng_phase * 2.0).fract(),
             );
             let t = trace_occlusion(&mut p, &bvh, &Ray::new(o, -Vec3::Y));
-            assert_ne!(t.outcome, RayOutcome::Mispredicted, "oracle cannot mispredict");
+            assert_ne!(
+                t.outcome,
+                RayOutcome::Mispredicted,
+                "oracle cannot mispredict"
+            );
             if t.outcome == RayOutcome::Verified {
                 verified += 1;
             }

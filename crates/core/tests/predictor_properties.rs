@@ -6,8 +6,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rip_bvh::{Bvh, NodeId, TraversalKind};
 use rip_core::{
-    fold_hash, trace_occlusion, HashFunction, NodeReplacement, PredictorConfig,
-    PredictorTable, RayHasher,
+    fold_hash, trace_occlusion, HashFunction, NodeReplacement, PredictorConfig, PredictorTable,
+    RayHasher,
 };
 use rip_math::{Ray, Triangle, Vec3};
 

@@ -107,7 +107,10 @@ mod tests {
         let one_kb = sram_read_pj(1024, 1);
         assert!((one_kb - 2.0).abs() < 0.1, "1KB anchor: {one_kb}");
         let sixty_four = sram_read_pj(64 * 1024, 1);
-        assert!((10.0..25.0).contains(&sixty_four), "64KB anchor: {sixty_four}");
+        assert!(
+            (10.0..25.0).contains(&sixty_four),
+            "64KB anchor: {sixty_four}"
+        );
     }
 
     #[test]
@@ -125,7 +128,10 @@ mod tests {
         let a = sram_area_mm2(8 * 1024, 1);
         let b = sram_area_mm2(64 * 1024, 1);
         let ratio = b / a;
-        assert!((6.0..9.0).contains(&ratio), "8x capacity → ~{ratio:.1}x area");
+        assert!(
+            (6.0..9.0).contains(&ratio),
+            "8x capacity → ~{ratio:.1}x area"
+        );
     }
 
     #[test]

@@ -147,7 +147,12 @@ mod tests {
     use rip_gpusim::ActivityCounts;
 
     fn report(cycles: u64, rays: u64, activity: ActivityCounts) -> SimReport {
-        SimReport { cycles, completed_rays: rays, activity, ..Default::default() }
+        SimReport {
+            cycles,
+            completed_rays: rays,
+            activity,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -208,7 +213,11 @@ mod tests {
             report(
                 10_000,
                 1_000,
-                ActivityCounts { l1_accesses: 30_000, dram_accesses: dram, ..Default::default() },
+                ActivityCounts {
+                    l1_accesses: 30_000,
+                    dram_accesses: dram,
+                    ..Default::default()
+                },
             )
         };
         let high = model.breakdown(&mk(5_000));

@@ -1,0 +1,346 @@
+//! Build-once case cache with an on-disk artifact store.
+//!
+//! Two tiers:
+//!
+//! 1. **In-process**: a `(scene, scale, viewport) → Arc<Case>` map shared
+//!    by every experiment in the run. Concurrent requests for the same
+//!    key block on one build (via `OnceLock`) instead of duplicating it.
+//! 2. **On-disk**: serialized scene and BVH artifacts (see
+//!    `rip_scene::serial` / `rip_bvh::serial`), so *subsequent processes*
+//!    skip procedural synthesis and BVH construction entirely. Artifacts
+//!    are keyed by scene/scale/viewport and both format versions; stale
+//!    or corrupt files fail decoding and fall back to a rebuild.
+//!
+//! The store lives in `$RIP_CACHE_DIR` when set (an **empty** value
+//! disables the disk tier), else `<system temp dir>/rip-artifacts`.
+//! Clearing it is always safe: artifacts are pure derived data.
+//!
+//! Telemetry (hits, builds, timings) goes to **stderr** so experiment
+//! tables on stdout stay byte-deterministic.
+
+use crate::case::{Case, CaseKey};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Counters describing how a [`CaseCache`] served its requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the in-process map.
+    pub memory_hits: u64,
+    /// Requests served by decoding on-disk artifacts.
+    pub disk_hits: u64,
+    /// Requests that built the case from scratch.
+    pub builds: u64,
+}
+
+/// Process-wide build-once cache of benchmark cases.
+pub struct CaseCache {
+    cases: Mutex<HashMap<CaseKey, Arc<OnceLock<Arc<Case>>>>>,
+    disk_dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl CaseCache {
+    /// A cache whose disk tier honors `$RIP_CACHE_DIR` (empty value =
+    /// disabled; unset = `<system temp dir>/rip-artifacts`).
+    pub fn new() -> Self {
+        let disk_dir = match std::env::var("RIP_CACHE_DIR") {
+            Ok(dir) if dir.is_empty() => None,
+            Ok(dir) => Some(PathBuf::from(dir)),
+            Err(_) => Some(std::env::temp_dir().join("rip-artifacts")),
+        };
+        CaseCache::with_disk_dir(disk_dir)
+    }
+
+    /// A cache with an explicit disk tier (`None` = in-memory only).
+    pub fn with_disk_dir(disk_dir: Option<PathBuf>) -> Self {
+        CaseCache {
+            cases: Mutex::new(HashMap::new()),
+            disk_dir,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with no disk tier.
+    pub fn in_memory_only() -> Self {
+        CaseCache::with_disk_dir(None)
+    }
+
+    /// Where this cache persists artifacts, when it does.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the case for `key`, building it at most once per process
+    /// and consulting the artifact store before building.
+    pub fn get_or_build(&self, key: CaseKey) -> Arc<Case> {
+        let cell = {
+            let mut cases = self.cases.lock().expect("case map poisoned");
+            Arc::clone(
+                cases
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        if let Some(case) = cell.get() {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(case);
+        }
+        let mut initialized_here = false;
+        let case = cell.get_or_init(|| {
+            initialized_here = true;
+            Arc::new(self.load_or_build(key))
+        });
+        if !initialized_here {
+            // Another thread raced us to the build; for this request it
+            // behaved like an in-memory hit.
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(case)
+    }
+
+    fn load_or_build(&self, key: CaseKey) -> Case {
+        if let Some(case) = self.try_load(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return case;
+        }
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let case = Case::build(key);
+        let built_ms = start.elapsed().as_millis();
+        match self.store(key, &case) {
+            Some(dir) => eprintln!(
+                "[rip-exec] built case {} in {built_ms} ms (artifacts cached to {})",
+                key.label(),
+                dir.display(),
+            ),
+            None => eprintln!(
+                "[rip-exec] built case {} in {built_ms} ms (disk cache disabled)",
+                key.label(),
+            ),
+        }
+        case
+    }
+
+    /// Attempts to serve `key` from the artifact store. Any failure —
+    /// missing files, version skew, corruption — returns `None` and the
+    /// caller rebuilds.
+    fn try_load(&self, key: CaseKey) -> Option<Case> {
+        let (scene_path, bvh_path) = self.artifact_paths(key)?;
+        let scene_bytes = std::fs::read(&scene_path).ok()?;
+        let bvh_bytes = std::fs::read(&bvh_path).ok()?;
+        let start = Instant::now();
+        let scene = match rip_scene::serial::decode(&scene_bytes) {
+            Ok(scene) => scene,
+            Err(e) => {
+                eprintln!(
+                    "[rip-exec] discarding stale artifact {}: {e}",
+                    scene_path.display()
+                );
+                return None;
+            }
+        };
+        let bvh = match rip_bvh::serial::decode(&bvh_bytes) {
+            Ok(bvh) => bvh,
+            Err(e) => {
+                eprintln!(
+                    "[rip-exec] discarding stale artifact {}: {e}",
+                    bvh_path.display()
+                );
+                return None;
+            }
+        };
+        if scene.id != key.id
+            || scene.camera.width() != key.width
+            || scene.camera.height() != key.height
+            || bvh.triangle_count() != scene.mesh.triangle_count()
+        {
+            eprintln!(
+                "[rip-exec] artifact {} does not match its key; rebuilding",
+                key.label()
+            );
+            return None;
+        }
+        eprintln!(
+            "[rip-exec] artifact cache hit: {} (scene+BVH loaded in {} ms, 0 rebuilds)",
+            key.label(),
+            start.elapsed().as_millis(),
+        );
+        let id = scene.id;
+        Some(Case { id, scene, bvh })
+    }
+
+    /// Persists both artifacts; returns the store directory on success.
+    fn store(&self, key: CaseKey, case: &Case) -> Option<&Path> {
+        let (scene_path, bvh_path) = self.artifact_paths(key)?;
+        let dir = self.disk_dir.as_deref()?;
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "[rip-exec] cannot create artifact dir {}: {e}",
+                dir.display()
+            );
+            return None;
+        }
+        let ok = write_atomic(&scene_path, &rip_scene::serial::encode(&case.scene))
+            && write_atomic(&bvh_path, &rip_bvh::serial::encode(&case.bvh));
+        ok.then_some(dir)
+    }
+
+    fn artifact_paths(&self, key: CaseKey) -> Option<(PathBuf, PathBuf)> {
+        let dir = self.disk_dir.as_deref()?;
+        let stem = format!(
+            "{}_s{}b{}",
+            key.label(),
+            rip_scene::serial::FORMAT_VERSION,
+            rip_bvh::serial::FORMAT_VERSION,
+        );
+        Some((
+            dir.join(format!("{stem}.scene")),
+            dir.join(format!("{stem}.bvh")),
+        ))
+    }
+}
+
+impl Default for CaseCache {
+    fn default() -> Self {
+        CaseCache::new()
+    }
+}
+
+/// Writes via a temp file + rename so concurrent processes never observe
+/// a torn artifact.
+fn write_atomic(path: &Path, bytes: &[u8]) -> bool {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        eprintln!("[rip-exec] cannot persist artifact {}: {e}", path.display());
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::JobPool;
+    use rip_scene::{SceneId, SceneScale};
+
+    fn tiny_key(viewport: u32) -> CaseKey {
+        CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, viewport)
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rip-exec-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_shares_one_build() {
+        let cache = CaseCache::in_memory_only();
+        let a = cache.get_or_build(tiny_key(16));
+        let b = cache.get_or_build(tiny_key(16));
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second request must reuse the built case"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                memory_hits: 1,
+                disk_hits: 0,
+                builds: 1
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cache = CaseCache::in_memory_only();
+        let pool = JobPool::new(4);
+        let keys = [tiny_key(18); 8];
+        let cases = pool.map(&keys, |&key| cache.get_or_build(key));
+        for case in &cases[1..] {
+            assert!(Arc::ptr_eq(&cases[0], case));
+        }
+        assert_eq!(cache.stats().builds, 1);
+        assert_eq!(cache.stats().memory_hits, 7);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_validates() {
+        let dir = temp_store("roundtrip");
+        let built = {
+            let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+            cache.get_or_build(tiny_key(20))
+        };
+        // A fresh cache (fresh process stand-in) must hit the disk tier.
+        let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+        let loaded = cache.get_or_build(tiny_key(20));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                memory_hits: 0,
+                disk_hits: 1,
+                builds: 0
+            }
+        );
+        loaded.bvh.validate().unwrap();
+        assert_eq!(
+            rip_bvh::serial::encode(&loaded.bvh),
+            rip_bvh::serial::encode(&built.bvh),
+            "cached BVH must match the fresh build byte-for-byte",
+        );
+        assert_eq!(loaded.scene.mesh.positions(), built.scene.mesh.positions());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifacts_fall_back_to_rebuild() {
+        let dir = temp_store("corrupt");
+        {
+            let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+            cache.get_or_build(tiny_key(22));
+        }
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "bvh") {
+                let mut bytes = std::fs::read(&path).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xA5;
+                std::fs::write(&path, bytes).unwrap();
+            }
+        }
+        let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+        let case = cache.get_or_build(tiny_key(22));
+        assert_eq!(cache.stats().builds, 1, "corruption must force a rebuild");
+        case.bvh.validate().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = CaseCache::in_memory_only();
+        let a = cache.get_or_build(tiny_key(16));
+        let b = cache.get_or_build(CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 24));
+        assert_eq!(cache.stats().builds, 2);
+        assert_ne!(a.scene.camera.width(), b.scene.camera.width());
+    }
+}

@@ -1,0 +1,114 @@
+//! Benchmark cases: a scene plus its acceleration structure.
+//!
+//! `Case` used to live in the `rip-bench` harness; it moved here so the
+//! [`CaseCache`](crate::cache::CaseCache) can build, persist, and share
+//! cases across experiments without depending on the bench crate.
+
+use rip_bvh::Bvh;
+use rip_math::Triangle;
+use rip_render::{AoConfig, AoWorkload};
+use rip_scene::{Scene, SceneId, SceneScale};
+
+/// Identity of a built case: everything that determines its bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CaseKey {
+    /// Which benchmark scene.
+    pub id: SceneId,
+    /// Geometry scale.
+    pub scale: SceneScale,
+    /// Viewport width in pixels.
+    pub width: u32,
+    /// Viewport height in pixels.
+    pub height: u32,
+}
+
+impl CaseKey {
+    /// Key for a square viewport.
+    pub fn square(id: SceneId, scale: SceneScale, viewport: u32) -> Self {
+        CaseKey {
+            id,
+            scale,
+            width: viewport,
+            height: viewport,
+        }
+    }
+
+    /// Stable lowercase label for file names and telemetry, e.g.
+    /// `sb_tiny_48x48`.
+    pub fn label(&self) -> String {
+        let scale = match self.scale {
+            SceneScale::Tiny => "tiny",
+            SceneScale::Quick => "quick",
+            SceneScale::Paper => "paper",
+        };
+        format!(
+            "{}_{}_{}x{}",
+            self.id.code().to_lowercase(),
+            scale,
+            self.width,
+            self.height
+        )
+    }
+}
+
+/// A built benchmark case.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Which scene.
+    pub id: SceneId,
+    /// Scene geometry and camera.
+    pub scene: Scene,
+    /// The acceleration structure.
+    pub bvh: Bvh,
+}
+
+impl Case {
+    /// Builds the case for `key` from scratch: procedural scene synthesis
+    /// followed by BVH construction.
+    pub fn build(key: CaseKey) -> Self {
+        let scene = key.id.build_with_viewport(key.scale, key.width, key.height);
+        Case::from_scene(scene)
+    }
+
+    /// Builds the BVH for an already-synthesized scene.
+    pub fn from_scene(scene: Scene) -> Self {
+        let tris: Vec<Triangle> = scene.mesh.triangles().collect();
+        let bvh = Bvh::build(&tris);
+        Case {
+            id: scene.id,
+            scene,
+            bvh,
+        }
+    }
+
+    /// Generates this case's AO workload with the §5.2 parameters.
+    pub fn ao_workload(&self) -> AoWorkload {
+        AoWorkload::generate(&self.scene, &self.bvh, &AoConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_case() {
+        let case = Case::build(CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16));
+        assert_eq!(case.id, SceneId::Sibenik);
+        assert_eq!(case.bvh.triangle_count(), case.scene.mesh.triangle_count());
+        case.bvh.validate().unwrap();
+    }
+
+    #[test]
+    fn key_labels_are_stable() {
+        let key = CaseKey::square(SceneId::CrytekSponza, SceneScale::Quick, 256);
+        assert_eq!(key.label(), "sp_quick_256x256");
+        let rect = CaseKey {
+            id: SceneId::Sibenik,
+            scale: SceneScale::Tiny,
+            width: 32,
+            height: 24,
+        };
+        assert_eq!(rect.label(), "sb_tiny_32x24");
+    }
+}

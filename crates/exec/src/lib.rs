@@ -1,0 +1,23 @@
+//! rip-exec: parallel experiment execution engine.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`pool`]: a scoped-thread [`JobPool`](pool::JobPool) with a global job
+//!   budget and *ordered* result collection, so parallel runs produce
+//!   byte-identical output to serial runs.
+//! - [`cache`]: a process-wide [`CaseCache`](cache::CaseCache) mapping
+//!   `(scene, scale, viewport)` to a built [`Case`], backed by an on-disk
+//!   artifact store of serialized meshes and BVH node buffers.
+//! - [`runner`]: a [`ShardedRunner`](runner::ShardedRunner) fanning
+//!   `(scene, config)` work units across the pool with per-unit timing and
+//!   progress telemetry on stderr (stdout stays deterministic).
+
+pub mod cache;
+pub mod case;
+pub mod pool;
+pub mod runner;
+
+pub use cache::{CacheStats, CaseCache};
+pub use case::{Case, CaseKey};
+pub use pool::{available_parallelism, global_budget, set_global_budget, JobPool};
+pub use runner::{ShardedRunner, UnitReport};

@@ -1,0 +1,243 @@
+//! Scoped-thread job pool with deterministic ordered collection.
+//!
+//! Built on [`std::thread::scope`] — no dependencies, no long-lived
+//! threads. Two properties matter to the experiment harness:
+//!
+//! 1. **Determinism**: [`JobPool::map`] writes each result into the slot
+//!    of its input index, so callers observe results in input order no
+//!    matter how the work interleaved. Output is byte-identical to a
+//!    serial run.
+//! 2. **Deadlock-free nesting**: pools at any nesting depth draw *extra*
+//!    worker threads from one process-wide budget with a non-blocking
+//!    `try_acquire`. The calling thread always participates in its own
+//!    `map`, so even when the budget is exhausted every pool still makes
+//!    progress — nested parallelism degrades to serial execution instead
+//!    of deadlocking or oversubscribing the machine.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sentinel meaning "budget not configured yet" (lazily defaults to
+/// `available_parallelism() - 1` extra threads on first use).
+const UNCONFIGURED: isize = -1;
+
+/// Total extra worker threads the whole process may run at once.
+static BUDGET_TOTAL: AtomicIsize = AtomicIsize::new(UNCONFIGURED);
+/// Extra worker threads currently running.
+static BUDGET_USED: AtomicIsize = AtomicIsize::new(0);
+
+/// The machine's available parallelism (1 when unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Sets the process-wide job budget: at most `jobs` worker threads in
+/// total across all pools, however they nest (the budget stores
+/// `jobs - 1` *extra* threads beyond each pool's calling thread).
+///
+/// Takes effect for permits acquired after the call; threads already
+/// running are not interrupted.
+pub fn set_global_budget(jobs: usize) {
+    let extras = jobs.max(1) as isize - 1;
+    BUDGET_TOTAL.store(extras, Ordering::SeqCst);
+}
+
+/// The configured process-wide job count (extra threads + 1).
+pub fn global_budget() -> usize {
+    budget_total() as usize + 1
+}
+
+fn budget_total() -> isize {
+    let total = BUDGET_TOTAL.load(Ordering::SeqCst);
+    if total != UNCONFIGURED {
+        return total;
+    }
+    let default = available_parallelism() as isize - 1;
+    // Racing first users compute the same default; either CAS winning is fine.
+    let _ =
+        BUDGET_TOTAL.compare_exchange(UNCONFIGURED, default, Ordering::SeqCst, Ordering::SeqCst);
+    BUDGET_TOTAL.load(Ordering::SeqCst)
+}
+
+/// Takes up to `want` permits from the global budget without blocking;
+/// returns how many were granted.
+fn try_acquire(want: usize) -> usize {
+    let want = want as isize;
+    loop {
+        let total = budget_total();
+        let used = BUDGET_USED.load(Ordering::SeqCst);
+        let grant = want.min(total - used).max(0);
+        if grant == 0 {
+            return 0;
+        }
+        if BUDGET_USED
+            .compare_exchange(used, used + grant, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return grant as usize;
+        }
+    }
+}
+
+fn release(granted: usize) {
+    BUDGET_USED.fetch_sub(granted as isize, Ordering::SeqCst);
+}
+
+/// A job pool running closures over a slice of work items.
+///
+/// `jobs` is the *target* parallelism of this pool (calling thread
+/// included); the pool may run narrower when the global budget is
+/// already spoken for.
+///
+/// # Examples
+///
+/// ```
+/// use rip_exec::JobPool;
+///
+/// let pool = JobPool::new(4);
+/// let squares = pool.map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JobPool {
+    jobs: usize,
+}
+
+impl JobPool {
+    /// A pool targeting `jobs`-way parallelism (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        JobPool { jobs: jobs.max(1) }
+    }
+
+    /// A pool targeting the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        JobPool::new(available_parallelism())
+    }
+
+    /// This pool's target parallelism (calling thread included).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in
+    /// **input order**. The calling thread always participates, so this
+    /// makes progress even when the global budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after all workers finish) when any invocation of `f`
+    /// panicked, propagating the first panic by input order.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let mut slots: Vec<Mutex<Option<std::thread::Result<U>>>> = Vec::new();
+        slots.resize_with(items.len(), || Mutex::new(None));
+        let next = AtomicUsize::new(0);
+
+        let worker = || loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = items.get(index) else { break };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+            *slots[index].lock().expect("result slot poisoned") = Some(result);
+        };
+
+        let want = self
+            .jobs
+            .saturating_sub(1)
+            .min(items.len().saturating_sub(1));
+        let granted = try_acquire(want);
+        std::thread::scope(|scope| {
+            for _ in 0..granted {
+                scope.spawn(worker);
+            }
+            worker();
+        });
+        release(granted);
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                match slot
+                    .into_inner()
+                    .expect("result slot poisoned")
+                    .expect("slot filled")
+                {
+                    Ok(value) => value,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        JobPool::with_available_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = JobPool::new(8);
+        let items: Vec<u64> = (0..200).collect();
+        let out = pool.map(&items, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_pool_matches_parallel_pool() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        assert_eq!(
+            JobPool::new(1).map(&items, f),
+            JobPool::new(6).map(&items, f)
+        );
+    }
+
+    #[test]
+    fn nested_maps_complete() {
+        let pool = JobPool::new(4);
+        let outer: Vec<u64> = (0..6).collect();
+        let out = pool.map(&outer, |&o| {
+            let inner: Vec<u64> = (0..8).collect();
+            JobPool::new(4)
+                .map(&inner, |&i| o * 100 + i)
+                .iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[1], 8 * 100 + 28);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = JobPool::new(4);
+        assert_eq!(pool.map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(&[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom 3")]
+    fn worker_panic_propagates() {
+        let pool = JobPool::new(4);
+        let items: Vec<u32> = (0..16).collect();
+        pool.map(&items, |&x| {
+            if x == 3 {
+                panic!("boom {x}");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,152 @@
+//! Sharded experiment runner: fan work units over a [`JobPool`] with
+//! per-unit timing and progress telemetry.
+//!
+//! Results come back in **input order** regardless of completion order,
+//! so tables rendered from them are byte-identical to a serial run.
+//! Progress and timing lines go to stderr; experiment output on stdout
+//! never depends on scheduling.
+
+use crate::pool::JobPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One completed work unit.
+#[derive(Clone, Debug)]
+pub struct UnitReport<U> {
+    /// Position of the unit in the input slice.
+    pub index: usize,
+    /// Human-readable unit label (scene code, config name, …).
+    pub label: String,
+    /// Wall-clock time the unit took.
+    pub elapsed: Duration,
+    /// The unit's result.
+    pub value: U,
+}
+
+/// Fans `(scene × config)`-style work units across a job pool.
+///
+/// # Examples
+///
+/// ```
+/// use rip_exec::{JobPool, ShardedRunner};
+///
+/// let pool = JobPool::new(2);
+/// let runner = ShardedRunner::new(&pool, "demo").quiet();
+/// let reports = runner.run(&[10u32, 20, 30], |u| format!("u{u}"), |&u| u * 2);
+/// assert_eq!(reports.iter().map(|r| r.value).collect::<Vec<_>>(), vec![20, 40, 60]);
+/// assert_eq!(reports[2].label, "u30");
+/// ```
+pub struct ShardedRunner<'p> {
+    pool: &'p JobPool,
+    name: String,
+    progress: bool,
+}
+
+impl<'p> ShardedRunner<'p> {
+    /// A runner named `name` (the prefix of its telemetry lines).
+    pub fn new(pool: &'p JobPool, name: impl Into<String>) -> Self {
+        ShardedRunner {
+            pool,
+            name: name.into(),
+            progress: true,
+        }
+    }
+
+    /// Disables per-unit progress lines (timings are still collected).
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self
+    }
+
+    /// The pool this runner schedules onto.
+    pub fn pool(&self) -> &JobPool {
+        self.pool
+    }
+
+    /// Runs `work` over every unit, returning timed reports in input
+    /// order. `label` names a unit for telemetry.
+    pub fn run<T, U, L, F>(&self, units: &[T], label: L, work: F) -> Vec<UnitReport<U>>
+    where
+        T: Sync,
+        U: Send,
+        L: Fn(&T) -> String + Sync,
+        F: Fn(&T) -> U + Sync,
+    {
+        let total = units.len();
+        let done = AtomicUsize::new(0);
+        let indexed: Vec<(usize, &T)> = units.iter().enumerate().collect();
+        self.pool.map(&indexed, |&(index, unit)| {
+            let unit_label = label(unit);
+            let start = Instant::now();
+            let value = work(unit);
+            let elapsed = start.elapsed();
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.progress {
+                eprintln!(
+                    "[rip-exec] {}: {finished}/{total} {unit_label} done in {} ms",
+                    self.name,
+                    elapsed.as_millis(),
+                );
+            }
+            UnitReport {
+                index,
+                label: unit_label,
+                elapsed,
+                value,
+            }
+        })
+    }
+
+    /// Like [`ShardedRunner::run`] but discards timing metadata and
+    /// returns bare values in input order.
+    pub fn run_values<T, U, F>(&self, units: &[T], work: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.pool.map(units, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_come_back_in_input_order() {
+        let pool = JobPool::new(4);
+        let runner = ShardedRunner::new(&pool, "test").quiet();
+        let units: Vec<u64> = (0..40).collect();
+        let reports = runner.run(
+            &units,
+            |u| format!("unit{u}"),
+            |&u| {
+                if u % 5 == 0 {
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+                u + 1
+            },
+        );
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.index, i);
+            assert_eq!(report.value, units[i] + 1);
+            assert_eq!(report.label, format!("unit{}", units[i]));
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_values_match() {
+        let serial_pool = JobPool::new(1);
+        let parallel_pool = JobPool::new(8);
+        let units: Vec<u32> = (0..64).collect();
+        let f = |&u: &u32| u.wrapping_mul(2654435761).rotate_left(7);
+        let serial = ShardedRunner::new(&serial_pool, "s")
+            .quiet()
+            .run_values(&units, f);
+        let parallel = ShardedRunner::new(&parallel_pool, "p")
+            .quiet()
+            .run_values(&units, f);
+        assert_eq!(serial, parallel);
+    }
+}

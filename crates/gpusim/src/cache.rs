@@ -15,12 +15,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The baseline 64 KB fully-associative L1 with 128-byte lines.
     pub fn l1_baseline() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, line_bytes: 128, ways: usize::MAX }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 128,
+            ways: usize::MAX,
+        }
     }
 
     /// The baseline 1 MB 16-way L2 with 128-byte lines.
     pub fn l2_baseline() -> Self {
-        CacheConfig { size_bytes: 1024 * 1024, line_bytes: 128, ways: 16 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            line_bytes: 128,
+            ways: 16,
+        }
     }
 
     /// Same geometry with a different capacity (cache-size sweeps).
@@ -176,7 +184,11 @@ mod tests {
     use super::*;
 
     fn tiny(ways: usize) -> Cache {
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 128, ways })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 128,
+            ways,
+        })
     }
 
     #[test]
@@ -203,7 +215,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 512, line_bytes: 128, ways: 1 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 128,
+            ways: 1,
+        });
         // 4 sets; lines 0 and 4 conflict.
         assert!(!c.access(0));
         assert!(!c.access(4 * 128));
@@ -214,7 +230,11 @@ mod tests {
     fn bigger_cache_hits_more() {
         let trace: Vec<u64> = (0..200u64).map(|i| (i * 37) % 64 * 128).collect();
         let run = |size: usize| {
-            let mut c = Cache::new(CacheConfig { size_bytes: size, line_bytes: 128, ways: usize::MAX });
+            let mut c = Cache::new(CacheConfig {
+                size_bytes: size,
+                line_bytes: 128,
+                ways: usize::MAX,
+            });
             for &a in &trace {
                 c.access(a);
             }
@@ -234,10 +254,28 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_geometry() {
-        assert!(CacheConfig { size_bytes: 100, line_bytes: 128, ways: 1 }.validate().is_err());
-        assert!(CacheConfig { size_bytes: 0, line_bytes: 128, ways: 1 }.validate().is_err());
+        assert!(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 128,
+            ways: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 0,
+            line_bytes: 128,
+            ways: 1
+        }
+        .validate()
+        .is_err());
         // 3 sets (384/128 lines, 1 way) is not a power of two.
-        assert!(CacheConfig { size_bytes: 384, line_bytes: 128, ways: 1 }.validate().is_err());
+        assert!(CacheConfig {
+            size_bytes: 384,
+            line_bytes: 128,
+            ways: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -37,8 +37,17 @@ impl PartialWarpCollector {
     /// Panics when `capacity < warp_size` or `warp_size == 0`.
     pub fn new(capacity: usize, warp_size: usize, timeout: u64) -> Self {
         assert!(warp_size > 0, "warp size must be positive");
-        assert!(capacity >= warp_size, "collector must hold at least one warp");
-        PartialWarpCollector { ids: Vec::new(), capacity, warp_size, timeout, oldest_arrival: None }
+        assert!(
+            capacity >= warp_size,
+            "collector must hold at least one warp"
+        );
+        PartialWarpCollector {
+            ids: Vec::new(),
+            capacity,
+            warp_size,
+            timeout,
+            oldest_arrival: None,
+        }
     }
 
     /// Rays currently waiting.
@@ -121,7 +130,11 @@ mod tests {
         assert_eq!(c.take_ready(0), Some(vec![0, 1, 2, 3]));
         assert_eq!(c.len(), 2);
         assert_eq!(c.take_ready(0), None, "2 rays, no timeout yet");
-        assert_eq!(c.take_ready(10), Some(vec![4, 5]), "timeout flushes partial warp");
+        assert_eq!(
+            c.take_ready(10),
+            Some(vec![4, 5]),
+            "timeout flushes partial warp"
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@ impl LatencyConfig {
     /// §5.1.5 minimum-traversal numbers: 1-cycle queue, 1-cycle L1,
     /// 2-cycle intersection; L2 at an interconnect-realistic 30 cycles.
     pub fn baseline() -> Self {
-        LatencyConfig { queue: 1, l1_hit: 1, l2_hit: 30, intersection: 2 }
+        LatencyConfig {
+            queue: 1,
+            l1_hit: 1,
+            l2_hit: 30,
+            intersection: 2,
+        }
     }
 }
 
@@ -37,7 +42,10 @@ pub struct PredictorUnitConfig {
 impl PredictorUnitConfig {
     /// Table 3: four accesses per cycle, 1-cycle access.
     pub fn baseline() -> Self {
-        PredictorUnitConfig { ports: 4, access_latency: 1 }
+        PredictorUnitConfig {
+            ports: 4,
+            access_latency: 1,
+        }
     }
 }
 

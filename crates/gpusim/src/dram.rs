@@ -15,7 +15,11 @@ impl DramConfig {
     /// Baseline: 16 banks, 100-cycle access, 16-cycle occupancy — a
     /// GDDR-like ratio at the Table 2 core clock.
     pub fn baseline() -> Self {
-        DramConfig { banks: 16, access_latency: 100, bank_occupancy: 16 }
+        DramConfig {
+            banks: 16,
+            access_latency: 100,
+            bank_occupancy: 16,
+        }
     }
 }
 
@@ -96,7 +100,10 @@ impl Dram {
         Dram {
             config,
             bank_free_at: vec![0; config.banks],
-            stats: DramStats { per_bank: vec![0; config.banks], ..Default::default() },
+            stats: DramStats {
+                per_bank: vec![0; config.banks],
+                ..Default::default()
+            },
         }
     }
 
@@ -129,7 +136,11 @@ mod tests {
 
     #[test]
     fn independent_banks_proceed_in_parallel() {
-        let mut d = Dram::new(DramConfig { banks: 4, access_latency: 100, bank_occupancy: 20 });
+        let mut d = Dram::new(DramConfig {
+            banks: 4,
+            access_latency: 100,
+            bank_occupancy: 20,
+        });
         let a = d.access(0, 0); // bank 0
         let b = d.access(128, 0); // bank 1
         assert_eq!(a, 100);
@@ -139,7 +150,11 @@ mod tests {
 
     #[test]
     fn same_bank_serializes() {
-        let mut d = Dram::new(DramConfig { banks: 4, access_latency: 100, bank_occupancy: 20 });
+        let mut d = Dram::new(DramConfig {
+            banks: 4,
+            access_latency: 100,
+            bank_occupancy: 20,
+        });
         let a = d.access(0, 0);
         let b = d.access(4 * 128, 0); // also bank 0
         assert_eq!(a, 100);
@@ -149,7 +164,11 @@ mod tests {
 
     #[test]
     fn bank_frees_over_time() {
-        let mut d = Dram::new(DramConfig { banks: 1, access_latency: 50, bank_occupancy: 10 });
+        let mut d = Dram::new(DramConfig {
+            banks: 1,
+            access_latency: 50,
+            bank_occupancy: 10,
+        });
         let _ = d.access(0, 0);
         let late = d.access(0, 100); // bank long since free
         assert_eq!(late, 150);
@@ -157,11 +176,19 @@ mod tests {
 
     #[test]
     fn balance_metric_prefers_spread_traffic() {
-        let mut spread = Dram::new(DramConfig { banks: 4, access_latency: 1, bank_occupancy: 1 });
+        let mut spread = Dram::new(DramConfig {
+            banks: 4,
+            access_latency: 1,
+            bank_occupancy: 1,
+        });
         for i in 0..40u64 {
             spread.access(i * 128, i);
         }
-        let mut hot = Dram::new(DramConfig { banks: 4, access_latency: 1, bank_occupancy: 1 });
+        let mut hot = Dram::new(DramConfig {
+            banks: 4,
+            access_latency: 1,
+            bank_occupancy: 1,
+        });
         for i in 0..40u64 {
             hot.access(0, i * 2);
         }
@@ -172,6 +199,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_panics() {
-        let _ = Dram::new(DramConfig { banks: 0, access_latency: 1, bank_occupancy: 1 });
+        let _ = Dram::new(DramConfig {
+            banks: 0,
+            access_latency: 1,
+            bank_occupancy: 1,
+        });
     }
 }

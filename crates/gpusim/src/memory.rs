@@ -151,7 +151,11 @@ mod tests {
 
     #[test]
     fn rt_cache_front_ends_l1() {
-        let rt = CacheConfig { size_bytes: 4 * 1024, line_bytes: 128, ways: usize::MAX };
+        let rt = CacheConfig {
+            size_bytes: 4 * 1024,
+            line_bytes: 128,
+            ways: usize::MAX,
+        };
         let mut mem = MemoryHierarchy::new(
             1,
             Some(rt),

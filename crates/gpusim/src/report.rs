@@ -91,8 +91,16 @@ mod tests {
 
     #[test]
     fn throughput_and_speedup() {
-        let fast = SimReport { cycles: 500, completed_rays: 1000, ..Default::default() };
-        let slow = SimReport { cycles: 1000, completed_rays: 1000, ..Default::default() };
+        let fast = SimReport {
+            cycles: 500,
+            completed_rays: 1000,
+            ..Default::default()
+        };
+        let slow = SimReport {
+            cycles: 1000,
+            completed_rays: 1000,
+            ..Default::default()
+        };
         assert!((fast.rays_per_cycle() - 2.0).abs() < 1e-12);
         assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
         assert!((fast.rays_per_second(1000.0) - 2e9).abs() < 1.0);

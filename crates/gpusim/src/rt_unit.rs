@@ -48,7 +48,11 @@ impl RayWork {
         RayWork {
             ray,
             traversal: Traversal::new(TraversalKind::AnyHit),
-            phase: if needs_lookup { RayPhase::AwaitingLookup } else { RayPhase::Full },
+            phase: if needs_lookup {
+                RayPhase::AwaitingLookup
+            } else {
+                RayPhase::Full
+            },
             hash: 0,
             sm: 0,
             slot: 0,
@@ -124,7 +128,11 @@ impl SmState {
     /// Finds a free slot for a normal warp (respecting the base limit) or
     /// a repacked warp (any slot).
     pub fn free_slot(&self, repacked: bool) -> Option<usize> {
-        let limit = if repacked { self.slots.len() } else { self.base_warp_limit };
+        let limit = if repacked {
+            self.slots.len()
+        } else {
+            self.base_warp_limit
+        };
         let active = self.active_warps();
         if active >= limit {
             return None;
@@ -148,7 +156,13 @@ mod tests {
         assert!(!w.was_predicted);
 
         let mut p = RayWork::new(ray, true);
-        p.apply_lookup(7, Some(Prediction { hash: 7, nodes: vec![rip_bvh::NodeId::ROOT] }));
+        p.apply_lookup(
+            7,
+            Some(Prediction {
+                hash: 7,
+                nodes: vec![rip_bvh::NodeId::ROOT],
+            }),
+        );
         assert_eq!(p.phase, RayPhase::Predicted);
         assert!(p.was_predicted);
         assert_eq!(p.prediction_k, 1);
@@ -174,9 +188,21 @@ mod tests {
         assert_eq!(sm.free_slot(false), Some(0));
         assert_eq!(sm.free_slot(true), Some(0));
         let mut sm2 = sm;
-        sm2.slots[0] = Some(WarpState { rays: vec![], active: 0, repacked: false });
-        sm2.slots[1] = Some(WarpState { rays: vec![], active: 0, repacked: false });
+        sm2.slots[0] = Some(WarpState {
+            rays: vec![],
+            active: 0,
+            repacked: false,
+        });
+        sm2.slots[1] = Some(WarpState {
+            rays: vec![],
+            active: 0,
+            repacked: false,
+        });
         assert_eq!(sm2.free_slot(false), None, "base limit reached");
-        assert_eq!(sm2.free_slot(true), Some(2), "extra slot open to repacked warps");
+        assert_eq!(
+            sm2.free_slot(true),
+            Some(2),
+            "extra slot open to repacked warps"
+        );
     }
 }

@@ -91,8 +91,10 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn new(config: &'a GpuConfig, bvh: &'a Bvh, rays: &[Ray]) -> Self {
         let needs_lookup = config.predictor.is_some();
-        let ray_works: Vec<RayWork> =
-            rays.iter().map(|&r| RayWork::new(r, needs_lookup)).collect();
+        let ray_works: Vec<RayWork> = rays
+            .iter()
+            .map(|&r| RayWork::new(r, needs_lookup))
+            .collect();
         let memory = MemoryHierarchy::new(
             config.num_sms,
             config.rt_cache,
@@ -135,10 +137,11 @@ impl<'a> Engine<'a> {
     fn run(mut self) -> SimReport {
         // Chunk rays into warps, distribute round-robin over SMs.
         let warp_size = self.config.warp_size;
-        let mut warp_lists: Vec<VecDeque<Vec<u32>>> =
-            vec![VecDeque::new(); self.config.num_sms];
-        for (w, chunk) in
-            (0..self.rays.len() as u32).collect::<Vec<_>>().chunks(warp_size).enumerate()
+        let mut warp_lists: Vec<VecDeque<Vec<u32>>> = vec![VecDeque::new(); self.config.num_sms];
+        for (w, chunk) in (0..self.rays.len() as u32)
+            .collect::<Vec<_>>()
+            .chunks(warp_size)
+            .enumerate()
         {
             warp_lists[w % self.config.num_sms].push_back(chunk.to_vec());
         }
@@ -191,7 +194,11 @@ impl<'a> Engine<'a> {
             rays: ray_ids.clone(),
             repacked,
         });
-        let kind = if needs_lookup { EV_WARP_LOOKUP } else { EV_WARP_ITER };
+        let kind = if needs_lookup {
+            EV_WARP_LOOKUP
+        } else {
+            EV_WARP_ITER
+        };
         self.events.push(Reverse((start, sm_id, kind, slot as u32)));
     }
 
@@ -201,7 +208,9 @@ impl<'a> Engine<'a> {
             return; // stale event
         }
         self.collector_event[sm_id] = None;
-        let Some(collector) = self.sms[sm_id].collector.as_mut() else { return };
+        let Some(collector) = self.sms[sm_id].collector.as_mut() else {
+            return;
+        };
         if let Some(warp) = collector.take_ready(now) {
             self.report.activity.collector_ops += warp.len() as u64;
             self.dispatch(sm_id, warp, true, now);
@@ -215,7 +224,11 @@ impl<'a> Engine<'a> {
         if self.collector_event[sm_id].is_some() {
             return;
         }
-        if let Some(deadline) = self.sms[sm_id].collector.as_ref().and_then(|c| c.deadline()) {
+        if let Some(deadline) = self.sms[sm_id]
+            .collector
+            .as_ref()
+            .and_then(|c| c.deadline())
+        {
             let at = deadline.max(now + 1);
             self.collector_event[sm_id] = Some(at);
             self.events.push(Reverse((at, sm_id, EV_COLLECTOR, 0)));
@@ -225,8 +238,11 @@ impl<'a> Engine<'a> {
     /// All rays of a freshly dispatched warp perform their predictor table
     /// lookup through the ported lookup queue (§4.1), then repack (§4.4).
     fn lookup_phase(&mut self, sm_id: usize, slot: usize, now: u64) {
-        let warp_rays =
-            self.sms[sm_id].slots[slot].as_ref().expect("warp present").rays.clone();
+        let warp_rays = self.sms[sm_id].slots[slot]
+            .as_ref()
+            .expect("warp present")
+            .rays
+            .clone();
         let ports = self.config.predictor_unit.ports;
         let ready = now
             + (warp_rays.len() as u64).div_ceil(ports)
@@ -235,8 +251,10 @@ impl<'a> Engine<'a> {
         let mut remaining = Vec::with_capacity(warp_rays.len());
         let mut predicted = Vec::new();
         {
-            let predictor =
-                self.sms[sm_id].predictor.as_mut().expect("lookup phase requires predictor");
+            let predictor = self.sms[sm_id]
+                .predictor
+                .as_mut()
+                .expect("lookup phase requires predictor");
             for &rid in &warp_rays {
                 let rw = &mut self.rays[rid as usize];
                 predictor.begin_ray();
@@ -258,8 +276,10 @@ impl<'a> Engine<'a> {
             let removed = predicted.len() as u32;
             let mut formed: Vec<Vec<u32>> = Vec::new();
             {
-                let collector =
-                    self.sms[sm_id].collector.as_mut().expect("repack has collector");
+                let collector = self.sms[sm_id]
+                    .collector
+                    .as_mut()
+                    .expect("repack has collector");
                 for rid in predicted {
                     if collector.free_slots() == 0 {
                         if let Some(w) = collector.take_ready(ready) {
@@ -292,7 +312,8 @@ impl<'a> Engine<'a> {
         }
         // Without repacking, predicted and not-predicted rays stay together
         // (the "Default" configuration of Figure 15).
-        self.events.push(Reverse((ready, sm_id, EV_WARP_ITER, slot as u32)));
+        self.events
+            .push(Reverse((ready, sm_id, EV_WARP_ITER, slot as u32)));
     }
 
     /// Issues one line request at `now`, merging with any in-flight fill
@@ -322,8 +343,11 @@ impl<'a> Engine<'a> {
     /// leaf triangles, run the pipelined intersection tests, and advance
     /// the warp at the pace of its slowest thread.
     fn warp_iteration(&mut self, sm_id: usize, slot: usize, now: u64) {
-        let warp_rays =
-            self.sms[sm_id].slots[slot].as_ref().expect("warp present").rays.clone();
+        let warp_rays = self.sms[sm_id].slots[slot]
+            .as_ref()
+            .expect("warp present")
+            .rays
+            .clone();
         let layout = *self.bvh.layout();
 
         // Node request round (thread order, one issue slot each; identical
@@ -334,7 +358,10 @@ impl<'a> Engine<'a> {
             if !rw.is_active() {
                 continue;
             }
-            let node = rw.traversal.current_request().expect("active ray must want a node");
+            let node = rw
+                .traversal
+                .current_request()
+                .expect("active ray must want a node");
             let done = self.request_line(sm_id, layout.node_address(node), now);
             self.report.activity.ray_buffer_accesses += 1;
             node_ready.push((rid, done));
@@ -407,7 +434,8 @@ impl<'a> Engine<'a> {
             }
         }
         if !warp_done {
-            self.events.push(Reverse((next, sm_id, EV_WARP_ITER, slot as u32)));
+            self.events
+                .push(Reverse((next, sm_id, EV_WARP_ITER, slot as u32)));
         }
     }
 
@@ -466,16 +494,12 @@ impl<'a> Engine<'a> {
         self.report.cycles = self.report.cycles.max(now);
         // Repacked warps may use any slot; normal warps only base slots.
         loop {
-            if !self.repacked_queue[sm_id].is_empty()
-                && self.sms[sm_id].free_slot(true).is_some()
-            {
+            if !self.repacked_queue[sm_id].is_empty() && self.sms[sm_id].free_slot(true).is_some() {
                 let ids = self.repacked_queue[sm_id].pop_front().expect("nonempty");
                 self.dispatch(sm_id, ids, true, now);
                 continue;
             }
-            if !self.sms[sm_id].pending.is_empty()
-                && self.sms[sm_id].free_slot(false).is_some()
-            {
+            if !self.sms[sm_id].pending.is_empty() && self.sms[sm_id].free_slot(false).is_some() {
                 let ids = self.sms[sm_id].pending.pop_front().expect("nonempty");
                 self.dispatch(sm_id, ids, false, now);
                 continue;
@@ -501,7 +525,11 @@ mod tests {
             for j in 0..16 {
                 let o = Vec3::new(i as f32, 0.0, j as f32);
                 tris.push(Triangle::new(o, o + Vec3::X, o + Vec3::Z));
-                tris.push(Triangle::new(o + Vec3::X, o + Vec3::X + Vec3::Z, o + Vec3::Z));
+                tris.push(Triangle::new(
+                    o + Vec3::X,
+                    o + Vec3::X + Vec3::Z,
+                    o + Vec3::Z,
+                ));
             }
         }
         // A porous "ceiling" at y = 2: ~3/4 of cells carry a tile, the rest
@@ -513,7 +541,11 @@ mod tests {
                 }
                 let o = Vec3::new(i as f32, 2.0, j as f32);
                 tris.push(Triangle::new(o, o + Vec3::X, o + Vec3::Z));
-                tris.push(Triangle::new(o + Vec3::X, o + Vec3::X + Vec3::Z, o + Vec3::Z));
+                tris.push(Triangle::new(
+                    o + Vec3::X,
+                    o + Vec3::X + Vec3::Z,
+                    o + Vec3::Z,
+                ));
             }
         }
         Bvh::build(&tris)
@@ -553,7 +585,10 @@ mod tests {
             .iter()
             .filter(|r| bvh.intersect(r, TraversalKind::AnyHit).hit.is_some())
             .count() as u64;
-        assert_eq!(report.hits, functional_hits, "timing sim must be functionally exact");
+        assert_eq!(
+            report.hits, functional_hits,
+            "timing sim must be functionally exact"
+        );
         assert!(report.cycles > 0);
     }
 
@@ -564,8 +599,15 @@ mod tests {
         let base = Simulator::new(GpuConfig::baseline()).run(&bvh, &rays);
         let pred = Simulator::new(GpuConfig::with_predictor()).run(&bvh, &rays);
         assert_eq!(pred.completed_rays, base.completed_rays);
-        assert_eq!(pred.hits, base.hits, "prediction must not change visibility results");
-        assert!(pred.prediction.verified_rate() > 0.1, "v = {}", pred.prediction.verified_rate());
+        assert_eq!(
+            pred.hits, base.hits,
+            "prediction must not change visibility results"
+        );
+        assert!(
+            pred.prediction.verified_rate() > 0.1,
+            "v = {}",
+            pred.prediction.verified_rate()
+        );
         assert!(
             pred.traversal.node_fetches() < base.traversal.node_fetches(),
             "predictor should skip node fetches: {} vs {}",
@@ -602,7 +644,12 @@ mod tests {
             Simulator::new(c).run(&bvh, &rays)
         };
         let big = Simulator::new(GpuConfig::baseline()).run(&bvh, &rays);
-        assert!(big.cycles <= small.cycles, "64KB L1 ({}) vs 2KB L1 ({})", big.cycles, small.cycles);
+        assert!(
+            big.cycles <= small.cycles,
+            "64KB L1 ({}) vs 2KB L1 ({})",
+            big.cycles,
+            small.cycles
+        );
         assert!(big.memory.l1_combined().hit_rate() >= small.memory.l1_combined().hit_rate());
     }
 

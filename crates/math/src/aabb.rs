@@ -42,13 +42,19 @@ impl Aabb {
     /// matter.
     #[inline]
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// The empty box (identity for [`union`](Aabb::union)).
     #[inline]
     pub fn empty() -> Self {
-        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) }
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
     }
 
     /// Whether this box contains no points.
@@ -60,13 +66,19 @@ impl Aabb {
     /// Smallest box containing both operands.
     #[inline]
     pub fn union(&self, rhs: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(rhs.min), max: self.max.max(rhs.max) }
+        Aabb {
+            min: self.min.min(rhs.min),
+            max: self.max.max(rhs.max),
+        }
     }
 
     /// Smallest box containing this box and the point `p`.
     #[inline]
     pub fn grow(&self, p: Vec3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Box center.
@@ -197,7 +209,9 @@ mod tests {
 
     #[test]
     fn union_and_grow() {
-        let b = Aabb::empty().grow(Vec3::new(-1.0, 0.0, 0.0)).grow(Vec3::new(2.0, 3.0, 1.0));
+        let b = Aabb::empty()
+            .grow(Vec3::new(-1.0, 0.0, 0.0))
+            .grow(Vec3::new(2.0, 3.0, 1.0));
         assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
         assert_eq!(b.max, Vec3::new(2.0, 3.0, 1.0));
         assert_eq!(b.center(), Vec3::new(0.5, 1.5, 0.5));
@@ -272,7 +286,9 @@ mod tests {
 
     #[test]
     fn from_iterator_bounds_points() {
-        let b: Aabb = [Vec3::ZERO, Vec3::ONE, Vec3::new(-1.0, 0.5, 2.0)].into_iter().collect();
+        let b: Aabb = [Vec3::ZERO, Vec3::ONE, Vec3::new(-1.0, 0.5, 2.0)]
+            .into_iter()
+            .collect();
         assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
         assert_eq!(b.max, Vec3::new(1.0, 1.0, 2.0));
     }

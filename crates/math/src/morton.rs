@@ -108,6 +108,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(seen.len(), 8, "the 8 octants must map to 8 distinct top octant codes");
+        assert_eq!(
+            seen.len(),
+            8,
+            "the 8 octants must map to 8 distinct top octant codes"
+        );
     }
 }

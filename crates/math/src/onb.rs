@@ -36,13 +36,24 @@ impl Onb {
     ///
     /// Debug-asserts that `normal` is approximately unit length.
     pub fn from_normal(normal: Vec3) -> Self {
-        debug_assert!((normal.length() - 1.0).abs() < 1e-3, "normal must be unit: {normal:?}");
+        debug_assert!(
+            (normal.length() - 1.0).abs() < 1e-3,
+            "normal must be unit: {normal:?}"
+        );
         let sign = if normal.z >= 0.0 { 1.0f32 } else { -1.0f32 };
         let a = -1.0 / (sign + normal.z);
         let b = normal.x * normal.y * a;
-        let tangent = Vec3::new(1.0 + sign * normal.x * normal.x * a, sign * b, -sign * normal.x);
+        let tangent = Vec3::new(
+            1.0 + sign * normal.x * normal.x * a,
+            sign * b,
+            -sign * normal.x,
+        );
         let bitangent = Vec3::new(b, sign + normal.y * normal.y * a, -normal.y);
-        Onb { tangent, bitangent, normal }
+        Onb {
+            tangent,
+            bitangent,
+            normal,
+        }
     }
 
     /// Transforms a local-space vector (normal = +Z) to world space.
@@ -54,7 +65,11 @@ impl Onb {
     /// Projects a world-space vector into this basis.
     #[inline]
     pub fn to_local(&self, world: Vec3) -> Vec3 {
-        Vec3::new(world.dot(self.tangent), world.dot(self.bitangent), world.dot(self.normal))
+        Vec3::new(
+            world.dot(self.tangent),
+            world.dot(self.bitangent),
+            world.dot(self.normal),
+        )
     }
 }
 

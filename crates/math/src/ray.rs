@@ -39,7 +39,12 @@ impl Ray {
     /// Creates an unbounded ray (`t ∈ [DEFAULT_T_MIN, ∞)`).
     #[inline]
     pub fn new(origin: Vec3, direction: Vec3) -> Self {
-        Ray { origin, direction, t_min: DEFAULT_T_MIN, t_max: f32::INFINITY }
+        Ray {
+            origin,
+            direction,
+            t_min: DEFAULT_T_MIN,
+            t_max: f32::INFINITY,
+        }
     }
 
     /// Creates a finite ray segment with the given maximum parameter.
@@ -48,13 +53,23 @@ impl Ray {
     /// a fraction of the scene bounding-box diagonal (§5.2).
     #[inline]
     pub fn segment(origin: Vec3, direction: Vec3, t_max: f32) -> Self {
-        Ray { origin, direction, t_min: DEFAULT_T_MIN, t_max }
+        Ray {
+            origin,
+            direction,
+            t_min: DEFAULT_T_MIN,
+            t_max,
+        }
     }
 
     /// Creates a ray with an explicit parameter interval.
     #[inline]
     pub fn with_interval(origin: Vec3, direction: Vec3, t_min: f32, t_max: f32) -> Self {
-        Ray { origin, direction, t_min, t_max }
+        Ray {
+            origin,
+            direction,
+            t_min,
+            t_max,
+        }
     }
 
     /// The point `o + t·d`.
@@ -82,7 +97,10 @@ impl Ray {
     /// intersection trims the ray's maximum length before traversal.
     #[inline]
     pub fn trimmed(&self, t: f32) -> Ray {
-        Ray { t_max: self.t_max.min(t), ..*self }
+        Ray {
+            t_max: self.t_max.min(t),
+            ..*self
+        }
     }
 
     /// The Euclidean length of the valid segment (`∞` for unbounded rays

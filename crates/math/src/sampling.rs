@@ -71,8 +71,10 @@ mod tests {
         // E[cos θ] under pdf cosθ/π over hemisphere = 2/3.
         let mut rng = SmallRng::seed_from_u64(11);
         let n = 20_000;
-        let mean: f32 =
-            (0..n).map(|_| cosine_hemisphere(rng.gen(), rng.gen()).z).sum::<f32>() / n as f32;
+        let mean: f32 = (0..n)
+            .map(|_| cosine_hemisphere(rng.gen(), rng.gen()).z)
+            .sum::<f32>()
+            / n as f32;
         assert!((mean - 2.0 / 3.0).abs() < 0.01, "mean cos {mean}");
     }
 

@@ -35,7 +35,10 @@ pub struct SphericalDeg {
 pub fn to_spherical_deg(dir: Vec3) -> SphericalDeg {
     let len = dir.length();
     if len == 0.0 {
-        return SphericalDeg { theta: 0.0, phi: 0.0 };
+        return SphericalDeg {
+            theta: 0.0,
+            phi: 0.0,
+        };
     }
     let theta = (dir.z / len).clamp(-1.0, 1.0).acos().to_degrees();
     let mut phi = dir.y.atan2(dir.x).to_degrees();
@@ -63,7 +66,11 @@ pub fn to_spherical_deg(dir: Vec3) -> SphericalDeg {
 pub fn from_spherical_deg(s: SphericalDeg) -> Vec3 {
     let theta = s.theta.to_radians();
     let phi = s.phi.to_radians();
-    Vec3::new(theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos())
+    Vec3::new(
+        theta.sin() * phi.cos(),
+        theta.sin() * phi.sin(),
+        theta.cos(),
+    )
 }
 
 #[cfg(test)]
@@ -94,7 +101,13 @@ mod tests {
 
     #[test]
     fn zero_vector_maps_to_origin_angles() {
-        assert_eq!(to_spherical_deg(Vec3::ZERO), SphericalDeg { theta: 0.0, phi: 0.0 });
+        assert_eq!(
+            to_spherical_deg(Vec3::ZERO),
+            SphericalDeg {
+                theta: 0.0,
+                phi: 0.0
+            }
+        );
     }
 
     #[test]

@@ -95,8 +95,8 @@ impl AnimatedScene {
     /// The current frame's triangles.
     pub fn triangles(&self, frame: u32) -> Vec<Triangle> {
         let phase = frame as f32 * 0.35;
-        let offset = Vec3::new(phase.sin(), 0.15 * (phase * 2.0).sin(), phase.cos())
-            * self.amplitude;
+        let offset =
+            Vec3::new(phase.sin(), 0.15 * (phase * 2.0).sin(), phase.cos()) * self.amplitude;
         let mut tris = self.base.clone();
         for &i in &self.dynamic {
             let t = &mut tris[i];
@@ -160,7 +160,10 @@ mod tests {
                 let ray = Ray::segment(o, -Vec3::Y, 10.0);
                 assert_eq!(
                     a.bvh().intersect(&ray, TraversalKind::AnyHit).hit.is_some(),
-                    reference.intersect(&ray, TraversalKind::AnyHit).hit.is_some(),
+                    reference
+                        .intersect(&ray, TraversalKind::AnyHit)
+                        .hit
+                        .is_some(),
                     "frame {} ray {i} diverged",
                     a.frame()
                 );

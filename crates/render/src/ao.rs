@@ -20,7 +20,11 @@ pub struct AoConfig {
 
 impl Default for AoConfig {
     fn default() -> Self {
-        AoConfig { samples_per_hit: 4, length_range: (0.25, 0.40), seed: 0x0A0 }
+        AoConfig {
+            samples_per_hit: 4,
+            length_range: (0.25, 0.40),
+            seed: 0x0A0,
+        }
     }
 }
 
@@ -64,9 +68,15 @@ impl AoWorkload {
     /// Panics when `samples_per_hit` is zero or the length range is not
     /// within `(0, 1]` and increasing.
     pub fn generate(scene: &Scene, bvh: &Bvh, config: &AoConfig) -> Self {
-        assert!(config.samples_per_hit > 0, "need at least one sample per hit");
+        assert!(
+            config.samples_per_hit > 0,
+            "need at least one sample per hit"
+        );
         let (lo, hi) = config.length_range;
-        assert!(lo > 0.0 && hi <= 1.0 && lo <= hi, "bad length range ({lo}, {hi})");
+        assert!(
+            lo > 0.0 && hi <= 1.0 && lo <= hi,
+            "bad length range ({lo}, {hi})"
+        );
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let diag = bvh.bounds().diagonal_length();
         let (width, height) = (scene.camera.width(), scene.camera.height());
@@ -81,13 +91,13 @@ impl AoWorkload {
                 };
                 primary_hits += 1;
                 let point = primary.at(hit.t);
-                let normal = bvh
-                    .triangle(hit.tri_index)
-                    .unit_normal()
-                    .unwrap_or(Vec3::Y);
+                let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
                 // Face the normal toward the camera side of the surface.
-                let normal =
-                    if normal.dot(primary.direction) > 0.0 { -normal } else { normal };
+                let normal = if normal.dot(primary.direction) > 0.0 {
+                    -normal
+                } else {
+                    normal
+                };
                 let origin = point + normal * (1e-4 * diag);
                 for _ in 0..config.samples_per_hit {
                     let dir = sampling::cosine_hemisphere_around(normal, rng.gen(), rng.gen());
@@ -97,7 +107,13 @@ impl AoWorkload {
                 }
             }
         }
-        AoWorkload { rays, ray_pixel, width, height, primary_hits }
+        AoWorkload {
+            rays,
+            ray_pixel,
+            width,
+            height,
+            primary_hits,
+        }
     }
 
     /// Returns a copy of the rays sorted in Morton order (the paper's
@@ -119,7 +135,11 @@ impl AoWorkload {
     ///
     /// Panics when `hit_flags` length differs from the ray count.
     pub fn occlusion_image(&self, hit_flags: &[bool]) -> crate::GrayImage {
-        assert_eq!(hit_flags.len(), self.rays.len(), "one flag per ray required");
+        assert_eq!(
+            hit_flags.len(),
+            self.rays.len(),
+            "one flag per ray required"
+        );
         let mut sum = vec![0.0f32; (self.width * self.height) as usize];
         let mut count = vec![0u32; (self.width * self.height) as usize];
         for (&pixel, &occluded) in self.ray_pixel.iter().zip(hit_flags) {
@@ -152,7 +172,10 @@ mod tests {
         let (scene, bvh) = tiny_scene();
         let w = AoWorkload::generate(&scene, &bvh, &AoConfig::default());
         assert_eq!(w.rays.len(), 4 * w.primary_hits as usize);
-        assert!(w.primary_hits > 100, "interior camera should hit most pixels");
+        assert!(
+            w.primary_hits > 100,
+            "interior camera should hit most pixels"
+        );
     }
 
     #[test]
@@ -184,9 +207,15 @@ mod tests {
         let s = w.sorted(&bvh);
         assert_eq!(s.rays.len(), w.rays.len());
         let bounds = bvh.bounds();
-        let keys: Vec<u64> =
-            s.rays.iter().map(|r| rip_bvh::sorting::ray_sort_key(r, &bounds)).collect();
-        assert!(keys.windows(2).all(|p| p[0] <= p[1]), "sorted workload must be key-ordered");
+        let keys: Vec<u64> = s
+            .rays
+            .iter()
+            .map(|r| rip_bvh::sorting::ray_sort_key(r, &bounds))
+            .collect();
+        assert!(
+            keys.windows(2).all(|p| p[0] <= p[1]),
+            "sorted workload must be key-ordered"
+        );
         // Pixel map permuted alongside: same multiset of pixels.
         let mut a = w.ray_pixel.clone();
         let mut b = s.ray_pixel.clone();

@@ -17,7 +17,10 @@ pub struct GiConfig {
 
 impl Default for GiConfig {
     fn default() -> Self {
-        GiConfig { bounces: 3, seed: 0x61 }
+        GiConfig {
+            bounces: 3,
+            seed: 0x61,
+        }
     }
 }
 
@@ -82,14 +85,22 @@ impl GiWorkload {
                     continue;
                 };
                 let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
-                let normal = if normal.dot(ray.direction) > 0.0 { -normal } else { normal };
+                let normal = if normal.dot(ray.direction) > 0.0 {
+                    -normal
+                } else {
+                    normal
+                };
                 let point = ray.at(hit.t) + normal * 1e-4 * bvh.bounds().diagonal_length();
                 let dir = sampling::cosine_hemisphere_around(normal, rng.gen(), rng.gen());
                 next.push(Ray::new(point, dir));
             }
             frontier = next;
         }
-        GiWorkload { rays, primary_rays, generation_sizes }
+        GiWorkload {
+            rays,
+            primary_rays,
+            generation_sizes,
+        }
     }
 }
 
@@ -110,7 +121,11 @@ mod tests {
         let w = GiWorkload::generate(&scene, &bvh, &GiConfig::default());
         assert_eq!(w.generation_sizes[0], w.primary_rays);
         for pair in w.generation_sizes.windows(2) {
-            assert!(pair[1] <= pair[0], "bounce generations cannot grow: {:?}", w.generation_sizes);
+            assert!(
+                pair[1] <= pair[0],
+                "bounce generations cannot grow: {:?}",
+                w.generation_sizes
+            );
         }
         assert_eq!(
             w.rays.len() as u32,
@@ -122,7 +137,14 @@ mod tests {
     #[test]
     fn bounce_count_bounds_generations() {
         let (scene, bvh) = tiny();
-        let w = GiWorkload::generate(&scene, &bvh, &GiConfig { bounces: 2, seed: 3 });
+        let w = GiWorkload::generate(
+            &scene,
+            &bvh,
+            &GiConfig {
+                bounces: 2,
+                seed: 3,
+            },
+        );
         assert!(w.generation_sizes.len() <= 3);
     }
 
@@ -146,7 +168,11 @@ mod tests {
             bounds.max + rip_math::Vec3::splat(1.0),
         );
         for r in w.rays.iter().skip(w.primary_rays as usize) {
-            assert!(inflated.contains_point(r.origin), "bounce origin escaped: {:?}", r.origin);
+            assert!(
+                inflated.contains_point(r.origin),
+                "bounce origin escaped: {:?}",
+                r.origin
+            );
         }
     }
 }

@@ -30,13 +30,25 @@ impl GrayImage {
     ///
     /// Panics when the buffer length is not `width × height`.
     pub fn from_pixels(width: u32, height: u32, pixels: Vec<f32>) -> Self {
-        assert_eq!(pixels.len(), (width * height) as usize, "pixel buffer size mismatch");
-        GrayImage { width, height, pixels }
+        assert_eq!(
+            pixels.len(),
+            (width * height) as usize,
+            "pixel buffer size mismatch"
+        );
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// A black image.
     pub fn new(width: u32, height: u32) -> Self {
-        GrayImage { width, height, pixels: vec![0.0; (width * height) as usize] }
+        GrayImage {
+            width,
+            height,
+            pixels: vec![0.0; (width * height) as usize],
+        }
     }
 
     /// Image width in pixels.
@@ -60,7 +72,10 @@ impl GrayImage {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, x: u32, y: u32) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y * self.width + x) as usize]
     }
 
@@ -70,7 +85,10 @@ impl GrayImage {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, x: u32, y: u32, value: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y * self.width + x) as usize] = value.clamp(0.0, 1.0);
     }
 

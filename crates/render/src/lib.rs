@@ -38,3 +38,14 @@ pub use gi::{GiConfig, GiWorkload};
 pub use image::GrayImage;
 pub use reference::{reference_rays_per_second, ReferenceInput};
 pub use shadow::{ShadowConfig, ShadowWorkload};
+
+// The rip-exec engine moves workloads across worker threads; every public
+// workload type must stay `Send + Sync` (compile-time check, no runtime cost).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnimatedScene>();
+    assert_send_sync::<AoWorkload>();
+    assert_send_sync::<GiWorkload>();
+    assert_send_sync::<ShadowWorkload>();
+    assert_send_sync::<GrayImage>();
+};

@@ -62,7 +62,11 @@ mod tests {
     use super::*;
 
     fn input(nodes: f64, tris: f64, mb: f64) -> ReferenceInput {
-        ReferenceInput { mean_node_fetches: nodes, mean_tri_fetches: tris, footprint_mb: mb }
+        ReferenceInput {
+            mean_node_fetches: nodes,
+            mean_tri_fetches: tris,
+            footprint_mb: mb,
+        }
     }
 
     #[test]

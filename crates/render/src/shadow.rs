@@ -12,14 +12,12 @@ use rip_math::{Ray, Vec3};
 use rip_scene::Scene;
 
 /// Parameters of the shadow-ray generator.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ShadowConfig {
     /// Point light positions in world space. When empty, lights are placed
     /// automatically near the top corners of the scene bounds.
     pub lights: Vec<Vec3>,
 }
-
 
 /// A generated shadow workload.
 ///
@@ -77,12 +75,17 @@ impl ShadowWorkload {
                 };
                 let point = primary.at(hit.t);
                 let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
-                let normal =
-                    if normal.dot(primary.direction) > 0.0 { -normal } else { normal };
+                let normal = if normal.dot(primary.direction) > 0.0 {
+                    -normal
+                } else {
+                    normal
+                };
                 for &light in &lights {
                     let to_light = light - point;
                     let distance = to_light.length();
-                    let Some(dir) = to_light.try_normalized() else { continue };
+                    let Some(dir) = to_light.try_normalized() else {
+                        continue;
+                    };
                     // Lights behind the surface cast no ray (always dark).
                     if dir.dot(normal) <= 0.0 {
                         continue;
@@ -97,7 +100,13 @@ impl ShadowWorkload {
                 }
             }
         }
-        ShadowWorkload { rays, ray_pixel, lights, width, height }
+        ShadowWorkload {
+            rays,
+            ray_pixel,
+            lights,
+            width,
+            height,
+        }
     }
 }
 
@@ -120,8 +129,10 @@ mod tests {
         assert!(!w.rays.is_empty());
         for ray in w.rays.iter().take(200) {
             let end = ray.at(ray.t_max);
-            let near_some_light =
-                w.lights.iter().any(|&l| (end - l).length() < 0.01 * bvh.bounds().diagonal_length());
+            let near_some_light = w
+                .lights
+                .iter()
+                .any(|&l| (end - l).length() < 0.01 * bvh.bounds().diagonal_length());
             assert!(near_some_light, "segment end {end:?} not at a light");
         }
     }
@@ -133,10 +144,15 @@ mod tests {
         let w = ShadowWorkload::generate(
             &scene,
             &bvh,
-            &ShadowConfig { lights: vec![light] },
+            &ShadowConfig {
+                lights: vec![light],
+            },
         );
         assert_eq!(w.lights, vec![light]);
-        assert!(w.rays.len() <= (24 * 24) as usize, "one light → at most one ray per pixel");
+        assert!(
+            w.rays.len() <= (24 * 24) as usize,
+            "one light → at most one ray per pixel"
+        );
     }
 
     #[test]
@@ -154,7 +170,10 @@ mod tests {
         };
         let sim = rip_core::FunctionalSim::new(
             config,
-            rip_core::SimOptions { classify_accesses: false, ..Default::default() },
+            rip_core::SimOptions {
+                classify_accesses: false,
+                ..Default::default()
+            },
         );
         let report = sim.run(&bvh, &w.rays);
         assert!(

@@ -61,7 +61,10 @@ impl Camera {
         let forward = (target - position)
             .try_normalized()
             .expect("camera position and target must differ");
-        let right = forward.cross(up).try_normalized().expect("up must not be parallel to view");
+        let right = forward
+            .cross(up)
+            .try_normalized()
+            .expect("up must not be parallel to view");
         let true_up = right.cross(forward);
         let aspect = width as f32 / height as f32;
         let half_h = (vfov_degrees.to_radians() * 0.5).tan();
@@ -69,7 +72,47 @@ impl Camera {
         let horizontal = right * (2.0 * half_w);
         let vertical = true_up * (2.0 * half_h);
         let lower_left = forward - right * half_w - true_up * half_h;
-        Camera { position, lower_left, horizontal, vertical, width, height }
+        Camera {
+            position,
+            lower_left,
+            horizontal,
+            vertical,
+            width,
+            height,
+        }
+    }
+
+    /// Raw basis vectors and viewport for serialization (crate-internal).
+    /// Order: position, lower_left, horizontal, vertical.
+    pub(crate) fn to_raw(self) -> ([Vec3; 4], u32, u32) {
+        (
+            [
+                self.position,
+                self.lower_left,
+                self.horizontal,
+                self.vertical,
+            ],
+            self.width,
+            self.height,
+        )
+    }
+
+    /// Rebuilds a camera from [`Camera::to_raw`] output (crate-internal).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the viewport is empty.
+    pub(crate) fn from_raw(basis: [Vec3; 4], width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "viewport must be non-empty");
+        let [position, lower_left, horizontal, vertical] = basis;
+        Camera {
+            position,
+            lower_left,
+            horizontal,
+            vertical,
+            width,
+            height,
+        }
     }
 
     /// Viewport width in pixels.
@@ -95,7 +138,10 @@ impl Camera {
     ///
     /// Panics when the pixel lies outside the viewport.
     pub fn primary_ray(&self, x: u32, y: u32) -> Ray {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) outside viewport");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) outside viewport"
+        );
         self.ray_through(
             (x as f32 + 0.5) / self.width as f32,
             (y as f32 + 0.5) / self.height as f32,

@@ -26,6 +26,7 @@ pub mod noise;
 pub mod obj;
 pub mod primitives;
 pub mod procedural;
+pub mod serial;
 mod suite;
 
 pub use camera::Camera;

@@ -45,10 +45,7 @@ impl TriangleMesh {
     /// # Errors
     ///
     /// Returns an error message when any index is out of range.
-    pub fn from_buffers(
-        positions: Vec<Vec3>,
-        indices: Vec<[u32; 3]>,
-    ) -> Result<Self, String> {
+    pub fn from_buffers(positions: Vec<Vec3>, indices: Vec<[u32; 3]>) -> Result<Self, String> {
         let n = positions.len() as u32;
         for (i, tri) in indices.iter().enumerate() {
             if tri.iter().any(|&v| v >= n) {
@@ -150,8 +147,12 @@ impl TriangleMesh {
     pub fn merge(&mut self, other: &TriangleMesh) {
         let base = self.positions.len() as u32;
         self.positions.extend_from_slice(&other.positions);
-        self.indices
-            .extend(other.indices.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        self.indices.extend(
+            other
+                .indices
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
     }
 
     /// Translates every vertex by `offset`.
@@ -311,8 +312,9 @@ mod tests {
 
     #[test]
     fn collect_from_triangles() {
-        let m: TriangleMesh =
-            [Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)].into_iter().collect();
+        let m: TriangleMesh = [Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)]
+            .into_iter()
+            .collect();
         assert_eq!(m.triangle_count(), 1);
     }
 }

@@ -127,7 +127,9 @@ mod tests {
     #[test]
     fn varies_across_space() {
         let n = ValueNoise::new(3);
-        let vals: Vec<f32> = (0..50).map(|i| n.sample(i as f32 * 0.37 + 0.1, 0.9)).collect();
+        let vals: Vec<f32> = (0..50)
+            .map(|i| n.sample(i as f32 * 0.37 + 0.1, 0.9))
+            .collect();
         let min = vals.iter().cloned().fold(f32::INFINITY, f32::min);
         let max = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         assert!(max - min > 0.2, "noise looks constant: [{min}, {max}]");

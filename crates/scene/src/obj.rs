@@ -133,7 +133,12 @@ pub fn read_obj<R: BufRead>(reader: R) -> Result<TriangleMesh, ParseObjError> {
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_obj<W: Write>(mesh: &TriangleMesh, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# {} vertices, {} triangles", mesh.vertex_count(), mesh.triangle_count())?;
+    writeln!(
+        writer,
+        "# {} vertices, {} triangles",
+        mesh.vertex_count(),
+        mesh.triangle_count()
+    )?;
     for p in mesh.positions() {
         writeln!(writer, "v {} {} {}", p.x, p.y, p.z)?;
     }

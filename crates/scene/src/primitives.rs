@@ -11,14 +11,44 @@ pub fn add_box(mesh: &mut TriangleMesh, bounds: Aabb) {
     let (lo, hi) = (bounds.min, bounds.max);
     let v = |x: f32, y: f32, z: f32| Vec3::new(x, y, z);
     // -Z and +Z faces.
-    mesh.push_quad(v(lo.x, lo.y, lo.z), v(hi.x, lo.y, lo.z), v(hi.x, hi.y, lo.z), v(lo.x, hi.y, lo.z));
-    mesh.push_quad(v(lo.x, lo.y, hi.z), v(lo.x, hi.y, hi.z), v(hi.x, hi.y, hi.z), v(hi.x, lo.y, hi.z));
+    mesh.push_quad(
+        v(lo.x, lo.y, lo.z),
+        v(hi.x, lo.y, lo.z),
+        v(hi.x, hi.y, lo.z),
+        v(lo.x, hi.y, lo.z),
+    );
+    mesh.push_quad(
+        v(lo.x, lo.y, hi.z),
+        v(lo.x, hi.y, hi.z),
+        v(hi.x, hi.y, hi.z),
+        v(hi.x, lo.y, hi.z),
+    );
     // -X and +X faces.
-    mesh.push_quad(v(lo.x, lo.y, lo.z), v(lo.x, hi.y, lo.z), v(lo.x, hi.y, hi.z), v(lo.x, lo.y, hi.z));
-    mesh.push_quad(v(hi.x, lo.y, lo.z), v(hi.x, lo.y, hi.z), v(hi.x, hi.y, hi.z), v(hi.x, hi.y, lo.z));
+    mesh.push_quad(
+        v(lo.x, lo.y, lo.z),
+        v(lo.x, hi.y, lo.z),
+        v(lo.x, hi.y, hi.z),
+        v(lo.x, lo.y, hi.z),
+    );
+    mesh.push_quad(
+        v(hi.x, lo.y, lo.z),
+        v(hi.x, lo.y, hi.z),
+        v(hi.x, hi.y, hi.z),
+        v(hi.x, hi.y, lo.z),
+    );
     // -Y and +Y faces.
-    mesh.push_quad(v(lo.x, lo.y, lo.z), v(lo.x, lo.y, hi.z), v(hi.x, lo.y, hi.z), v(hi.x, lo.y, lo.z));
-    mesh.push_quad(v(lo.x, hi.y, lo.z), v(hi.x, hi.y, lo.z), v(hi.x, hi.y, hi.z), v(lo.x, hi.y, hi.z));
+    mesh.push_quad(
+        v(lo.x, lo.y, lo.z),
+        v(lo.x, lo.y, hi.z),
+        v(hi.x, lo.y, hi.z),
+        v(hi.x, lo.y, lo.z),
+    );
+    mesh.push_quad(
+        v(lo.x, hi.y, lo.z),
+        v(hi.x, hi.y, lo.z),
+        v(hi.x, hi.y, hi.z),
+        v(lo.x, hi.y, hi.z),
+    );
 }
 
 /// Appends a subdivided parallelogram patch with optional displacement.
@@ -185,7 +215,9 @@ mod tests {
     #[test]
     fn patch_displacement_moves_vertices() {
         let mut m = TriangleMesh::new();
-        add_patch(&mut m, Vec3::ZERO, Vec3::X, Vec3::Z, 2, 2, |u, v| Vec3::Y * (u + v));
+        add_patch(&mut m, Vec3::ZERO, Vec3::X, Vec3::Z, 2, 2, |u, v| {
+            Vec3::Y * (u + v)
+        });
         let b = m.bounds();
         assert!(b.max.y > 1.9, "displacement not applied: {b:?}");
         m.validate().unwrap();

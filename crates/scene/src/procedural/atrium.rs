@@ -19,7 +19,12 @@ pub fn build_atrium(budget: usize, seed: u64) -> TriangleMesh {
 
     let cols = 10u32;
     let per_col = (budget * 35 / 100) / (4 * cols as usize);
-    for (z, y) in [(4.0f32, 0.0f32), (size.z - 4.0, 0.0), (4.0, 6.0), (size.z - 4.0, 6.0)] {
+    for (z, y) in [
+        (4.0f32, 0.0f32),
+        (size.z - 4.0, 0.0),
+        (4.0, 6.0),
+        (size.z - 4.0, 6.0),
+    ] {
         column_row(
             &mut mesh,
             Vec3::new(3.0, y, z),
@@ -34,7 +39,10 @@ pub fn build_atrium(budget: usize, seed: u64) -> TriangleMesh {
     for z in [2.0f32, size.z - 6.0] {
         crate::primitives::add_box(
             &mut mesh,
-            Aabb::new(Vec3::new(1.0, 5.6, z), Vec3::new(size.x - 1.0, 6.0, z + 4.0)),
+            Aabb::new(
+                Vec3::new(1.0, 5.6, z),
+                Vec3::new(size.x - 1.0, 6.0, z + 4.0),
+            ),
         );
     }
 
@@ -56,7 +64,10 @@ pub fn build_atrium(budget: usize, seed: u64) -> TriangleMesh {
     let clutter = ((budget * 15 / 100) / 12).max(4);
     scatter_boxes(
         &mut mesh,
-        Aabb::new(Vec3::new(7.0, 0.0, 7.0), Vec3::new(size.x - 7.0, 0.0, size.z - 7.0)),
+        Aabb::new(
+            Vec3::new(7.0, 0.0, 7.0),
+            Vec3::new(size.x - 7.0, 0.0, size.z - 7.0),
+        ),
         clutter,
         1.0,
         &mut rng,

@@ -79,7 +79,10 @@ pub fn build_bistro_interior(budget: usize, seed: u64) -> TriangleMesh {
         primitives::add_sphere(&mut mesh, Vec3::new(x, 3.0, z), 0.3, lseg, lrings);
         primitives::add_box(
             &mut mesh,
-            Aabb::new(Vec3::new(x - 0.02, 3.3, z - 0.02), Vec3::new(x + 0.02, size.y, z + 0.02)),
+            Aabb::new(
+                Vec3::new(x - 0.02, 3.3, z - 0.02),
+                Vec3::new(x + 0.02, size.y, z + 0.02),
+            ),
         );
     }
 

@@ -24,7 +24,11 @@ pub fn build_fireplace_room(budget: usize, seed: u64) -> TriangleMesh {
     for c in 0..courses {
         let y0 = fh * c as f32 / courses as f32;
         let y1 = fh * (c + 1) as f32 / courses as f32;
-        let offset = if c % 2 == 0 { 0.0 } else { 0.5 / per_course as f32 };
+        let offset = if c % 2 == 0 {
+            0.0
+        } else {
+            0.5 / per_course as f32
+        };
         for b in 0..per_course {
             let u0 = (b as f32 + offset) / per_course as f32;
             let u1 = (b as f32 + 0.92 + offset) / per_course as f32;
@@ -40,11 +44,17 @@ pub fn build_fireplace_room(budget: usize, seed: u64) -> TriangleMesh {
     // Firebox opening and mantel.
     primitives::add_box(
         &mut mesh,
-        Aabb::new(Vec3::new(fx + 0.5, 0.0, 0.0), Vec3::new(fx + fw - 0.5, 0.9, 0.25)),
+        Aabb::new(
+            Vec3::new(fx + 0.5, 0.0, 0.0),
+            Vec3::new(fx + fw - 0.5, 0.9, 0.25),
+        ),
     );
     primitives::add_box(
         &mut mesh,
-        Aabb::new(Vec3::new(fx - 0.2, fh, 0.0), Vec3::new(fx + fw + 0.2, fh + 0.12, 0.35)),
+        Aabb::new(
+            Vec3::new(fx - 0.2, fh, 0.0),
+            Vec3::new(fx + fw + 0.2, fh + 0.12, 0.35),
+        ),
     );
     // Log pile: short cylinders.
     for i in 0..4 {
@@ -58,7 +68,13 @@ pub fn build_fireplace_room(budget: usize, seed: u64) -> TriangleMesh {
         );
     }
 
-    sofa(&mut mesh, Vec3::new(2.0, 0.0, 4.5), 3.0, budget * 25 / 100, seed ^ 5);
+    sofa(
+        &mut mesh,
+        Vec3::new(2.0, 0.0, 4.5),
+        3.0,
+        budget * 25 / 100,
+        seed ^ 5,
+    );
     table(&mut mesh, Vec3::new(4.5, 0.0, 3.0), 1.2, 0.7, 0.4);
     chair(&mut mesh, Vec3::new(6.5, 0.0, 3.0), 0.55);
 
@@ -72,7 +88,11 @@ pub fn build_fireplace_room(budget: usize, seed: u64) -> TriangleMesh {
         n,
         n,
         |u, v| {
-            let panel = if (u * 6.0).fract() < 0.08 || (v * 3.0).fract() < 0.08 { 0.0 } else { 0.04 };
+            let panel = if (u * 6.0).fract() < 0.08 || (v * 3.0).fract() < 0.08 {
+                0.0
+            } else {
+                0.04
+            };
             -Vec3::X * panel
         },
     );
@@ -98,6 +118,9 @@ mod tests {
             .triangles()
             .filter(|t| t.centroid().z < 0.4 && t.centroid().y < 2.0)
             .count();
-        assert!(near_wall > 100, "only {near_wall} triangles near fireplace wall");
+        assert!(
+            near_wall > 100,
+            "only {near_wall} triangles near fireplace wall"
+        );
     }
 }

@@ -32,7 +32,10 @@ pub(crate) fn column_row(
         );
         primitives::add_box(
             mesh,
-            Aabb::new(base + Vec3::new(-cap, 0.0, -cap), base + Vec3::new(cap, radius, cap)),
+            Aabb::new(
+                base + Vec3::new(-cap, 0.0, -cap),
+                base + Vec3::new(cap, radius, cap),
+            ),
         );
     }
 }

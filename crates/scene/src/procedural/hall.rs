@@ -62,7 +62,10 @@ pub fn build_vaulted_hall(budget: usize, seed: u64) -> TriangleMesh {
     let clutter = ((budget * 15 / 100) / 12).max(4);
     scatter_boxes(
         &mut mesh,
-        rip_math::Aabb::new(Vec3::new(6.0, 0.0, 5.5), Vec3::new(size.x - 6.0, 0.0, size.z - 5.5)),
+        rip_math::Aabb::new(
+            Vec3::new(6.0, 0.0, 5.5),
+            Vec3::new(size.x - 6.0, 0.0, size.z - 5.5),
+        ),
         clutter,
         1.4,
         &mut rng,

@@ -64,7 +64,11 @@ pub fn build_country_kitchen(budget: usize, seed: u64) -> TriangleMesh {
         let r = 0.07 + 0.02 * ((i % 3) as f32);
         primitives::add_sphere(
             &mut mesh,
-            Vec3::new(6.0 + a.cos() * 0.22 * (1.0 + (i / 3) as f32 * 0.8), 0.85 + r, 5.0 + a.sin() * 0.2),
+            Vec3::new(
+                6.0 + a.cos() * 0.22 * (1.0 + (i / 3) as f32 * 0.8),
+                0.85 + r,
+                5.0 + a.sin() * 0.2,
+            ),
             r,
             fseg,
             frings,

@@ -18,8 +18,20 @@ pub fn build_living_room(budget: usize, seed: u64) -> TriangleMesh {
     // 15% shell, 30% sofas, 15% rug, 25% shelves, 15% decor.
     room_shell(&mut mesh, size, budget * 15 / 100, seed, 0.03);
 
-    sofa(&mut mesh, Vec3::new(1.0, 0.0, 1.0), 3.4, budget * 15 / 100, seed ^ 1);
-    sofa(&mut mesh, Vec3::new(1.0, 0.0, 6.5), 3.4, budget * 15 / 100, seed ^ 2);
+    sofa(
+        &mut mesh,
+        Vec3::new(1.0, 0.0, 1.0),
+        3.4,
+        budget * 15 / 100,
+        seed ^ 1,
+    );
+    sofa(
+        &mut mesh,
+        Vec3::new(1.0, 0.0, 6.5),
+        3.4,
+        budget * 15 / 100,
+        seed ^ 2,
+    );
 
     table(&mut mesh, Vec3::new(4.5, 0.0, 4.2), 1.6, 0.9, 0.45);
     chair(&mut mesh, Vec3::new(6.2, 0.0, 3.0), 0.55);
@@ -61,7 +73,13 @@ pub fn build_living_room(budget: usize, seed: u64) -> TriangleMesh {
     let (seg, rings) = sphere_res(decor_budget / spheres);
     for i in 0..spheres {
         let x = 1.5 + 2.0 * i as f32;
-        primitives::add_sphere(&mut mesh, Vec3::new(x.min(size.x - 1.0), 1.6, 0.6), 0.25, seg, rings);
+        primitives::add_sphere(
+            &mut mesh,
+            Vec3::new(x.min(size.x - 1.0), 1.6, 0.6),
+            0.25,
+            seg,
+            rings,
+        );
         primitives::add_box(
             &mut mesh,
             Aabb::new(

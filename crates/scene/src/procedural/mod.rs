@@ -54,12 +54,33 @@ pub(crate) fn room_shell(
     let (sx, sy, sz) = (size.x, size.y, size.z);
     // Floor (+Y normal) and ceiling (−Y).
     face(mesh, Vec3::ZERO, Vec3::X * sx, Vec3::Z * sz, Vec3::Y, 0.0);
-    face(mesh, Vec3::new(0.0, sy, 0.0), Vec3::X * sx, Vec3::Z * sz, -Vec3::Y, 1.0);
+    face(
+        mesh,
+        Vec3::new(0.0, sy, 0.0),
+        Vec3::X * sx,
+        Vec3::Z * sz,
+        -Vec3::Y,
+        1.0,
+    );
     // Walls.
     face(mesh, Vec3::ZERO, Vec3::X * sx, Vec3::Y * sy, Vec3::Z, 2.0);
-    face(mesh, Vec3::new(0.0, 0.0, sz), Vec3::X * sx, Vec3::Y * sy, -Vec3::Z, 3.0);
+    face(
+        mesh,
+        Vec3::new(0.0, 0.0, sz),
+        Vec3::X * sx,
+        Vec3::Y * sy,
+        -Vec3::Z,
+        3.0,
+    );
     face(mesh, Vec3::ZERO, Vec3::Z * sz, Vec3::Y * sy, Vec3::X, 4.0);
-    face(mesh, Vec3::new(sx, 0.0, 0.0), Vec3::Z * sz, Vec3::Y * sy, -Vec3::X, 5.0);
+    face(
+        mesh,
+        Vec3::new(sx, 0.0, 0.0),
+        Vec3::Z * sz,
+        Vec3::Y * sy,
+        -Vec3::X,
+        5.0,
+    );
 }
 
 /// Scatters axis-aligned clutter boxes on the floor of `bounds`.
@@ -108,7 +129,11 @@ mod tests {
     fn room_shell_hits_budget_and_validates() {
         let mut m = TriangleMesh::new();
         room_shell(&mut m, Vec3::new(10.0, 4.0, 8.0), 1200, 7, 0.05);
-        assert!(m.triangle_count() > 600 && m.triangle_count() <= 1400, "{}", m.triangle_count());
+        assert!(
+            m.triangle_count() > 600 && m.triangle_count() <= 1400,
+            "{}",
+            m.triangle_count()
+        );
         m.validate().unwrap();
     }
 
@@ -116,7 +141,13 @@ mod tests {
     fn scatter_boxes_emits_12_tris_each() {
         let mut m = TriangleMesh::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        scatter_boxes(&mut m, Aabb::new(Vec3::ZERO, Vec3::splat(5.0)), 10, 0.5, &mut rng);
+        scatter_boxes(
+            &mut m,
+            Aabb::new(Vec3::ZERO, Vec3::splat(5.0)),
+            10,
+            0.5,
+            &mut rng,
+        );
         assert_eq!(m.triangle_count(), 120);
     }
 

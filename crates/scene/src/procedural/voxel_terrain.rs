@@ -33,7 +33,9 @@ pub fn build_voxel_terrain(budget: usize, seed: u64) -> TriangleMesh {
     for _ in 0..towers {
         let gx = rng.gen_range(0..n) as f32;
         let gz = rng.gen_range(0..n) as f32;
-        let base_h = (noise.fbm(gx * 0.08, gz * 0.08, 4) * 6.0 + 7.0).floor().max(1.0);
+        let base_h = (noise.fbm(gx * 0.08, gz * 0.08, 4) * 6.0 + 7.0)
+            .floor()
+            .max(1.0);
         let height = rng.gen_range(3.0..10.0f32).floor();
         let w = rng.gen_range(1..4) as f32;
         primitives::add_box(
@@ -72,8 +74,7 @@ mod tests {
         let m = build_voxel_terrain(2_000, 3);
         for t in m.triangles() {
             let n = t.geometric_normal().abs();
-            let axis_aligned =
-                (n.x > 0.0) as u8 + (n.y > 0.0) as u8 + (n.z > 0.0) as u8 == 1;
+            let axis_aligned = (n.x > 0.0) as u8 + (n.y > 0.0) as u8 + (n.z > 0.0) as u8 == 1;
             assert!(axis_aligned, "non-axis-aligned triangle {t:?}");
         }
     }

@@ -1,0 +1,193 @@
+//! Compact binary serialization of a built [`Scene`].
+//!
+//! The artifact cache in `rip-exec` persists generated procedural scenes
+//! (indexed mesh + camera) so repeated experiment runs skip geometry
+//! synthesis. The format is a little-endian dump of the vertex/index
+//! buffers and the camera's raw basis; decoding revalidates the mesh
+//! through [`TriangleMesh::from_buffers`], so a corrupt artifact falls
+//! back to a rebuild instead of producing garbage.
+
+use crate::{Camera, Scene, SceneId, TriangleMesh, SCENE_IDS};
+use rip_math::Vec3;
+
+/// Bumped whenever the encoded layout changes; part of the header *and*
+/// of the artifact cache key in `rip-exec`.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"RSCN";
+
+/// Encodes `scene` into a self-contained byte buffer.
+pub fn encode(scene: &Scene) -> Vec<u8> {
+    let positions = scene.mesh.positions();
+    let indices = scene.mesh.indices();
+    let (basis, width, height) = scene.camera.to_raw();
+    let mut out = Vec::with_capacity(76 + positions.len() * 12 + indices.len() * 12);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let scene_index = SCENE_IDS
+        .iter()
+        .position(|&id| id == scene.id)
+        .expect("id in SCENE_IDS");
+    out.extend_from_slice(&(scene_index as u32).to_le_bytes());
+    out.extend_from_slice(&(positions.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+    for p in positions {
+        put_vec3(&mut out, p);
+    }
+    for tri in indices {
+        for &i in tri {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+    for v in &basis {
+        put_vec3(&mut out, v);
+    }
+    out.extend_from_slice(&width.to_le_bytes());
+    out.extend_from_slice(&height.to_le_bytes());
+    out
+}
+
+/// Decodes a buffer produced by [`encode`] and revalidates the mesh.
+///
+/// Any structural problem — wrong magic, foreign version, truncation, or
+/// indices that fail mesh validation — is reported as `Err` so the caller
+/// can regenerate the scene instead.
+pub fn decode(bytes: &[u8]) -> Result<Scene, String> {
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err("not a scene artifact (bad magic)".into());
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "scene artifact version {version}, expected {FORMAT_VERSION}"
+        ));
+    }
+    let scene_index = r.u32()? as usize;
+    let id: SceneId = *SCENE_IDS
+        .get(scene_index)
+        .ok_or_else(|| format!("scene index {scene_index} out of range"))?;
+    let position_count = r.u32()? as usize;
+    let index_count = r.u32()? as usize;
+
+    let mut positions = Vec::with_capacity(position_count);
+    for _ in 0..position_count {
+        positions.push(r.vec3()?);
+    }
+    let mut indices = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        indices.push([r.u32()?, r.u32()?, r.u32()?]);
+    }
+    let basis = [r.vec3()?, r.vec3()?, r.vec3()?, r.vec3()?];
+    let width = r.u32()?;
+    let height = r.u32()?;
+    if r.at != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after scene artifact",
+            bytes.len() - r.at
+        ));
+    }
+    if width == 0 || height == 0 {
+        return Err("scene artifact has an empty viewport".into());
+    }
+
+    let mesh = TriangleMesh::from_buffers(positions, indices)
+        .map_err(|e| format!("decoded mesh failed validation: {e}"))?;
+    Ok(Scene {
+        id,
+        mesh,
+        camera: Camera::from_raw(basis, width, height),
+    })
+}
+
+fn put_vec3(out: &mut Vec<u8>, v: &Vec3) {
+    out.extend_from_slice(&v.x.to_le_bytes());
+    out.extend_from_slice(&v.y.to_le_bytes());
+    out.extend_from_slice(&v.z.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err("truncated scene artifact".into()),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn vec3(&mut self) -> Result<Vec3, String> {
+        Ok(Vec3::new(self.f32()?, self.f32()?, self.f32()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SceneScale;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 32, 24);
+        let decoded = decode(&encode(&scene)).unwrap();
+        assert_eq!(decoded.id, scene.id);
+        assert_eq!(decoded.mesh.positions(), scene.mesh.positions());
+        assert_eq!(decoded.mesh.indices(), scene.mesh.indices());
+        assert_eq!(decoded.camera, scene.camera);
+    }
+
+    #[test]
+    fn reencode_is_byte_identical() {
+        let scene = SceneId::FireplaceRoom.build_with_viewport(SceneScale::Tiny, 16, 16);
+        let bytes = encode(&scene);
+        assert_eq!(encode(&decode(&bytes).unwrap()), bytes);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_truncation_and_index() {
+        let scene = SceneId::LostEmpire.build_with_viewport(SceneScale::Tiny, 16, 16);
+        let bytes = encode(&scene);
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(decode(&bad_magic).unwrap_err().contains("magic"));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xEE;
+        assert!(decode(&bad_version).unwrap_err().contains("version"));
+
+        assert!(decode(&bytes[..bytes.len() - 2])
+            .unwrap_err()
+            .contains("truncated"));
+
+        let mut bad_index = bytes.clone();
+        bad_index[8] = 0x33;
+        assert!(decode(&bad_index).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_invalid_mesh_indices() {
+        let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 16, 16);
+        let mut bytes = encode(&scene);
+        // Overwrite the first mesh index with an out-of-bounds vertex id.
+        let first_index_at = 20 + scene.mesh.positions().len() * 12;
+        bytes[first_index_at..first_index_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+}

@@ -186,12 +186,19 @@ impl SceneId {
         let center = bounds.center();
         // Interior viewpoint: stand inside the volume near a corner at
         // standing height, look across the room.
-        let eye = bounds.min
-            + bounds.diagonal() * Vec3::new(0.18, 0.45, 0.22)
-            + Vec3::new(0.0, 0.0, 0.0);
-        let target = Vec3::new(center.x, bounds.min.y + bounds.diagonal().y * 0.35, center.z);
+        let eye =
+            bounds.min + bounds.diagonal() * Vec3::new(0.18, 0.45, 0.22) + Vec3::new(0.0, 0.0, 0.0);
+        let target = Vec3::new(
+            center.x,
+            bounds.min.y + bounds.diagonal().y * 0.35,
+            center.z,
+        );
         let camera = Camera::look_at(eye, target, Vec3::Y, 65.0, width, height);
-        Scene { id: self, mesh, camera }
+        Scene {
+            id: self,
+            mesh,
+            camera,
+        }
     }
 }
 
@@ -220,9 +227,16 @@ mod tests {
 
     #[test]
     fn quick_scale_tracks_paper_ratios() {
-        let kitchen = SceneId::CountryKitchen.build_mesh(SceneScale::Tiny).triangle_count();
-        let hall = SceneId::Sibenik.build_mesh(SceneScale::Tiny).triangle_count();
-        assert!(kitchen > hall, "kitchen ({kitchen}) should out-detail the hall ({hall})");
+        let kitchen = SceneId::CountryKitchen
+            .build_mesh(SceneScale::Tiny)
+            .triangle_count();
+        let hall = SceneId::Sibenik
+            .build_mesh(SceneScale::Tiny)
+            .triangle_count();
+        assert!(
+            kitchen > hall,
+            "kitchen ({kitchen}) should out-detail the hall ({hall})"
+        );
     }
 
     #[test]

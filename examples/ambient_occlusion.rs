@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // Predictor path: same rays through the §3 flow.
-    let config = PredictorConfig { update_delay: 32, ..PredictorConfig::paper_default() };
+    let config = PredictorConfig {
+        update_delay: 32,
+        ..PredictorConfig::paper_default()
+    };
     let mut predictor = Predictor::new(config, bvh.bounds());
     let mut predicted_flags = Vec::with_capacity(workload.rays.len());
     let mut skipped_fetches = 0i64;

@@ -11,7 +11,14 @@ fn main() {
     let tris: Vec<Triangle> = scene.mesh.triangles().collect();
     let bvh = Bvh::build(&tris);
 
-    let gi = GiWorkload::generate(&scene, &bvh, &GiConfig { bounces: 3, seed: 7 });
+    let gi = GiWorkload::generate(
+        &scene,
+        &bvh,
+        &GiConfig {
+            bounces: 3,
+            seed: 7,
+        },
+    );
     println!(
         "GI path workload: {} segments over generations {:?}",
         gi.rays.len(),

@@ -31,22 +31,35 @@ fn main() {
 
     println!("Go Up Level sweep (Figure 14):");
     for gul in 0..=5 {
-        let config = PredictorConfig { go_up_level: gul, ..PredictorConfig::paper_default() };
+        let config = PredictorConfig {
+            go_up_level: gul,
+            ..PredictorConfig::paper_default()
+        };
         println!("  level {gul}: {}", run(config, &bvh, &rays));
     }
 
     println!("\nHash tightness (Table 8a):");
     for (ob, db) in [(3u32, 3u32), (4, 3), (5, 3), (5, 5)] {
         let config = PredictorConfig {
-            hash: HashFunction::GridSpherical { origin_bits: ob, direction_bits: db },
+            hash: HashFunction::GridSpherical {
+                origin_bits: ob,
+                direction_bits: db,
+            },
             ..PredictorConfig::paper_default()
         };
-        println!("  {ob} origin / {db} direction bits: {}", run(config, &bvh, &rays));
+        println!(
+            "  {ob} origin / {db} direction bits: {}",
+            run(config, &bvh, &rays)
+        );
     }
 
     println!("\nTable shape (Tables 6 & 7):");
     for (entries, ways) in [(512usize, 4usize), (1024, 4), (1024, 1), (2048, 8)] {
-        let config = PredictorConfig { entries, ways, ..PredictorConfig::paper_default() };
+        let config = PredictorConfig {
+            entries,
+            ways,
+            ..PredictorConfig::paper_default()
+        };
         println!(
             "  {entries} entries, {ways}-way ({} bytes): {}",
             config.table_bytes(),
@@ -62,6 +75,10 @@ fn main() {
         OracleMode::ImmediateUpdates,
     ] {
         let config = PredictorConfig::paper_default().with_oracle(oracle);
-        println!("  {:>9}: {}", format!("{oracle:?}"), run(config, &bvh, &rays));
+        println!(
+            "  {:>9}: {}",
+            format!("{oracle:?}"),
+            run(config, &bvh, &rays)
+        );
     }
 }

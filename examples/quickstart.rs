@@ -21,7 +21,11 @@ fn main() {
     //    pixel, then four cosine-sampled hemisphere rays per hit point with
     //    lengths of 25-40% of the scene diagonal (§5.2).
     let workload = AoWorkload::generate(&scene, &bvh, &AoConfig::default());
-    println!("workload: {} occlusion rays from {} hit points", workload.rays.len(), workload.primary_hits);
+    println!(
+        "workload: {} occlusion rays from {} hit points",
+        workload.rays.len(),
+        workload.primary_hits
+    );
 
     // 3. Functional simulation: how much traversal does the predictor skip?
     let sim = FunctionalSim::new(PredictorConfig::paper_default(), SimOptions::default());

@@ -24,7 +24,11 @@ fn main() {
     let tris: Vec<Triangle> = scene.mesh.triangles().collect();
     let bvh = Bvh::build(&tris);
     let rays = AoWorkload::generate(&scene, &bvh, &AoConfig::default()).rays;
-    println!("{}: {} AO rays through the Table 2 GPU\n", scene.id, rays.len());
+    println!(
+        "{}: {} AO rays through the Table 2 GPU\n",
+        scene.id,
+        rays.len()
+    );
 
     let baseline = Simulator::new(GpuConfig::baseline()).run(&bvh, &rays);
     describe("baseline", &baseline, &baseline);
@@ -42,7 +46,10 @@ fn main() {
     let repack4 = Simulator::new(repack4_cfg).run(&bvh, &rays);
     describe("repack 4", &repack4, &baseline);
 
-    assert_eq!(baseline.hits, repack.hits, "repacking must not change results");
+    assert_eq!(
+        baseline.hits, repack.hits,
+        "repacking must not change results"
+    );
     println!(
         "\nAll configurations agree on {} scene hits out of {} rays.",
         baseline.hits, baseline.completed_rays

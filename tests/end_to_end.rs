@@ -17,7 +17,10 @@ fn predictor_is_exact_for_every_scene() {
     for id in SCENE_IDS {
         let (scene, bvh) = build(id, 24);
         let rays = AoWorkload::generate(&scene, &bvh, &AoConfig::default()).rays;
-        let config = PredictorConfig { update_delay: 16, ..PredictorConfig::paper_default() };
+        let config = PredictorConfig {
+            update_delay: 16,
+            ..PredictorConfig::paper_default()
+        };
         let mut predictor = Predictor::new(config, bvh.bounds());
         for ray in &rays {
             let reference = bvh.intersect(ray, TraversalKind::AnyHit).hit.is_some();
@@ -31,9 +34,10 @@ fn predictor_is_exact_for_every_scene() {
 fn timing_sim_agrees_with_functional_hits() {
     let (scene, bvh) = build(SceneId::CrytekSponza, 32);
     let rays = AoWorkload::generate(&scene, &bvh, &AoConfig::default()).rays;
-    let functional_hits =
-        rays.iter().filter(|r| bvh.intersect(r, TraversalKind::AnyHit).hit.is_some()).count()
-            as u64;
+    let functional_hits = rays
+        .iter()
+        .filter(|r| bvh.intersect(r, TraversalKind::AnyHit).hit.is_some())
+        .count() as u64;
     for config in [GpuConfig::baseline(), GpuConfig::with_predictor()] {
         let report = Simulator::new(config).run(&bvh, &rays);
         assert_eq!(report.completed_rays, rays.len() as u64);
@@ -47,9 +51,21 @@ fn dense_ao_workload_trains_the_predictor() {
     let rays = AoWorkload::generate(&scene, &bvh, &AoConfig::default()).rays;
     let sim = FunctionalSim::new(PredictorConfig::paper_default(), SimOptions::default());
     let report = sim.run(&bvh, &rays);
-    assert!(report.prediction.predicted_rate() > 0.5, "p = {}", report.prediction.predicted_rate());
-    assert!(report.prediction.verified_rate() > 0.2, "v = {}", report.prediction.verified_rate());
-    assert!(report.node_savings() > 0.1, "node savings = {}", report.node_savings());
+    assert!(
+        report.prediction.predicted_rate() > 0.5,
+        "p = {}",
+        report.prediction.predicted_rate()
+    );
+    assert!(
+        report.prediction.verified_rate() > 0.2,
+        "v = {}",
+        report.prediction.verified_rate()
+    );
+    assert!(
+        report.node_savings() > 0.1,
+        "node savings = {}",
+        report.node_savings()
+    );
 }
 
 #[test]
@@ -120,7 +136,10 @@ fn sorted_rays_reduce_predictor_benefit() {
     let sorted = workload.sorted(&bvh);
     let sim = FunctionalSim::new(
         PredictorConfig::paper_default(),
-        SimOptions { classify_accesses: false, ..SimOptions::default() },
+        SimOptions {
+            classify_accesses: false,
+            ..SimOptions::default()
+        },
     );
     let unsorted_savings = sim.run(&bvh, &workload.rays).node_savings();
     let sorted_savings = sim.run(&bvh, &sorted.rays).node_savings();

@@ -11,16 +11,26 @@ fn ctx() -> Context {
 #[test]
 fn all_experiments_produce_reports() {
     let reports = experiments::run_all(&ctx());
-    assert_eq!(reports.len(), 22, "one report per reproduced result + extensions");
+    assert_eq!(
+        reports.len(),
+        22,
+        "one report per reproduced result + extensions"
+    );
     for report in &reports {
-        assert!(!report.text.trim().is_empty(), "{} produced no text", report.id);
+        assert!(
+            !report.text.trim().is_empty(),
+            "{} produced no text",
+            report.id
+        );
     }
 }
 
 #[test]
 fn figure_12_predictor_wins_at_tiny_scale() {
     let report = experiments::fig12_speedup::run(&ctx());
-    let gm = report.get_metric("geomean_unsorted").expect("metric recorded");
+    let gm = report
+        .get_metric("geomean_unsorted")
+        .expect("metric recorded");
     assert!(gm > 1.0, "predictor should win: geomean {gm}");
 }
 
@@ -29,10 +39,16 @@ fn figure_2_oracle_ladder_is_ordered() {
     let report = experiments::fig02_limit_study::run(&ctx());
     let real = report.get_metric("savings_Predictor").unwrap();
     let ot = report.get_metric("savings_OT").unwrap();
-    assert!(ot >= real - 0.02, "OT ({ot}) must not trail the real predictor ({real})");
+    assert!(
+        ot >= real - 0.02,
+        "OT ({ot}) must not trail the real predictor ({real})"
+    );
     let v_real = report.get_metric("verified_Predictor").unwrap();
     let v_ol = report.get_metric("verified_OL").unwrap();
-    assert!(v_ol >= v_real - 0.02, "oracle lookup must verify at least as many rays");
+    assert!(
+        v_ol >= v_real - 0.02,
+        "oracle lookup must verify at least as many rays"
+    );
 }
 
 #[test]
@@ -41,8 +57,14 @@ fn figure_14_verified_rate_rises_with_go_up_level() {
     let v0 = report.get_metric("verified_gul0").unwrap();
     let v3 = report.get_metric("verified_gul3").unwrap();
     let v5 = report.get_metric("verified_gul5").unwrap();
-    assert!(v3 >= v0, "level 3 ({v3}) must verify at least level 0 ({v0})");
-    assert!(v5 >= v3 - 0.02, "level 5 ({v5}) should not fall below level 3 ({v3})");
+    assert!(
+        v3 >= v0,
+        "level 3 ({v3}) must verify at least level 0 ({v0})"
+    );
+    assert!(
+        v5 >= v3 - 0.02,
+        "level 5 ({v5}) should not fall below level 3 ({v3})"
+    );
 }
 
 #[test]

@@ -1,0 +1,220 @@
+//! Minimal, offline stand-in for the parts of `criterion` 0.5 this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the criterion API its `[[bench]]` targets consume:
+//! [`Criterion`], [`Criterion::benchmark_group`], group `throughput` /
+//! `sample_size` / [`BenchmarkGroup::bench_with_input`] / `finish`,
+//! [`BenchmarkId::new`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then runs `sample_size` samples of a batch sized so one batch takes a
+//! measurable slice of wall time, and reports the median per-iteration
+//! time (plus element throughput when configured) on stdout. There are no
+//! plots, baselines, or statistical tests — the intent is a functional,
+//! dependency-free `cargo bench` that surfaces large regressions.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver. Obtained via [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Upstream parses CLI args (filters, baselines). This stand-in
+    /// accepts and ignores them so `cargo bench -- <filter>` still runs.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Upstream prints a summary; nothing to do here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Throughput annotation for a group (per-sample element count).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per benchmark iteration.
+    Elements(u64),
+    /// Bytes processed per benchmark iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        bencher.report(&label, self.throughput);
+        self
+    }
+
+    /// Marks the group complete (upstream emits a summary).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark routine; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples of an
+    /// auto-calibrated batch size.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + batch calibration: grow the batch until one batch
+        // takes at least ~2ms (or the batch is large enough that timer
+        // resolution is irrelevant anyway).
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let per_iter = median.as_secs_f64();
+        let mut line = format!("{label:<48} time: {}", fmt_time(per_iter));
+        match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                line.push_str(&format!(
+                    "   thrpt: {:.3} Melem/s",
+                    n as f64 / per_iter / 1e6
+                ));
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                line.push_str(&format!(
+                    "   thrpt: {:.3} MiB/s",
+                    n as f64 / per_iter / (1 << 20) as f64
+                ));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.3} ns", seconds * 1e9)
+    }
+}
+
+/// Prevents the optimizer from eliding the benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

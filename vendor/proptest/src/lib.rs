@@ -1,0 +1,424 @@
+//! Minimal, offline stand-in for the parts of `proptest` 1.x this
+//! workspace's property tests use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the proptest API its tests consume: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), [`Strategy`] with
+//! `prop_map`/`prop_filter`, range and tuple strategies, [`any`],
+//! `prop::collection::vec`, and the `prop_assert*`/`prop_assume` macros.
+//!
+//! Semantics are simplified relative to upstream: cases are generated from
+//! a per-test deterministic seed, rejected cases (filters, `prop_assume`)
+//! are skipped and retried up to a bounded factor, and there is **no
+//! shrinking** — a failing case panics with the generated values visible
+//! in the assertion message. That trade keeps the tests meaningful while
+//! staying dependency-free.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration (the subset of upstream's `ProptestConfig` used
+/// here: the number of cases to execute per property).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; that is also affordable for every
+        // property in this workspace.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator. `generate` returns `None` when the draw was
+/// rejected by a filter and should be retried.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut SmallRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (`whence` is a human-readable label,
+    /// kept for API compatibility).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+impl<T: Clone> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<T> {
+        Some(rand::SampleRange::sample_from(self.clone(), rng))
+    }
+}
+
+impl<T: Clone> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<T> {
+        Some(rand::SampleRange::sample_from(self.clone(), rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws a value from the full domain of the type.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rand::Rng::gen::<u64>(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u32>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct JustStrategy<T>(pub T);
+
+impl<T: Clone> Strategy for JustStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// `Just(v)`: a strategy yielding exactly `v`.
+#[allow(non_snake_case)]
+pub fn Just<T: Clone>(value: T) -> JustStrategy<T> {
+    JustStrategy(value)
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut SmallRng) -> Option<Vec<S::Value>> {
+                let len = rng.gen_range(self.len.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `Vec` of values from `element` with a length drawn uniformly
+        /// from `len`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(!len.is_empty(), "empty length range");
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's path string, so a
+/// property replays the same cases on every run.
+pub fn seed_for(test_path: &str) -> SmallRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts within a property body (no shrinking: behaves as `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality within a property body (behaves as `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality within a property body (behaves as `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset upstream accepts that this workspace
+/// uses): an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = { $config } ; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = { $crate::ProptestConfig::default() } ; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:tt ;) => {};
+    (
+        config = $config:tt ;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __executed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            // Allow a bounded number of filter rejections per executed
+            // case before giving up (upstream errors similarly).
+            let __max_attempts = __config.cases.saturating_mul(16).max(64);
+            while __executed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __max_attempts,
+                    "too many rejected cases in {} ({} executed of {})",
+                    stringify!($name),
+                    __executed,
+                    __config.cases,
+                );
+                $(
+                    let $arg = match $crate::Strategy::generate(&($strategy), &mut __rng) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                )+
+                __executed += 1;
+                // The body runs in a closure so `prop_assume!` can skip
+                // the rest of a case with `return`.
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+        $crate::__proptest_items! { config = $config ; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate() {
+        let mut rng = crate::seed_for("self_test");
+        let s = (0u32..10, -1.0f32..1.0).prop_map(|(a, b)| (a, b));
+        for _ in 0..100 {
+            let (a, b) = Strategy::generate(&s, &mut rng).unwrap();
+            assert!(a < 10);
+            assert!((-1.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = crate::seed_for("filter_test");
+        let s = (0u32..10).prop_filter("even", |v| v % 2 == 0);
+        let mut some = 0;
+        for _ in 0..100 {
+            if let Some(v) = Strategy::generate(&s, &mut rng) {
+                assert_eq!(v % 2, 0);
+                some += 1;
+            }
+        }
+        assert!(some > 10, "filter passed {some} of 100");
+    }
+
+    #[test]
+    fn collection_vec_lengths() {
+        let mut rng = crate::seed_for("vec_test");
+        let s = prop::collection::vec(0u64..5, 2..7);
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng).unwrap();
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_with_config(x in 0u32..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_runs_without_config(v in prop::collection::vec(0u32..9, 1..20)) {
+            prop_assert!(!v.is_empty());
+        }
+    }
+}
