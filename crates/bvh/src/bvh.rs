@@ -194,6 +194,12 @@ impl Bvh {
 
     /// Brute-force reference intersection over every triangle (for tests
     /// and validation; O(n) per ray).
+    ///
+    /// Closest-hit applies the shared tie-break rule of
+    /// [`Hit::closer_than`](crate::Hit::closer_than): smaller `t` wins,
+    /// equal `t` resolves to the smaller original triangle index. All three
+    /// traversal kernels follow the same rule, so their closest hit matches
+    /// this reference exactly.
     pub fn intersect_brute_force(&self, ray: &Ray, kind: TraversalKind) -> Option<(u32, f32)> {
         let mut best: Option<(u32, f32)> = None;
         for (i, tri) in self.triangles.iter().enumerate() {
@@ -201,6 +207,8 @@ impl Bvh {
                 match kind {
                     TraversalKind::AnyHit => return Some((i as u32, h.t)),
                     TraversalKind::ClosestHit => {
+                        // Iteration is in index order, so strict `<` on t
+                        // keeps the lowest-index triangle among equal-t hits.
                         if best.is_none_or(|(_, t)| h.t < t) {
                             best = Some((i as u32, h.t));
                         }
@@ -272,10 +280,15 @@ impl Bvh {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant: child bounds
-    /// containment, parent/child link consistency, triangle coverage
-    /// (each triangle in exactly one leaf), and depth bookkeeping.
+    /// Returns a description of the first violated invariant: index ranges
+    /// (this method must never panic — deserialization relies on it to
+    /// reject corrupt artifacts), child bounds containment, parent/child
+    /// link consistency, triangle coverage (each triangle in exactly one
+    /// leaf), and depth bookkeeping.
     pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("tree has no nodes".into());
+        }
         let mut seen = vec![false; self.triangles.len()];
         for (idx, node) in self.nodes.iter().enumerate() {
             let id = NodeId::new(idx as u32);
@@ -284,11 +297,19 @@ impl Bvh {
                     if count == 0 {
                         return Err(format!("{id} is an empty leaf"));
                     }
-                    for &t in &self.tri_order[first as usize..(first + count) as usize] {
-                        if seen[t as usize] {
+                    let range = (first as usize)
+                        .checked_add(count as usize)
+                        .filter(|&end| end <= self.tri_order.len())
+                        .map(|end| first as usize..end)
+                        .ok_or_else(|| format!("{id} leaf range out of bounds"))?;
+                    for &t in &self.tri_order[range] {
+                        let slot = seen
+                            .get_mut(t as usize)
+                            .ok_or_else(|| format!("{id} references triangle {t} out of range"))?;
+                        if *slot {
                             return Err(format!("triangle {t} appears in two leaves"));
                         }
-                        seen[t as usize] = true;
+                        *slot = true;
                         let tb = self.triangles[t as usize].bounds();
                         if !inflate(node.bounds).contains_box(&tb) {
                             return Err(format!("{id} does not bound triangle {t}"));
@@ -302,7 +323,10 @@ impl Bvh {
                     right_bounds,
                 } => {
                     for (child, cb) in [(left, left_bounds), (right, right_bounds)] {
-                        let cnode = self.node(child);
+                        let cnode = self
+                            .nodes
+                            .get(child.index() as usize)
+                            .ok_or_else(|| format!("{id} child {child} out of range"))?;
                         if cnode.parent != Some(id) {
                             return Err(format!("{child} parent link broken"));
                         }

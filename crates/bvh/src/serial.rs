@@ -90,6 +90,21 @@ pub fn decode(bytes: &[u8]) -> Result<Bvh, String> {
     let order_count = r.u32()? as usize;
     let tri_count = r.u32()? as usize;
 
+    // Guard the allocations below against a corrupt header: the smallest
+    // node record (a leaf) is 41 bytes, an order slot 4, a triangle 36, so
+    // the counts can never promise more records than the buffer has bytes.
+    let promised = node_count
+        .saturating_mul(41)
+        .saturating_add(order_count.saturating_mul(4))
+        .saturating_add(tri_count.saturating_mul(36));
+    if promised > bytes.len().saturating_sub(r.at) {
+        return Err(format!(
+            "truncated BVH artifact: header promises {node_count} nodes, {order_count} \
+             slots and {tri_count} triangles but only {} bytes remain",
+            bytes.len() - r.at
+        ));
+    }
+
     let mut nodes = Vec::with_capacity(node_count);
     for _ in 0..node_count {
         let bounds = r.aabb()?;

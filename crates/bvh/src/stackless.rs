@@ -139,7 +139,7 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
                                 tri_index,
                                 leaf: node_id,
                             };
-                            if best.is_none_or(|b| hit.t < b.t) {
+                            if best.is_none_or(|b| hit.closer_than(&b)) {
                                 best = Some(hit);
                             }
                             if kind == TraversalKind::AnyHit {

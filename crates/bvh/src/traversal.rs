@@ -33,6 +33,23 @@ pub struct Hit {
     pub leaf: NodeId,
 }
 
+impl Hit {
+    /// The shared closest-hit tie-break rule: smaller `t` wins, and an
+    /// exactly equal `t` (shared edges/vertices produce these) resolves to
+    /// the smaller original triangle index.
+    ///
+    /// Every closest-hit kernel — the while-while [`Traversal`], the
+    /// stackless restart-trail traversal, the wide BVH, and the brute-force
+    /// reference — applies this rule, so they agree *exactly* (same `t`
+    /// bits, same `tri_index`) regardless of visitation order. That works
+    /// because `t_max` trimming is inclusive: a candidate tying the current
+    /// best is still tested, and this predicate decides the winner.
+    #[inline]
+    pub fn closer_than(&self, other: &Hit) -> bool {
+        self.t < other.t || (self.t == other.t && self.tri_index < other.tri_index)
+    }
+}
+
 /// Outcome of a completed traversal.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraversalResult {
@@ -217,7 +234,7 @@ impl Traversal {
                             leaf: node_id,
                         };
                         found = Some(match found {
-                            Some(prev) if prev.t <= hit.t => prev,
+                            Some(prev) if !hit.closer_than(&prev) => prev,
                             _ => hit,
                         });
                         if self.kind == TraversalKind::AnyHit {
@@ -226,8 +243,7 @@ impl Traversal {
                     }
                 }
                 if let Some(hit) = found {
-                    let better = self.best.is_none_or(|b| hit.t < b.t);
-                    if better {
+                    if self.best.is_none_or(|b| hit.closer_than(&b)) {
                         self.best = Some(hit);
                     }
                 }

@@ -144,7 +144,7 @@ impl WideBvh {
                                 tri_index,
                                 leaf,
                             };
-                            if best.is_none_or(|b| hit.t < b.t) {
+                            if best.is_none_or(|b| hit.closer_than(&b)) {
                                 best = Some(hit);
                             }
                             if kind == TraversalKind::AnyHit {

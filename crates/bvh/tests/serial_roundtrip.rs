@@ -1,0 +1,126 @@
+//! Round-trip guarantees for the BVH artifact format: decode(encode(b))
+//! reproduces the tree and re-encodes byte-identically, and damaged
+//! buffers always come back as `Err`, never a panic.
+//!
+//! The empty-tree case is deliberately absent: `Bvh::build` requires at
+//! least one triangle, so an empty artifact can only describe a scene
+//! (covered by `rip-scene`'s round-trip suite).
+
+use rip_bvh::{serial, Bvh};
+use rip_math::{Triangle, Vec3};
+
+/// A small deterministic soup with enough spread to force a multi-level
+/// tree (interior + leaf nodes, non-trivial triangle reorder).
+fn soup(n: usize) -> Vec<Triangle> {
+    (0..n)
+        .map(|i| {
+            let f = i as f32;
+            let base = Vec3::new(
+                (f * 3.7).sin() * 40.0,
+                (f * 1.3).cos() * 25.0,
+                (f * 2.1).sin() * 40.0,
+            );
+            Triangle::new(
+                base,
+                base + Vec3::new(1.5, 0.2, 0.1),
+                base + Vec3::new(0.3, 1.4, 0.6),
+            )
+        })
+        .collect()
+}
+
+fn assert_byte_stable(bvh: &Bvh) {
+    let first = serial::encode(bvh);
+    let decoded = serial::decode(&first).expect("decode of a fresh encode");
+    decoded.validate().unwrap();
+    assert_eq!(decoded.triangle_count(), bvh.triangle_count());
+    let second = serial::encode(&decoded);
+    assert_eq!(first, second, "re-encode must be byte-identical");
+}
+
+#[test]
+fn single_triangle_tree_round_trips() {
+    assert_byte_stable(&Bvh::build(&soup(1)));
+}
+
+#[test]
+fn multi_level_tree_round_trips_byte_identically() {
+    for n in [2, 3, 17, 200] {
+        assert_byte_stable(&Bvh::build(&soup(n)));
+    }
+}
+
+#[test]
+fn every_truncation_prefix_errors_without_panicking() {
+    let bytes = serial::encode(&Bvh::build(&soup(9)));
+    for len in 0..bytes.len() {
+        assert!(
+            serial::decode(&bytes[..len]).is_err(),
+            "prefix of {len}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = serial::encode(&Bvh::build(&soup(5)));
+    bytes.extend_from_slice(&[0, 0, 0, 0]);
+    assert!(serial::decode(&bytes).is_err());
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    // Every single-byte corruption must either fail decoding or decode to
+    // a tree that still passes validation (flips inside float payloads can
+    // be structurally harmless) — but never panic. Structural fields are
+    // additionally guarded by `Bvh::validate` inside `decode`.
+    let bytes = serial::encode(&Bvh::build(&soup(12)));
+    for at in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x40;
+        if let Ok(bvh) = serial::decode(&bad) {
+            bvh.validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn header_bomb_is_rejected_before_allocation() {
+    let mut bytes = serial::encode(&Bvh::build(&soup(5)));
+    // node_count lives at bytes 8..12; promise ~4 billion nodes.
+    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = serial::decode(&bytes).unwrap_err();
+    assert!(err.contains("truncated"), "got: {err}");
+}
+
+#[test]
+fn wrong_magic_and_version_are_rejected() {
+    let good = serial::encode(&Bvh::build(&soup(4)));
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'Q';
+    assert!(serial::decode(&bad_magic).unwrap_err().contains("magic"));
+
+    let mut bad_version = good;
+    bad_version[4..8].copy_from_slice(&(serial::FORMAT_VERSION + 7).to_le_bytes());
+    assert!(serial::decode(&bad_version)
+        .unwrap_err()
+        .contains("version"));
+}
+
+#[test]
+fn out_of_range_triangle_slot_is_rejected() {
+    let bvh = Bvh::build(&soup(3));
+    let mut bytes = serial::encode(&bvh);
+    // Node records are variable-size, so locate tri_order from the back:
+    // triangles occupy the last tri_count * 36 bytes, tri_order the
+    // order_count * 4 bytes before them.
+    let order_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let tri_count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    assert_eq!(order_count, tri_count);
+    let order_at = bytes.len() - tri_count * 36 - order_count * 4;
+    bytes[order_at..order_at + 4].copy_from_slice(&(tri_count as u32).to_le_bytes());
+    let err = serial::decode(&bytes).unwrap_err();
+    assert!(err.contains("out of range"), "got: {err}");
+}

@@ -159,6 +159,14 @@ impl Aabb {
 
     /// Slab test with a precomputed reciprocal direction (the form used in
     /// inner traversal loops, where `inv_dir` is computed once per ray).
+    ///
+    /// The acceptance is deliberately *conservative* (cf. Ize, "Robust BVH
+    /// Ray Traversal", 2013): rounding in the slab arithmetic can shrink
+    /// the true interval by a few ulps, which would cull geometry lying
+    /// exactly on a box face — hits the (authoritative) triangle test
+    /// accepts. Padding the comparison guarantees every box containing a
+    /// reportable hit passes; the only cost is an occasional extra node
+    /// visit.
     #[inline]
     pub fn intersect_with_inv(&self, ray: &Ray, inv_dir: Vec3) -> Option<f32> {
         let t0 = (self.min - ray.origin) * inv_dir;
@@ -167,7 +175,7 @@ impl Aabb {
         let t_far = t0.max(t1);
         let t_enter = t_near.max_component().max(ray.t_min);
         let t_exit = t_far.min_component().min(ray.t_max);
-        if t_enter <= t_exit {
+        if t_enter <= t_exit * (1.0 + 1e-6) + 1e-7 {
             Some(t_enter)
         } else {
             None

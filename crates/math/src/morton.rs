@@ -59,6 +59,66 @@ pub fn morton3_60(p: Vec3) -> u64 {
     (expand_bits_20(q(p.x)) << 2) | (expand_bits_20(q(p.y)) << 1) | expand_bits_20(q(p.z))
 }
 
+/// Collapses every third bit back together — inverse of [`expand_bits_10`].
+#[inline]
+fn compact_bits_10(v: u32) -> u32 {
+    let mut x = v & 0x09249249;
+    x = (x | (x >> 2)) & 0x030c30c3;
+    x = (x | (x >> 4)) & 0x0300f00f;
+    x = (x | (x >> 8)) & 0x030000ff;
+    x = (x | (x >> 16)) & 0x3ff;
+    x
+}
+
+/// Collapses every third bit for 60-bit codes — inverse of
+/// [`expand_bits_20`].
+#[inline]
+fn compact_bits_20(v: u64) -> u64 {
+    let mut x = v & 0x0249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x00c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x000f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x000f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x000f_0000_0000_ffff;
+    x = (x | (x >> 32)) & 0xf_ffff;
+    x
+}
+
+/// Decodes a 30-bit Morton code back to its quantized `(x, y, z)` grid
+/// cell (10 bits per axis).
+///
+/// Inverse of the interleaving in [`morton3_30`]: re-encoding the cell
+/// center `(c + 0.5) / 1024` reproduces `code`. Bits above the low 30 are
+/// ignored.
+///
+/// # Examples
+///
+/// ```
+/// use rip_math::{morton::{morton3_30, morton3_30_decode}, Vec3};
+///
+/// let code = morton3_30(Vec3::new(0.3, 0.6, 0.9));
+/// let (x, y, z) = morton3_30_decode(code);
+/// let center = Vec3::new(x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5) / 1024.0;
+/// assert_eq!(morton3_30(center), code);
+/// ```
+pub fn morton3_30_decode(code: u32) -> (u32, u32, u32) {
+    (
+        compact_bits_10(code >> 2),
+        compact_bits_10(code >> 1),
+        compact_bits_10(code),
+    )
+}
+
+/// Decodes a 60-bit Morton code back to its quantized `(x, y, z)` grid
+/// cell (20 bits per axis). Inverse of [`morton3_60`]'s interleaving; bits
+/// above the low 60 are ignored.
+pub fn morton3_60_decode(code: u64) -> (u64, u64, u64) {
+    (
+        compact_bits_20(code >> 2),
+        compact_bits_20(code >> 1),
+        compact_bits_20(code),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +155,34 @@ mod tests {
             let code = morton3_30(Vec3::splat(i as f32 / 16.0));
             assert!(code >= prev, "diagonal codes must not decrease");
             prev = code;
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_at_corners() {
+        assert_eq!(morton3_30_decode(0), (0, 0, 0));
+        assert_eq!(morton3_30_decode((1 << 30) - 1), (1023, 1023, 1023));
+        assert_eq!(morton3_60_decode(0), (0, 0, 0));
+        let top = (1u64 << 20) - 1;
+        assert_eq!(morton3_60_decode((1u64 << 60) - 1), (top, top, top));
+    }
+
+    #[test]
+    fn decode_unscrambles_single_axis_bits() {
+        assert_eq!(morton3_30_decode(0b100), (1, 0, 0));
+        assert_eq!(morton3_30_decode(0b010), (0, 1, 0));
+        assert_eq!(morton3_30_decode(0b001), (0, 0, 1));
+        assert_eq!(morton3_60_decode(0b100), (1, 0, 0));
+    }
+
+    #[test]
+    fn every_30bit_code_round_trips_through_cells() {
+        // Spot-check a spread of codes: decode to cells, re-encode the cell
+        // center, and require the original code back.
+        for code in (0u32..(1 << 30)).step_by((1 << 30) / 997) {
+            let (x, y, z) = morton3_30_decode(code);
+            let center = Vec3::new(x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5) / 1024.0;
+            assert_eq!(morton3_30(center), code, "code {code:#x}");
         }
     }
 

@@ -146,4 +146,177 @@ proptest! {
         prop_assert!(q.y >= 0.0 && q.y <= 1.0);
         prop_assert!(q.z >= 0.0 && q.z <= 1.0);
     }
+
+    #[test]
+    fn slab_test_agrees_with_naive_interval_test(
+        origin in vec3_in(-6.0..6.0),
+        dir in unit_vec3(),
+        a in vec3_in(-3.0..3.0),
+        b in vec3_in(-3.0..3.0),
+    ) {
+        let bbox = Aabb::new(a, b);
+        let ray = Ray::with_interval(origin, dir, 0.0, 50.0);
+        let naive = naive_interval_hit(&bbox, &ray);
+        let slab = bbox.intersect(&ray).is_some();
+        // The slab test is deliberately conservative (a few-ulp pad), so a
+        // naive hit must always be found; a slab hit with a clear naive
+        // miss (margin beyond the pad) is a bug.
+        if naive {
+            prop_assert!(slab, "naive interval test hit but slab test missed");
+        }
+        if slab && !naive {
+            let margin = naive_min_gap(&bbox, &ray);
+            prop_assert!(margin < 1e-3,
+                "slab hit but naive interval empty by a clear margin {margin}");
+        }
+    }
+
+    #[test]
+    fn moller_trumbore_agrees_with_plucker_reference(
+        a in vec3_in(-3.0..3.0), b in vec3_in(-3.0..3.0), c in vec3_in(-3.0..3.0),
+        origin in vec3_in(-8.0..8.0),
+        dir in unit_vec3(),
+    ) {
+        let tri = Triangle::new(a, b, c);
+        prop_assume!(tri.area() > 1e-2);
+        let ray = Ray::with_interval(origin, dir, 0.0, 1e4);
+        let mt = tri.intersect(&ray);
+        if let Some((t, edge_margin)) = plucker_intersect(&tri, &ray) {
+            if edge_margin > 1e-3 {
+                // Clearly interior by the reference: MT must agree on both
+                // the verdict and the distance.
+                prop_assert!(mt.is_some(), "Plücker reference hit, MT missed");
+                let mt_t = mt.unwrap().t;
+                prop_assert!((mt_t - t).abs() < 1e-3 * (1.0 + t.abs()),
+                    "t disagreement: MT {mt_t} vs Plücker {t}");
+            }
+        } else if let Some(hit) = mt {
+            // MT hits the reference rejects must hug the boundary.
+            prop_assert!(hit.u < 1e-3 || hit.v < 1e-3 || hit.u + hit.v > 1.0 - 1e-3
+                || plucker_near_parallel(&tri, &ray),
+                "MT hit at interior barycentrics (u={}, v={}) but reference missed",
+                hit.u, hit.v);
+        }
+    }
+
+    #[test]
+    fn morton30_encode_decode_round_trip(p in vec3_in(0.0..1.0)) {
+        let code = morton::morton3_30(p);
+        let (x, y, z) = morton::morton3_30_decode(code);
+        // Decoded cells are exactly the quantized coordinates.
+        prop_assert_eq!(x, (p.x * 1024.0).min(1023.0) as u32);
+        prop_assert_eq!(y, (p.y * 1024.0).min(1023.0) as u32);
+        prop_assert_eq!(z, (p.z * 1024.0).min(1023.0) as u32);
+        // Re-encoding the cell center reproduces the code exactly.
+        let center = Vec3::new(x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5) / 1024.0;
+        prop_assert_eq!(morton::morton3_30(center), code);
+    }
+
+    #[test]
+    fn morton60_encode_decode_round_trip(p in vec3_in(0.0..1.0)) {
+        let code = morton::morton3_60(p);
+        let (x, y, z) = morton::morton3_60_decode(code);
+        prop_assert!(x < (1 << 20) && y < (1 << 20) && z < (1 << 20));
+        // The decoded cell contains the point (up to f32 quantization).
+        let scale = (1u64 << 20) as f32;
+        let cell_min = Vec3::new(x as f32, y as f32, z as f32) / scale;
+        prop_assert!((p.x - cell_min.x).abs() <= 2.0 / scale);
+        prop_assert!((p.y - cell_min.y).abs() <= 2.0 / scale);
+        prop_assert!((p.z - cell_min.z).abs() <= 2.0 / scale);
+    }
+}
+
+/// Naive per-axis interval intersection, with explicit handling of zero
+/// direction components (no reciprocal, no ±inf arithmetic).
+fn naive_interval_hit(bbox: &Aabb, ray: &Ray) -> bool {
+    naive_interval(bbox, ray).is_some()
+}
+
+fn naive_interval(bbox: &Aabb, ray: &Ray) -> Option<(f32, f32)> {
+    let (mut lo, mut hi) = (ray.t_min, ray.t_max);
+    for axis in 0..3 {
+        let (o, d, min, max) = (
+            ray.origin.to_array()[axis],
+            ray.direction.to_array()[axis],
+            bbox.min.to_array()[axis],
+            bbox.max.to_array()[axis],
+        );
+        if d == 0.0 {
+            if o < min || o > max {
+                return None;
+            }
+            continue;
+        }
+        let (t0, t1) = ((min - o) / d, (max - o) / d);
+        let (t0, t1) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        lo = lo.max(t0);
+        hi = hi.min(t1);
+        if lo > hi {
+            return None;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// How far the naive interval is from being non-empty (0 when it is).
+fn naive_min_gap(bbox: &Aabb, ray: &Ray) -> f32 {
+    let (mut lo, mut hi) = (ray.t_min, ray.t_max);
+    let mut gap = 0.0f32;
+    for axis in 0..3 {
+        let (o, d, min, max) = (
+            ray.origin.to_array()[axis],
+            ray.direction.to_array()[axis],
+            bbox.min.to_array()[axis],
+            bbox.max.to_array()[axis],
+        );
+        if d == 0.0 {
+            if o < min {
+                gap = gap.max(min - o);
+            }
+            if o > max {
+                gap = gap.max(o - max);
+            }
+            continue;
+        }
+        let (t0, t1) = ((min - o) / d, (max - o) / d);
+        let (t0, t1) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        lo = lo.max(t0);
+        hi = hi.min(t1);
+    }
+    gap.max(lo - hi)
+}
+
+/// Plücker-style reference intersection: plane crossing via the geometric
+/// normal, then an inside test from the signs of edge-cross products.
+/// Returns `(t, edge_margin)` where `edge_margin` is the smallest
+/// normalized signed distance from the hit to an edge (≤ 0 on/outside).
+fn plucker_intersect(tri: &Triangle, ray: &Ray) -> Option<(f32, f32)> {
+    let n = tri.geometric_normal();
+    let denom = n.dot(ray.direction);
+    if denom.abs() <= 1e-9 * n.length() * ray.direction.length() {
+        return None;
+    }
+    let t = n.dot(tri.a - ray.origin) / denom;
+    if !ray.contains_t(t) {
+        return None;
+    }
+    let p = ray.at(t);
+    let n2 = n.length_squared();
+    // Signed edge tests: positive for points on the triangle's side.
+    let margin = [(tri.a, tri.b), (tri.b, tri.c), (tri.c, tri.a)]
+        .into_iter()
+        .map(|(from, to)| (to - from).cross(p - from).dot(n) / n2)
+        .fold(f32::INFINITY, f32::min);
+    if margin >= 0.0 {
+        Some((t, margin))
+    } else {
+        None
+    }
+}
+
+/// Whether the ray is close enough to the triangle plane for the two
+/// algorithms' degeneracy cutoffs to legitimately disagree.
+fn plucker_near_parallel(tri: &Triangle, ray: &Ray) -> bool {
+    let n = tri.geometric_normal();
+    n.dot(ray.direction).abs() <= 1e-6 * n.length() * ray.direction.length()
 }

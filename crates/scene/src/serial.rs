@@ -70,6 +70,20 @@ pub fn decode(bytes: &[u8]) -> Result<Scene, String> {
     let position_count = r.u32()? as usize;
     let index_count = r.u32()? as usize;
 
+    // Guard the allocations below against a corrupt header: each position
+    // and each index triple occupies 12 bytes, so the counts can never
+    // promise more records than the buffer has bytes left.
+    let promised = position_count
+        .saturating_add(index_count)
+        .saturating_mul(12);
+    if promised > bytes.len().saturating_sub(r.at) {
+        return Err(format!(
+            "truncated scene artifact: header promises {position_count} positions and \
+             {index_count} triangles but only {} bytes remain",
+            bytes.len() - r.at
+        ));
+    }
+
     let mut positions = Vec::with_capacity(position_count);
     for _ in 0..position_count {
         positions.push(r.vec3()?);

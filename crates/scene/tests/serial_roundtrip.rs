@@ -1,0 +1,129 @@
+//! Round-trip guarantees for the scene artifact format: decode(encode(s))
+//! reproduces the scene and re-encodes byte-identically, and damaged
+//! buffers always come back as `Err`, never a panic.
+
+use rip_math::Vec3;
+use rip_scene::{serial, Camera, Scene, SceneId, SceneScale, TriangleMesh, SCENE_IDS};
+
+fn camera(width: u32, height: u32) -> Camera {
+    Camera::look_at(
+        Vec3::new(3.0, 2.0, -5.0),
+        Vec3::ZERO,
+        Vec3::Y,
+        55.0,
+        width,
+        height,
+    )
+}
+
+fn assert_byte_stable(scene: &Scene) {
+    let first = serial::encode(scene);
+    let decoded = serial::decode(&first).expect("decode of a fresh encode");
+    assert_eq!(decoded.id, scene.id);
+    assert_eq!(decoded.mesh.positions(), scene.mesh.positions());
+    assert_eq!(decoded.mesh.indices(), scene.mesh.indices());
+    assert_eq!(decoded.camera.width(), scene.camera.width());
+    assert_eq!(decoded.camera.height(), scene.camera.height());
+    let second = serial::encode(&decoded);
+    assert_eq!(first, second, "re-encode must be byte-identical");
+}
+
+#[test]
+fn every_scene_round_trips_byte_identically_at_tiny_scale() {
+    for id in SCENE_IDS {
+        let scene = id.build_with_viewport(SceneScale::Tiny, 24, 16);
+        assert_byte_stable(&scene);
+    }
+}
+
+#[test]
+fn empty_mesh_round_trips() {
+    let scene = Scene {
+        id: SceneId::Sibenik,
+        mesh: TriangleMesh::new(),
+        camera: camera(8, 8),
+    };
+    assert_byte_stable(&scene);
+    let decoded = serial::decode(&serial::encode(&scene)).unwrap();
+    assert_eq!(decoded.mesh.triangle_count(), 0);
+}
+
+#[test]
+fn single_triangle_round_trips() {
+    let mesh =
+        TriangleMesh::from_buffers(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]).unwrap();
+    let scene = Scene {
+        id: SceneId::CountryKitchen,
+        mesh,
+        camera: camera(8, 8),
+    };
+    assert_byte_stable(&scene);
+    let decoded = serial::decode(&serial::encode(&scene)).unwrap();
+    assert_eq!(decoded.mesh.triangle_count(), 1);
+}
+
+#[test]
+fn every_truncation_prefix_errors_without_panicking() {
+    let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 12, 12);
+    let bytes = serial::encode(&scene);
+    for len in 0..bytes.len() {
+        assert!(
+            serial::decode(&bytes[..len]).is_err(),
+            "prefix of {len}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 12, 12);
+    let mut bytes = serial::encode(&scene);
+    bytes.push(0);
+    assert!(
+        serial::decode(&bytes).is_err(),
+        "extra byte must not decode"
+    );
+}
+
+#[test]
+fn header_bomb_is_rejected_before_allocation() {
+    let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 12, 12);
+    let mut bytes = serial::encode(&scene);
+    // position_count lives at bytes 12..16; promise ~4 billion vertices.
+    bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = serial::decode(&bytes).unwrap_err();
+    assert!(err.contains("truncated"), "got: {err}");
+}
+
+#[test]
+fn wrong_magic_and_version_are_rejected() {
+    let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 12, 12);
+    let good = serial::encode(&scene);
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert!(serial::decode(&bad_magic).unwrap_err().contains("magic"));
+
+    let mut bad_version = good;
+    bad_version[4..8].copy_from_slice(&(serial::FORMAT_VERSION + 1).to_le_bytes());
+    assert!(serial::decode(&bad_version)
+        .unwrap_err()
+        .contains("version"));
+}
+
+#[test]
+fn out_of_range_indices_fail_mesh_validation() {
+    let mesh =
+        TriangleMesh::from_buffers(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]).unwrap();
+    let scene = Scene {
+        id: SceneId::Sibenik,
+        mesh,
+        camera: camera(8, 8),
+    };
+    let mut bytes = serial::encode(&scene);
+    // The first index triple sits right after the 3 vertices
+    // (20-byte header + 3 × 12 bytes); point it past the vertex buffer.
+    bytes[56..60].copy_from_slice(&99u32.to_le_bytes());
+    assert!(serial::decode(&bytes).is_err());
+}

@@ -1,0 +1,49 @@
+//! Golden-snapshot maintenance tool.
+//!
+//! `--check` (default) re-runs all 22 experiments at the fixed snapshot
+//! scale and diffs each report against `tests/snapshots/`; `--update`
+//! rewrites the committed files instead. Exit status is non-zero when a
+//! check fails, so CI can gate on it.
+
+use rip_bench::experiments;
+use rip_testkit::snapshot;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args
+        .iter()
+        .any(|a| a == "--update" || a == "--update-snapshots");
+    if args
+        .iter()
+        .any(|a| !matches!(a.as_str(), "--update" | "--update-snapshots" | "--check"))
+    {
+        eprintln!("usage: snapshots [--check | --update]");
+        std::process::exit(2);
+    }
+
+    let ctx = snapshot::snapshot_context();
+    let reports = experiments::run_all(&ctx);
+    let mut failures = 0usize;
+    for ((name, _), report) in experiments::ALL.iter().zip(reports) {
+        let text = report.to_string();
+        if update {
+            let path = snapshot::update(name, &text).expect("snapshot write failed");
+            println!("updated {}", path.display());
+        } else {
+            match snapshot::verify(name, &text) {
+                Ok(()) => println!("ok      {name}"),
+                Err(e) => {
+                    failures += 1;
+                    println!("FAILED  {name}\n{e}");
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} snapshot(s) diverged; regenerate intentionally with \
+             `cargo run --release -p rip-testkit --bin snapshots -- --update`"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,33 @@
+//! The repo's correctness authority.
+//!
+//! Nothing in a reproduced figure is trustworthy unless the predictor, the
+//! three traversal kernels, and the cached/parallel execution paths all
+//! agree on what a ray actually hits. This crate turns that requirement
+//! into machine-checked layers:
+//!
+//! 1. **Generators** ([`gen`]) — seeded random scenes, meshes, cameras and
+//!    ray batches, deliberately including degenerate triangles, flat
+//!    (zero-thickness) AABBs and grazing rays.
+//! 2. **Differential oracles** ([`diff`]) — closest-hit/any-hit equivalence
+//!    across the while-while, stackless and wide traversal kernels and a
+//!    brute-force O(n) reference. Closest hits must agree *exactly*: the
+//!    kernels share the tie-break rule of
+//!    [`rip_bvh::Hit::closer_than`] (smaller `t` wins, equal `t` resolves
+//!    to the smaller triangle index).
+//! 3. **Predictor invariants** ([`invariants`]) — the predictor is an
+//!    accelerator, never an approximation: predictor-on and predictor-off
+//!    return identical hits, the §6.3 oracle ladder upper-bounds the real
+//!    predictor, and Equation 1 accounting balances.
+//! 4. **Metamorphic properties** ([`metamorphic`]) — ray-order
+//!    permutations, Morton sorting and rigid scene transforms preserve hit
+//!    sets even though they reshape predictor training history.
+//! 5. **Golden snapshots** ([`snapshot`]) — the text output of all 22
+//!    experiment modules at a fixed tiny scale, committed under
+//!    `tests/snapshots/` and diffed in CI with a documented float
+//!    tolerance.
+
+pub mod diff;
+pub mod gen;
+pub mod invariants;
+pub mod metamorphic;
+pub mod snapshot;

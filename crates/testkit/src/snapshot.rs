@@ -1,0 +1,191 @@
+//! Tolerance-aware golden snapshots of the 22 experiment reports.
+//!
+//! Each experiment's rendered text at a fixed tiny scale is committed
+//! under `tests/snapshots/<name>.snap` and diffed in CI. On one platform
+//! reruns are byte-identical (the execution engine guarantees output
+//! independent of the job count); the diff additionally forgives numeric
+//! tokens that differ within [`REL_TOLERANCE`]/[`ABS_TOLERANCE`], so a
+//! libm ulp difference on another platform does not mask-fail the suite
+//! while any real regression still does.
+//!
+//! Regenerate after an intentional output change with:
+//!
+//! ```text
+//! cargo run --release -p rip-testkit --bin snapshots -- --update
+//! ```
+
+use std::path::PathBuf;
+
+use rip_bench::{Context, SceneSelection};
+use rip_scene::SceneScale;
+
+/// Relative tolerance for numeric tokens when lines are not byte-equal.
+pub const REL_TOLERANCE: f64 = 1e-3;
+/// Absolute tolerance floor for numeric tokens near zero.
+pub const ABS_TOLERANCE: f64 = 1e-6;
+
+/// The fixed context every snapshot is captured under: tiny scale, the
+/// first two scenes. Small enough for CI, large enough that every
+/// experiment produces a non-trivial table.
+pub fn snapshot_context() -> Context {
+    Context::new(SceneScale::Tiny, SceneSelection::Subset(2))
+}
+
+/// Directory holding the committed `.snap` files.
+pub fn snapshot_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/snapshots"
+    ))
+}
+
+/// Path of one experiment's snapshot.
+pub fn snapshot_path(name: &str) -> PathBuf {
+    snapshot_dir().join(format!("{name}.snap"))
+}
+
+/// Writes (or overwrites) a snapshot; returns its path.
+pub fn update(name: &str, actual: &str) -> std::io::Result<PathBuf> {
+    let path = snapshot_path(name);
+    std::fs::create_dir_all(snapshot_dir())?;
+    std::fs::write(&path, actual)?;
+    Ok(path)
+}
+
+/// Compares `actual` against the committed snapshot for `name`.
+pub fn verify(name: &str, actual: &str) -> Result<(), String> {
+    let path = snapshot_path(name);
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing snapshot {} ({e}); regenerate with \
+             `cargo run --release -p rip-testkit --bin snapshots -- --update`",
+            path.display()
+        )
+    })?;
+    compare(&expected, actual).map_err(|e| format!("{name}: {e}"))
+}
+
+/// Diffs two report texts: byte equality first, then a line-by-line,
+/// token-by-token comparison where numeric tokens may differ within the
+/// documented tolerance and table rules (all-dash tokens) may change
+/// length with column widths.
+pub fn compare(expected: &str, actual: &str) -> Result<(), String> {
+    if expected == actual {
+        return Ok(());
+    }
+    let e_lines: Vec<&str> = expected.lines().collect();
+    let a_lines: Vec<&str> = actual.lines().collect();
+    if e_lines.len() != a_lines.len() {
+        return Err(format!(
+            "line count changed: {} -> {}",
+            e_lines.len(),
+            a_lines.len()
+        ));
+    }
+    for (i, (e, a)) in e_lines.iter().zip(&a_lines).enumerate() {
+        compare_line(e, a).map_err(|why| {
+            format!(
+                "line {} differs ({why})\n  expected: {e}\n  actual:   {a}",
+                i + 1
+            )
+        })?;
+    }
+    Ok(())
+}
+
+fn compare_line(expected: &str, actual: &str) -> Result<(), String> {
+    let e: Vec<&str> = expected.split_whitespace().collect();
+    let a: Vec<&str> = actual.split_whitespace().collect();
+    if e.len() != a.len() {
+        return Err(format!("token count {} -> {}", e.len(), a.len()));
+    }
+    for (et, at) in e.iter().zip(&a) {
+        if !tokens_match(et, at) {
+            return Err(format!("token {et:?} vs {at:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn tokens_match(expected: &str, actual: &str) -> bool {
+    if expected == actual {
+        return true;
+    }
+    // Table rules: their length follows column widths, which may shift
+    // when a tolerated numeric token changes width.
+    let is_rule = |s: &str| !s.is_empty() && s.chars().all(|c| c == '-');
+    if is_rule(expected) && is_rule(actual) {
+        return true;
+    }
+    // Numeric comparison with identical non-numeric decoration
+    // ("12.5%," vs "12.6%," passes; "12.5%" vs "12.5x" does not).
+    match (split_numeric(expected), split_numeric(actual)) {
+        (Some((ep, ev, es)), Some((ap, av, asuf))) if ep == ap && es == asuf => {
+            (ev - av).abs() <= ABS_TOLERANCE + REL_TOLERANCE * ev.abs().max(av.abs())
+        }
+        _ => false,
+    }
+}
+
+/// Splits a token into (prefix, numeric value, suffix), taking the longest
+/// parseable numeric core starting at the first digit/sign/dot.
+fn split_numeric(token: &str) -> Option<(&str, f64, &str)> {
+    let start = token.find(|c: char| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')?;
+    let bytes = token.as_bytes();
+    for end in (start + 1..=bytes.len()).rev() {
+        if !token.is_char_boundary(end) {
+            continue;
+        }
+        if let Ok(v) = token[start..end].parse::<f64>() {
+            return Some((&token[..start], v, &token[end..]));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_text_passes() {
+        compare("a b 1.5\nrow 2", "a b 1.5\nrow 2").unwrap();
+    }
+
+    #[test]
+    fn numeric_drift_within_tolerance_passes() {
+        compare("saving 12.500% done", "saving 12.506% done").unwrap();
+        compare("t = 0.0000001", "t = 0.0000004").unwrap();
+    }
+
+    #[test]
+    fn numeric_drift_beyond_tolerance_fails() {
+        let err = compare("saving 12.5%", "saving 13.9%").unwrap_err();
+        assert!(
+            err.contains("12.5"),
+            "diagnostic must quote the token: {err}"
+        );
+    }
+
+    #[test]
+    fn structural_changes_fail() {
+        assert!(compare("one line", "one line\ntwo lines").is_err());
+        assert!(compare("a b c", "a b").is_err());
+        assert!(compare("12.5%", "12.5x").is_err());
+        assert!(compare("label 5", "renamed 5").is_err());
+    }
+
+    #[test]
+    fn table_rules_may_change_width() {
+        compare("---- -----", "----- ----").unwrap();
+        assert!(compare("----", "abcd").is_err());
+    }
+
+    #[test]
+    fn numeric_core_splitting_handles_decorations() {
+        assert_eq!(split_numeric("12.5%"), Some(("", 12.5, "%")));
+        assert_eq!(split_numeric("(3)"), Some(("(", 3.0, ")")));
+        assert_eq!(split_numeric("x1.25,"), Some(("x", 1.25, ",")));
+        assert_eq!(split_numeric("abc"), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Metamorphic suite: reorderings and rigid motions reshape predictor
+//! history but must never move a single hit.
+
+use rip_bvh::Bvh;
+use rip_core::PredictorConfig;
+use rip_math::Vec3;
+use rip_testkit::gen::{self, SceneRecipe};
+use rip_testkit::metamorphic::{self, Rigid};
+
+fn eager() -> PredictorConfig {
+    PredictorConfig {
+        update_delay: 0,
+        ..PredictorConfig::paper_default()
+    }
+}
+
+#[test]
+fn ray_permutation_preserves_all_answers() {
+    for recipe in [
+        SceneRecipe::Soup,
+        SceneRecipe::Walls,
+        SceneRecipe::Degenerate,
+    ] {
+        let tris = recipe.triangles(140, 31);
+        let bvh = Bvh::build(&tris);
+        let mut rays = gen::hitting_rays(&tris, 120, 31);
+        rays.extend(gen::ray_batch(&bvh.bounds(), 80, 31));
+        metamorphic::assert_permutation_invariant(&bvh, &rays, eager(), 31);
+    }
+}
+
+#[test]
+fn morton_sorting_preserves_all_answers() {
+    let tris = SceneRecipe::Clustered.triangles(160, 32);
+    let bvh = Bvh::build(&tris);
+    let mut rays = gen::hitting_rays(&tris, 120, 32);
+    rays.extend(gen::ray_batch(&bvh.bounds(), 80, 32));
+    metamorphic::assert_morton_sort_invariant(&bvh, &rays, eager());
+}
+
+#[test]
+fn translation_preserves_hits() {
+    let tris = SceneRecipe::Soup.triangles(120, 33);
+    let rays = gen::hitting_rays(&tris, 150, 33);
+    let rigid = Rigid {
+        angle: 0.0,
+        translation: Vec3::new(13.5, -4.25, 7.75),
+    };
+    metamorphic::assert_rigid_invariant(&tris, &rays, rigid, 1e-3);
+}
+
+#[test]
+fn rotation_preserves_hits() {
+    let tris = SceneRecipe::Clustered.triangles(120, 34);
+    let rays = gen::hitting_rays(&tris, 150, 34);
+    let rigid = Rigid {
+        angle: 0.83,
+        translation: Vec3::ZERO,
+    };
+    metamorphic::assert_rigid_invariant(&tris, &rays, rigid, 1e-3);
+}
+
+#[test]
+fn combined_rigid_motion_preserves_hits_and_misses() {
+    let tris = SceneRecipe::Walls.triangles(120, 35);
+    let mut rays = gen::hitting_rays(&tris, 120, 35);
+    // Clear misses: far away, pointing outward.
+    for i in 0..40 {
+        rays.push(rip_math::Ray::new(
+            Vec3::new(200.0 + i as f32, 50.0, -80.0),
+            Vec3::Y,
+        ));
+    }
+    let rigid = Rigid {
+        angle: -1.2,
+        translation: Vec3::new(-6.0, 2.0, 9.0),
+    };
+    metamorphic::assert_rigid_invariant(&tris, &rays, rigid, 1e-3);
+}
+
+#[test]
+fn permutation_invariance_survives_training_delay() {
+    // A non-zero update delay makes prediction coverage depend strongly on
+    // ray order; the per-ray answers still must not.
+    let tris = SceneRecipe::Walls.triangles(140, 36);
+    let bvh = Bvh::build(&tris);
+    let rays = gen::hitting_rays(&tris, 200, 36);
+    metamorphic::assert_permutation_invariant(&bvh, &rays, PredictorConfig::paper_default(), 36);
+}
