@@ -1,18 +1,128 @@
-//! Runs every reproduced table and figure in paper order.
-//! Usage: `cargo run --release -p rip-bench --bin run_all -- [--scale tiny|quick|paper] [--scenes N]`
+//! Runs every reproduced table and figure in paper order, with per-unit
+//! fault isolation and optional checkpoint/resume.
+//!
+//! Usage: `cargo run --release -p rip-bench --bin run_all -- [OPTIONS]`
+//!
+//! On top of the shared experiment options (`--scale`, `--scenes`,
+//! `--jobs`), `run_all` understands:
+//!
+//! - `--journal PATH` — checkpoint each completed experiment to `PATH`
+//!   (default: `$RIP_JOURNAL` when set). Without `--resume`, an existing
+//!   journal is overwritten.
+//! - `--resume` — load completed experiments from the journal and run
+//!   only the rest; the final tables are byte-identical to an
+//!   uninterrupted run. Implies journaling (to the same path).
+//!
+//! Each experiment runs behind `catch_unwind`, the `RIP_UNIT_TIMEOUT`
+//! watchdog, and bounded retry, so one panicking or hung experiment is
+//! recorded in the final failure report (and flips the exit status to 1)
+//! while every other experiment still completes and prints.
 
+use rip_bench::experiments;
+use rip_exec::Journal;
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
+fn usage() -> String {
+    format!(
+        "{}\n\
+         \n\
+         RUN_ALL OPTIONS:\n\
+         \x20 --journal PATH            checkpoint completed experiments to PATH\n\
+         \x20                           (default: RIP_JOURNAL env when set)\n\
+         \x20 --resume                  resume from the journal instead of starting over\n\
+         \n\
+         RUN_ALL ENVIRONMENT:\n\
+         \x20 RIP_JOURNAL       default journal path for --journal/--resume\n\
+         \x20 RIP_UNIT_TIMEOUT  per-experiment watchdog deadline in seconds (off when unset)\n\
+         \n\
+         Exit status: 0 when every experiment succeeded, 1 when any failed.",
+        rip_bench::Context::usage()
+    )
+}
+
 fn main() {
-    let ctx = rip_bench::Context::from_args();
+    let mut journal_path: Option<PathBuf> = std::env::var("RIP_JOURNAL")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from);
+    let mut resume = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--journal" => match args.next() {
+                Some(path) => journal_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --journal requires a path");
+                    eprintln!("{}", usage());
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => resume = true,
+            _ => rest.push(arg),
+        }
+    }
+    let ctx = rip_bench::Context::from_arg_slice(&rest, &usage());
+    if resume && journal_path.is_none() {
+        eprintln!("error: --resume needs a journal (--journal PATH or RIP_JOURNAL)");
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+
+    let fingerprint = experiments::sweep_fingerprint(&ctx);
+    let mut completed = HashMap::new();
+    let journal = match &journal_path {
+        None => None,
+        Some(path) => {
+            let opened = if resume {
+                Journal::resume(path, &fingerprint).map(|(journal, entries)| {
+                    completed = experiments::decode_journal_entries(&entries);
+                    journal
+                })
+            } else {
+                Journal::create(path, &fingerprint)
+            };
+            match opened {
+                Ok(journal) => Some(journal),
+                Err(e) => {
+                    eprintln!("error: cannot open journal {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+
     eprintln!("running all experiments at {:?} scale…", ctx.scale);
+    if !completed.is_empty() {
+        eprintln!(
+            "resuming: {} of {} experiment(s) restored from {}",
+            completed.len(),
+            experiments::ALL.len(),
+            journal_path
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+        );
+    }
     let start = Instant::now();
-    for report in rip_bench::experiments::run_all(&ctx) {
+    let outcome = experiments::run_all_isolated(&ctx, journal.as_ref(), &completed);
+    for report in &outcome.reports {
         println!("{report}");
         eprintln!(
             "[{}] done at {:.1}s",
             report.id,
             start.elapsed().as_secs_f64()
         );
+    }
+    if !outcome.failures.is_empty() {
+        print!("{}", outcome.failure_report());
+        eprintln!(
+            "{} experiment(s) failed after {:.1}s; see the failure report above",
+            outcome.failures.len(),
+            start.elapsed().as_secs_f64()
+        );
+        std::process::exit(1);
     }
 }

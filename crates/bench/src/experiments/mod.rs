@@ -26,6 +26,9 @@ pub mod table7_placement;
 pub mod table8_hash;
 
 use crate::{Context, Report};
+use rip_exec::{fault, Fault, Journal, JournalEntry, RetryPolicy};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// An experiment entry point: pure function from context to report.
 pub type Experiment = fn(&Context) -> Report;
@@ -68,8 +71,187 @@ pub fn run_all(ctx: &Context) -> Vec<Report> {
     ctx.runner("run_all")
         .run(&ALL, |(name, _)| (*name).to_string(), |&(_, run)| run(ctx))
         .into_iter()
-        .map(|report| report.value)
+        .map(|report| report.into_value())
         .collect()
+}
+
+/// One failed work unit of a fault-isolated sweep.
+#[derive(Clone, Debug)]
+pub struct UnitFailure {
+    /// Experiment name (the schedule key).
+    pub name: String,
+    /// The structured fault that felled it.
+    pub fault: Fault,
+    /// Attempts consumed (>1 when retries fired).
+    pub attempts: u32,
+    /// Wall-clock time spent on the unit.
+    pub elapsed: Duration,
+}
+
+/// Outcome of a fault-isolated (and possibly resumed) sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOutcome {
+    /// Successful reports in paper order (failed units are absent).
+    pub reports: Vec<Report>,
+    /// Failed units in paper order.
+    pub failures: Vec<UnitFailure>,
+    /// Units served from the resume journal instead of re-running.
+    pub resumed: usize,
+}
+
+impl SweepOutcome {
+    /// Renders the per-unit failure table (empty string when clean).
+    pub fn failure_report(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut table = crate::Table::new(&["Unit", "Fault", "Attempts", "Elapsed (ms)", "Detail"]);
+        for failure in &self.failures {
+            let mut detail = failure.fault.message.replace('\n', " ");
+            if detail.len() > 60 {
+                detail.truncate(57);
+                detail.push_str("...");
+            }
+            table.row(&[
+                failure.name.clone(),
+                failure.fault.kind.label().to_string(),
+                failure.attempts.to_string(),
+                failure.elapsed.as_millis().to_string(),
+                detail,
+            ]);
+        }
+        format!(
+            "=== Failure report ===\n{}{} of {} unit(s) failed; completed units are unaffected.\n",
+            table.render(),
+            self.failures.len(),
+            ALL.len(),
+        )
+    }
+}
+
+/// Configuration fingerprint tying a resume journal to one sweep shape:
+/// scale, scene selection, the experiment schedule, and both artifact
+/// format versions. A journal written under any other fingerprint is
+/// refused on resume.
+pub fn sweep_fingerprint(ctx: &Context) -> String {
+    let scenes: Vec<&str> = ctx.scene_ids().iter().map(|id| id.code()).collect();
+    let schedule: Vec<&str> = ALL.iter().map(|(name, _)| *name).collect();
+    format!(
+        "run_all scale={:?} scenes={} schedule={} formats=s{}b{}",
+        ctx.scale,
+        scenes.join(","),
+        schedule.join(","),
+        rip_scene::serial::FORMAT_VERSION,
+        rip_bvh::serial::FORMAT_VERSION,
+    )
+}
+
+/// Fault-isolated, resumable variant of [`run_all`].
+///
+/// Every experiment runs behind `catch_unwind`, the `RIP_UNIT_TIMEOUT`
+/// watchdog, and bounded retry for retryable faults, so one bad unit is
+/// recorded in [`SweepOutcome::failures`] while the rest of the sweep
+/// completes. Units named in `completed` (decoded from a resume journal)
+/// are served from their recorded reports instead of re-running; each
+/// fresh success is appended to `journal` the moment it finishes, so a
+/// killed sweep restarts where it left off.
+///
+/// For an all-success, non-resumed sweep the returned reports are
+/// *identical* to [`run_all`]'s — fault isolation must never perturb
+/// clean output.
+pub fn run_all_isolated(
+    ctx: &Context,
+    journal: Option<&Journal>,
+    completed: &HashMap<String, Report>,
+) -> SweepOutcome {
+    let pending: Vec<&(&str, Experiment)> = ALL
+        .iter()
+        .filter(|(name, _)| !completed.contains_key(*name))
+        .collect();
+    let runner = ctx
+        .runner("run_all")
+        .with_deadline(fault::unit_timeout_from_env())
+        .with_retry(RetryPolicy::standard());
+    let unit_reports = runner.try_run(
+        &pending,
+        |(name, _)| (*name).to_string(),
+        |&&(name, run), attempt| {
+            fault::apply_injections(name, attempt)?;
+            let start = Instant::now();
+            let report = run(ctx);
+            if let Some(journal) = journal {
+                journal
+                    .append(&JournalEntry {
+                        label: name.to_string(),
+                        attempts: attempt,
+                        elapsed: start.elapsed(),
+                        payload: report.encode(),
+                    })
+                    .map_err(|e| Fault::io(format!("cannot checkpoint unit {name}: {e}")))?;
+            }
+            Ok(report)
+        },
+    );
+
+    let mut fresh: HashMap<&str, Result<Report, UnitFailure>> = HashMap::new();
+    for report in unit_reports {
+        let name = report.label.clone();
+        fresh.insert(
+            pending[report.index].0,
+            match report.outcome {
+                Ok(value) => Ok(value),
+                Err(fault) => Err(UnitFailure {
+                    name,
+                    fault,
+                    attempts: report.attempts,
+                    elapsed: report.elapsed,
+                }),
+            },
+        );
+    }
+
+    let mut outcome = SweepOutcome::default();
+    for (name, _) in &ALL {
+        if let Some(report) = completed.get(*name) {
+            outcome.reports.push(report.clone());
+            outcome.resumed += 1;
+        } else {
+            match fresh
+                .remove(*name)
+                .expect("every pending unit has a report")
+            {
+                Ok(report) => outcome.reports.push(report),
+                Err(failure) => outcome.failures.push(failure),
+            }
+        }
+    }
+    outcome
+}
+
+/// Decodes journal entries into per-unit reports, dropping entries whose
+/// labels are not in the schedule or whose payloads fail decoding (either
+/// way the unit simply re-runs).
+pub fn decode_journal_entries(entries: &[JournalEntry]) -> HashMap<String, Report> {
+    let mut completed = HashMap::new();
+    for entry in entries {
+        if !ALL.iter().any(|(name, _)| *name == entry.label) {
+            eprintln!(
+                "[run_all] journal names unknown unit '{}'; ignoring it",
+                entry.label
+            );
+            continue;
+        }
+        match Report::decode(&entry.payload) {
+            Some(report) => {
+                completed.insert(entry.label.clone(), report);
+            }
+            None => eprintln!(
+                "[run_all] journal payload for '{}' is damaged; the unit will re-run",
+                entry.label
+            ),
+        }
+    }
+    completed
 }
 
 /// Helper: geometric mean that tolerates empty input by returning 1.0.

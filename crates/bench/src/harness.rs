@@ -158,18 +158,25 @@ impl Context {
     /// process-wide budget so nested pools share it.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        match Context::parse_args(&args) {
+        Context::from_arg_slice(&args, Context::usage())
+    }
+
+    /// Like [`Context::from_args`] but over an explicit argument slice and
+    /// usage text — for binaries (such as `run_all`) that extract their
+    /// own private flags first and pass the remainder through.
+    pub fn from_arg_slice(args: &[String], usage: &str) -> Self {
+        match Context::parse_args(args) {
             Ok(ParsedArgs::Run(ctx)) => {
                 rip_exec::set_global_budget(ctx.jobs);
                 ctx
             }
             Ok(ParsedArgs::Help) => {
-                println!("{}", Context::usage());
+                println!("{usage}");
                 std::process::exit(0);
             }
             Err(message) => {
                 eprintln!("error: {message}");
-                eprintln!("{}", Context::usage());
+                eprintln!("{usage}");
                 std::process::exit(2);
             }
         }
@@ -221,7 +228,7 @@ impl Context {
         self.runner(name)
             .run(ids, |id| id.code().to_string(), |&id| f(id))
             .into_iter()
-            .map(|report| report.value)
+            .map(|report| report.into_value())
             .collect()
     }
 

@@ -39,6 +39,58 @@ impl Report {
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
     }
+
+    /// Serializes the report for the resume journal: little-endian
+    /// length-prefixed strings, metric values as raw `f64` bits so a
+    /// resumed sweep reproduces the original run *byte-identically*.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.id.len() + self.text.len());
+        let put_str = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        put_str(&mut out, &self.id);
+        out.extend_from_slice(&(self.metrics.len() as u32).to_le_bytes());
+        for (name, value) in &self.metrics {
+            put_str(&mut out, name);
+            out.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+        put_str(&mut out, &self.text);
+        out
+    }
+
+    /// Decodes a buffer produced by [`Report::encode`]. Returns `None`
+    /// on any structural mismatch so a damaged journal payload degrades
+    /// to re-running the unit instead of resurrecting garbage.
+    pub fn decode(bytes: &[u8]) -> Option<Report> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let slice = bytes.get(*at..*at + n)?;
+            *at += n;
+            Some(slice)
+        };
+        let take_u32 = |at: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(at, 4)?.try_into().ok()?))
+        };
+        let take_str = |at: &mut usize| -> Option<String> {
+            let len = take_u32(at)? as usize;
+            String::from_utf8(take(at, len)?.to_vec()).ok()
+        };
+        let id = take_str(&mut at)?;
+        let metric_count = take_u32(&mut at)? as usize;
+        // Each metric needs ≥ 12 bytes; reject bogus counts before allocating.
+        if metric_count > bytes.len() / 12 {
+            return None;
+        }
+        let mut metrics = Vec::with_capacity(metric_count);
+        for _ in 0..metric_count {
+            let name = take_str(&mut at)?;
+            let value = f64::from_bits(u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?));
+            metrics.push((name, value));
+        }
+        let text = take_str(&mut at)?;
+        (at == bytes.len()).then_some(Report { id, text, metrics })
+    }
 }
 
 impl std::fmt::Display for Report {
@@ -163,5 +215,49 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_pct(0.2634), "26.3%");
         assert_eq!(fmt_f64(1.23456), "1.235");
+    }
+
+    #[test]
+    fn report_journal_round_trip_is_exact() {
+        let mut r = Report::new("Figure 12");
+        r.line("Scene  Speedup");
+        r.line("SB     1.260");
+        r.metric("geomean_speedup", 1.2599999999999998);
+        r.metric("nan_guard", f64::NAN);
+        let decoded = Report::decode(&r.encode()).expect("round trip");
+        assert_eq!(decoded.id, r.id);
+        assert_eq!(decoded.text, r.text);
+        assert_eq!(decoded.metrics.len(), 2);
+        assert_eq!(decoded.metrics[0].0, "geomean_speedup");
+        // Bit-exact, including values that != themselves.
+        assert_eq!(
+            decoded.metrics[0].1.to_bits(),
+            r.metrics[0].1.to_bits(),
+            "metric bits must survive the journal"
+        );
+        assert_eq!(decoded.metrics[1].1.to_bits(), r.metrics[1].1.to_bits());
+    }
+
+    #[test]
+    fn report_decode_rejects_damage() {
+        let r = {
+            let mut r = Report::new("X");
+            r.line("body");
+            r.metric("m", 2.0);
+            r
+        };
+        let bytes = r.encode();
+        assert!(
+            Report::decode(&bytes[..bytes.len() - 1]).is_none(),
+            "truncation"
+        );
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Report::decode(&extended).is_none(), "trailing garbage");
+        let mut bombed = bytes;
+        // Header-bomb the metric count field (right after the 1-byte id).
+        let count_at = 4 + 1;
+        bombed[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Report::decode(&bombed).is_none(), "metric-count bomb");
     }
 }

@@ -15,15 +15,96 @@
 //! disables the disk tier), else `<system temp dir>/rip-artifacts`.
 //! Clearing it is always safe: artifacts are pure derived data.
 //!
+//! **Fault handling.** Artifact IO never aborts a run: every failure is
+//! classified as a typed [`CacheError`] and degrades to a rebuild from
+//! source. Corrupt or key-mismatched artifacts are additionally
+//! *quarantined* — renamed to `<name>.quarantine` — so a bad file is
+//! preserved for diagnosis, never re-decoded on the next run, and never
+//! silently overwritten until a fresh build replaces it. Writes go
+//! through a temp file plus atomic rename, so a killed process can never
+//! leave a truncated artifact under the final name.
+//!
 //! Telemetry (hits, builds, timings) goes to **stderr** so experiment
 //! tables on stdout stay byte-deterministic.
 
 use crate::case::{Case, CaseKey};
+use crate::fault::Fault;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Why an artifact could not be served from the disk tier.
+///
+/// Every variant degrades to a rebuild; the distinction drives telemetry,
+/// quarantine, and the [`Fault`] taxonomy ([`CacheError::into_fault`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// No artifact on disk (a plain miss — the expected cold-start path).
+    Miss,
+    /// The disk tier is disabled for this cache.
+    Disabled,
+    /// The artifact exists but cannot be read (permissions, transient IO).
+    Io {
+        /// Offending file.
+        path: PathBuf,
+        /// OS-level error description.
+        detail: String,
+    },
+    /// The artifact fails decoding or post-decode validation.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// Decoder diagnostic.
+        detail: String,
+    },
+    /// The artifact decodes but describes a different case than its key.
+    KeyMismatch {
+        /// The key whose lookup found the imposter.
+        label: String,
+    },
+}
+
+impl CacheError {
+    /// Folds this error into the structured fault taxonomy.
+    pub fn into_fault(self) -> Fault {
+        match self {
+            CacheError::Miss | CacheError::Disabled => {
+                Fault::retryable("artifact unavailable (cache miss)")
+            }
+            CacheError::Io { path, detail } => {
+                Fault::io(format!("cannot read artifact {}: {detail}", path.display()))
+            }
+            CacheError::Corrupt { path, detail } => {
+                Fault::cache_corrupt(format!("corrupt artifact {}: {detail}", path.display()))
+            }
+            CacheError::KeyMismatch { label } => {
+                Fault::cache_corrupt(format!("artifact for {label} does not match its key"))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Miss => f.write_str("artifact not present"),
+            CacheError::Disabled => f.write_str("disk tier disabled"),
+            CacheError::Io { path, detail } => {
+                write!(f, "cannot read {}: {detail}", path.display())
+            }
+            CacheError::Corrupt { path, detail } => {
+                write!(f, "corrupt artifact {}: {detail}", path.display())
+            }
+            CacheError::KeyMismatch { label } => {
+                write!(f, "artifact does not match key {label}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
 
 /// Counters describing how a [`CaseCache`] served its requests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -34,6 +115,8 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Requests that built the case from scratch.
     pub builds: u64,
+    /// Artifacts quarantined after failing decode or key validation.
+    pub quarantines: u64,
 }
 
 /// Process-wide build-once cache of benchmark cases.
@@ -43,6 +126,7 @@ pub struct CaseCache {
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     builds: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl CaseCache {
@@ -65,6 +149,7 @@ impl CaseCache {
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             builds: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
         }
     }
 
@@ -84,14 +169,23 @@ impl CaseCache {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
         }
     }
 
     /// Returns the case for `key`, building it at most once per process
     /// and consulting the artifact store before building.
+    ///
+    /// This never fails: a missing, unreadable, corrupt, or mismatched
+    /// artifact is quarantined as needed and the case is rebuilt from
+    /// source. (A panic inside the scene/BVH build itself still unwinds —
+    /// that is the caller's unit boundary, isolated by
+    /// [`ShardedRunner::try_run`](crate::runner::ShardedRunner::try_run).)
     pub fn get_or_build(&self, key: CaseKey) -> Arc<Case> {
         let cell = {
-            let mut cases = self.cases.lock().expect("case map poisoned");
+            // A poisoned map just means some other thread panicked while
+            // inserting; the map itself is still structurally sound.
+            let mut cases = self.cases.lock().unwrap_or_else(|p| p.into_inner());
             Arc::clone(
                 cases
                     .entry(key)
@@ -116,9 +210,19 @@ impl CaseCache {
     }
 
     fn load_or_build(&self, key: CaseKey) -> Case {
-        if let Some(case) = self.try_load(key) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            return case;
+        match self.try_load(key) {
+            Ok(case) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return case;
+            }
+            Err(CacheError::Miss | CacheError::Disabled) => {}
+            Err(error @ (CacheError::Corrupt { .. } | CacheError::KeyMismatch { .. })) => {
+                eprintln!("[rip-exec] {error}; quarantining and rebuilding from source");
+                self.quarantine(key, &error);
+            }
+            Err(error @ CacheError::Io { .. }) => {
+                eprintln!("[rip-exec] {error}; rebuilding from source");
+            }
         }
         self.builds.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
@@ -138,44 +242,29 @@ impl CaseCache {
         case
     }
 
-    /// Attempts to serve `key` from the artifact store. Any failure —
-    /// missing files, version skew, corruption — returns `None` and the
-    /// caller rebuilds.
-    fn try_load(&self, key: CaseKey) -> Option<Case> {
-        let (scene_path, bvh_path) = self.artifact_paths(key)?;
-        let scene_bytes = std::fs::read(&scene_path).ok()?;
-        let bvh_bytes = std::fs::read(&bvh_path).ok()?;
+    /// Attempts to serve `key` from the artifact store, classifying every
+    /// failure so the caller can log, quarantine, and rebuild.
+    fn try_load(&self, key: CaseKey) -> Result<Case, CacheError> {
+        let Some((scene_path, bvh_path)) = self.artifact_paths(key) else {
+            return Err(CacheError::Disabled);
+        };
+        let scene_bytes = read_artifact(&scene_path)?;
+        let bvh_bytes = read_artifact(&bvh_path)?;
         let start = Instant::now();
-        let scene = match rip_scene::serial::decode(&scene_bytes) {
-            Ok(scene) => scene,
-            Err(e) => {
-                eprintln!(
-                    "[rip-exec] discarding stale artifact {}: {e}",
-                    scene_path.display()
-                );
-                return None;
-            }
-        };
-        let bvh = match rip_bvh::serial::decode(&bvh_bytes) {
-            Ok(bvh) => bvh,
-            Err(e) => {
-                eprintln!(
-                    "[rip-exec] discarding stale artifact {}: {e}",
-                    bvh_path.display()
-                );
-                return None;
-            }
-        };
+        let scene = rip_scene::serial::decode(&scene_bytes).map_err(|e| CacheError::Corrupt {
+            path: scene_path.clone(),
+            detail: e,
+        })?;
+        let bvh = rip_bvh::serial::decode(&bvh_bytes).map_err(|e| CacheError::Corrupt {
+            path: bvh_path.clone(),
+            detail: e,
+        })?;
         if scene.id != key.id
             || scene.camera.width() != key.width
             || scene.camera.height() != key.height
             || bvh.triangle_count() != scene.mesh.triangle_count()
         {
-            eprintln!(
-                "[rip-exec] artifact {} does not match its key; rebuilding",
-                key.label()
-            );
-            return None;
+            return Err(CacheError::KeyMismatch { label: key.label() });
         }
         eprintln!(
             "[rip-exec] artifact cache hit: {} (scene+BVH loaded in {} ms, 0 rebuilds)",
@@ -183,7 +272,45 @@ impl CaseCache {
             start.elapsed().as_millis(),
         );
         let id = scene.id;
-        Some(Case { id, scene, bvh })
+        Ok(Case { id, scene, bvh })
+    }
+
+    /// Moves the artifact(s) implicated by `error` aside as
+    /// `<name>.quarantine`, preserving the bad bytes for diagnosis while
+    /// guaranteeing they are never decoded again. A key mismatch
+    /// quarantines both halves of the pair (either could be the imposter).
+    fn quarantine(&self, key: CaseKey, error: &CacheError) {
+        let Some((scene_path, bvh_path)) = self.artifact_paths(key) else {
+            return;
+        };
+        let targets: Vec<&Path> = match error {
+            CacheError::Corrupt { path, .. } => vec![path.as_path()],
+            CacheError::KeyMismatch { .. } => vec![scene_path.as_path(), bvh_path.as_path()],
+            _ => return,
+        };
+        for path in targets {
+            let mut quarantined = path.as_os_str().to_owned();
+            quarantined.push(".quarantine");
+            match std::fs::rename(path, &quarantined) {
+                Ok(()) => {
+                    self.quarantines.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[rip-exec] quarantined {} -> {}",
+                        path.display(),
+                        Path::new(&quarantined).display()
+                    );
+                }
+                Err(e) => {
+                    // Last resort: make sure the bad bytes cannot be
+                    // decoded again even if we cannot preserve them.
+                    eprintln!(
+                        "[rip-exec] cannot quarantine {} ({e}); removing instead",
+                        path.display()
+                    );
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
     }
 
     /// Persists both artifacts; returns the store directory on success.
@@ -223,8 +350,25 @@ impl Default for CaseCache {
     }
 }
 
-/// Writes via a temp file + rename so concurrent processes never observe
-/// a torn artifact.
+/// Reads an artifact file, classifying the failure: absent file = a plain
+/// [`CacheError::Miss`]; anything else is a typed IO error (never a
+/// panic — cache IO must degrade, not abort).
+fn read_artifact(path: &Path) -> Result<Vec<u8>, CacheError> {
+    std::fs::read(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CacheError::Miss
+        } else {
+            CacheError::Io {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            }
+        }
+    })
+}
+
+/// Writes via a temp file + atomic rename so a killed process (or a
+/// concurrent one) can never leave a truncated artifact under the final
+/// name — readers see either the old complete file or the new one.
 fn write_atomic(path: &Path, bytes: &[u8]) -> bool {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
@@ -266,7 +410,8 @@ mod tests {
             CacheStats {
                 memory_hits: 1,
                 disk_hits: 0,
-                builds: 1
+                builds: 1,
+                quarantines: 0
             }
         );
     }
@@ -299,7 +444,8 @@ mod tests {
             CacheStats {
                 memory_hits: 0,
                 disk_hits: 1,
-                builds: 0
+                builds: 0,
+                quarantines: 0
             }
         );
         loaded.bvh.validate().unwrap();
@@ -331,7 +477,18 @@ mod tests {
         let cache = CaseCache::with_disk_dir(Some(dir.clone()));
         let case = cache.get_or_build(tiny_key(22));
         assert_eq!(cache.stats().builds, 1, "corruption must force a rebuild");
+        assert_eq!(
+            cache.stats().quarantines,
+            1,
+            "the corrupt artifact must be quarantined"
+        );
         case.bvh.validate().unwrap();
+        let quarantined: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "quarantine"))
+            .collect();
+        assert_eq!(quarantined.len(), 1, "expected one .quarantine file");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,433 @@
+//! Structured fault taxonomy, retry policy, and fault-injection hooks.
+//!
+//! Everything that can go wrong inside a work unit is folded into a
+//! [`Fault`]: a [`FaultKind`] plus a human-readable message. Faults are
+//! plain data — they travel through result slots, journals, and failure
+//! reports instead of unwinding the whole sweep.
+//!
+//! Three environment hooks live here so every layer agrees on them:
+//!
+//! - `RIP_UNIT_TIMEOUT` — per-unit watchdog deadline in (fractional)
+//!   seconds, parsed by [`unit_timeout_from_env`]. Unset/empty = off.
+//! - `RIP_FAULT_INJECT` — deterministic fault injection for tests and CI,
+//!   parsed by [`InjectionPlan::from_env`] and applied by
+//!   [`apply_injections`]. Unset = no-op.
+//! - Retry pacing is deterministic: [`RetryPolicy::backoff`] derives its
+//!   jitter from the unit index and attempt number, never from a clock or
+//!   RNG, so a retried sweep behaves identically run-to-run.
+
+use std::time::Duration;
+
+/// What class of failure a work unit hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The unit panicked; the panic was caught at the unit boundary.
+    Panic,
+    /// The unit exceeded its watchdog deadline.
+    Timeout,
+    /// An on-disk artifact failed decoding or key validation.
+    CacheCorrupt,
+    /// A non-transient filesystem error.
+    Io,
+    /// A transient failure worth retrying (cache read race, flaky IO).
+    Retryable,
+}
+
+impl FaultKind {
+    /// Stable label used in failure reports and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "Panic",
+            FaultKind::Timeout => "Timeout",
+            FaultKind::CacheCorrupt => "CacheCorrupt",
+            FaultKind::Io => "Io",
+            FaultKind::Retryable => "Retryable",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A structured work-unit failure: kind plus diagnostic message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Failure class.
+    pub kind: FaultKind,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl Fault {
+    /// A fault of `kind` with a diagnostic message.
+    pub fn new(kind: FaultKind, message: impl Into<String>) -> Self {
+        Fault {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A caught panic.
+    pub fn panic(message: impl Into<String>) -> Self {
+        Fault::new(FaultKind::Panic, message)
+    }
+
+    /// A watchdog expiry after `deadline`.
+    pub fn timeout(deadline: Duration) -> Self {
+        Fault::new(
+            FaultKind::Timeout,
+            format!("unit exceeded its {} ms deadline", deadline.as_millis()),
+        )
+    }
+
+    /// A corrupt or mismatched cache artifact.
+    pub fn cache_corrupt(message: impl Into<String>) -> Self {
+        Fault::new(FaultKind::CacheCorrupt, message)
+    }
+
+    /// A non-transient IO failure.
+    pub fn io(message: impl Into<String>) -> Self {
+        Fault::new(FaultKind::Io, message)
+    }
+
+    /// A transient failure eligible for retry.
+    pub fn retryable(message: impl Into<String>) -> Self {
+        Fault::new(FaultKind::Retryable, message)
+    }
+
+    /// Whether the retry machinery should re-attempt this fault.
+    pub fn is_retryable(&self) -> bool {
+        self.kind == FaultKind::Retryable
+    }
+
+    /// Runs `f` with panic isolation: a panic becomes `Err(Fault::panic)`
+    /// carrying the payload message instead of unwinding the caller.
+    pub fn catch<U>(f: impl FnOnce() -> Result<U, Fault>) -> Result<U, Fault> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(payload) => Err(Fault::panic(panic_message(&*payload))),
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Extracts the human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Bounded retry with deterministic jittered exponential backoff.
+///
+/// Only faults whose [`Fault::is_retryable`] holds are re-attempted;
+/// panics, timeouts, and hard IO errors fail the unit immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per unit (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2; doubles each further attempt.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every fault is final.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The sweep default: three attempts, 10 ms base backoff.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+        }
+    }
+
+    /// The pause before re-attempting unit `salt` as attempt number
+    /// `next_attempt` (2-based). Deterministic: exponential in the attempt
+    /// with jitter hashed from `(salt, next_attempt)`, capped at 2 s, so
+    /// retried sweeps are reproducible and retries of distinct units
+    /// de-synchronize instead of stampeding.
+    pub fn backoff(&self, next_attempt: u32, salt: u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = next_attempt.saturating_sub(2).min(16);
+        let base_ms = self.base_backoff.as_millis() as u64;
+        let scaled = base_ms.saturating_mul(1 << exp);
+        let jitter = fnv64(&[salt.to_le_bytes(), u64::from(next_attempt).to_le_bytes()].concat())
+            % base_ms.max(1);
+        Duration::from_millis((scaled + jitter).min(2_000))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// FNV-1a 64-bit hash (journal checksums, backoff jitter).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Parses `RIP_UNIT_TIMEOUT` (fractional seconds) into a watchdog
+/// deadline. Unset, empty, zero, or malformed values mean "no watchdog"
+/// (malformed values also warn on stderr).
+pub fn unit_timeout_from_env() -> Option<Duration> {
+    let raw = std::env::var("RIP_UNIT_TIMEOUT").ok()?;
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.parse::<f64>() {
+        Ok(secs) if secs > 0.0 && secs.is_finite() => Some(Duration::from_secs_f64(secs)),
+        _ => {
+            eprintln!("warning: ignoring invalid RIP_UNIT_TIMEOUT='{raw}' (expected seconds > 0)");
+            None
+        }
+    }
+}
+
+/// One fault-injection directive aimed at a labelled work unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Injection {
+    /// Panic when the unit starts.
+    Panic,
+    /// Sleep this long before running the unit (trips the watchdog).
+    SlowMs(u64),
+    /// Fail with a [`FaultKind::Retryable`] fault on the first `n` attempts.
+    FlakyAttempts(u32),
+    /// Fail with a [`FaultKind::CacheCorrupt`] fault (an unrecoverable
+    /// artifact, as if quarantine + rebuild had also failed).
+    Corrupt,
+    /// Hard-exit the process (simulated `kill -9`) when the unit starts.
+    Kill,
+}
+
+/// The parsed `RIP_FAULT_INJECT` plan: `(unit label, directive)` pairs.
+///
+/// Spec grammar: directives separated by `;`, each one of
+/// `panic:<label>`, `slow:<label>=<ms>`, `flaky:<label>=<attempts>`,
+/// `corrupt:<label>`, `kill:<label>`. Unknown or malformed directives
+/// warn and are skipped — an injection spec must never crash the harness
+/// it is testing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InjectionPlan {
+    directives: Vec<(String, Injection)>,
+}
+
+impl InjectionPlan {
+    /// Parses a spec string (see type docs for the grammar).
+    pub fn parse(spec: &str) -> Self {
+        let mut directives = Vec::new();
+        for raw in spec.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let Some((verb, rest)) = raw.split_once(':') else {
+                eprintln!("warning: ignoring malformed fault injection '{raw}'");
+                continue;
+            };
+            let (label, arg) = match rest.split_once('=') {
+                Some((label, arg)) => (label, Some(arg)),
+                None => (rest, None),
+            };
+            let directive = match (verb, arg) {
+                ("panic", None) => Some(Injection::Panic),
+                ("kill", None) => Some(Injection::Kill),
+                ("corrupt", None) => Some(Injection::Corrupt),
+                ("slow", Some(ms)) => ms.parse().ok().map(Injection::SlowMs),
+                ("flaky", Some(n)) => n.parse().ok().map(Injection::FlakyAttempts),
+                _ => None,
+            };
+            match directive {
+                Some(directive) => directives.push((label.to_string(), directive)),
+                None => eprintln!("warning: ignoring malformed fault injection '{raw}'"),
+            }
+        }
+        InjectionPlan { directives }
+    }
+
+    /// The plan from `RIP_FAULT_INJECT` (empty plan when unset).
+    pub fn from_env() -> Self {
+        match std::env::var("RIP_FAULT_INJECT") {
+            Ok(spec) => InjectionPlan::parse(&spec),
+            Err(_) => InjectionPlan::default(),
+        }
+    }
+
+    /// Whether the plan contains no directives.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Directives aimed at `label`.
+    pub fn for_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Injection> {
+        self.directives
+            .iter()
+            .filter(move |(l, _)| l == label)
+            .map(|(_, d)| d)
+    }
+
+    /// Applies every directive aimed at `label` for attempt number
+    /// `attempt` (1-based). Returns `Err` for injected retryable faults,
+    /// panics for `panic:` directives, sleeps for `slow:` directives, and
+    /// exits the process (status 9) for `kill:` directives.
+    pub fn apply(&self, label: &str, attempt: u32) -> Result<(), Fault> {
+        for directive in self.for_label(label) {
+            match *directive {
+                Injection::Kill => {
+                    eprintln!("[rip-exec] fault injection: killing process at unit {label}");
+                    std::process::exit(9);
+                }
+                Injection::Panic => {
+                    panic!("injected panic in unit {label}");
+                }
+                Injection::SlowMs(ms) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                Injection::Corrupt => {
+                    return Err(Fault::cache_corrupt(format!(
+                        "injected unrecoverable artifact corruption in unit {label}"
+                    )));
+                }
+                Injection::FlakyAttempts(n) => {
+                    if attempt <= n {
+                        return Err(Fault::retryable(format!(
+                            "injected transient fault in unit {label} (attempt {attempt} of {n} injected failures)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies the `RIP_FAULT_INJECT` plan to `label` (no-op when unset).
+///
+/// Fault-isolated runners call this at the top of every unit attempt so
+/// tests and CI can exercise each degradation path of a real sweep.
+pub fn apply_injections(label: &str, attempt: u32) -> Result<(), Fault> {
+    InjectionPlan::from_env().apply(label, attempt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_display_names_kind() {
+        let fault = Fault::timeout(Duration::from_millis(250));
+        assert_eq!(fault.kind, FaultKind::Timeout);
+        assert!(fault.to_string().starts_with("Timeout: "));
+        assert!(fault.to_string().contains("250 ms"));
+    }
+
+    #[test]
+    fn catch_converts_panics_to_faults() {
+        let ok: Result<u32, Fault> = Fault::catch(|| Ok(7));
+        assert_eq!(ok.unwrap(), 7);
+        let caught: Result<u32, Fault> = Fault::catch(|| panic!("kaboom {}", 42));
+        let fault = caught.unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Panic);
+        assert!(fault.message.contains("kaboom 42"));
+        let typed: Result<u32, Fault> = Fault::catch(|| Err(Fault::io("disk gone")));
+        assert_eq!(typed.unwrap_err().kind, FaultKind::Io);
+    }
+
+    #[test]
+    fn only_retryable_faults_retry() {
+        assert!(Fault::retryable("x").is_retryable());
+        for fault in [
+            Fault::panic("x"),
+            Fault::timeout(Duration::from_secs(1)),
+            Fault::cache_corrupt("x"),
+            Fault::io("x"),
+        ] {
+            assert!(!fault.is_retryable(), "{fault} must not retry");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::standard();
+        let a = policy.backoff(2, 5);
+        let b = policy.backoff(2, 5);
+        assert_eq!(a, b, "same unit+attempt must back off identically");
+        assert_ne!(
+            policy.backoff(2, 5),
+            policy.backoff(2, 6),
+            "distinct units should jitter apart"
+        );
+        for attempt in 2..40 {
+            assert!(policy.backoff(attempt, 0) <= Duration::from_secs(2));
+        }
+        assert_eq!(RetryPolicy::none().backoff(2, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn injection_spec_parses_and_targets_labels() {
+        let plan =
+            InjectionPlan::parse("panic:fig12_speedup; slow:table8_hash=40;flaky:sec64_gi=2");
+        assert_eq!(plan.for_label("fig12_speedup").count(), 1);
+        assert_eq!(
+            plan.for_label("table8_hash").next(),
+            Some(&Injection::SlowMs(40))
+        );
+        assert_eq!(
+            plan.for_label("sec64_gi").next(),
+            Some(&Injection::FlakyAttempts(2))
+        );
+        assert_eq!(plan.for_label("table1_scenes").count(), 0);
+    }
+
+    #[test]
+    fn malformed_injection_directives_are_skipped() {
+        let plan = InjectionPlan::parse("bogus; slow:x; flaky:y=z; panic:ok; ;kill:k=1");
+        assert_eq!(plan.for_label("ok").next(), Some(&Injection::Panic));
+        assert_eq!(plan.for_label("x").count(), 0);
+        assert_eq!(plan.for_label("y").count(), 0);
+        assert_eq!(plan.for_label("k").count(), 0);
+    }
+
+    #[test]
+    fn flaky_injection_clears_after_n_attempts() {
+        let plan = InjectionPlan::parse("flaky:unit=2");
+        assert!(plan.apply("unit", 1).is_err());
+        assert!(plan.apply("unit", 2).is_err());
+        assert!(plan.apply("unit", 3).is_ok());
+        assert!(plan.apply("other", 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic in unit boom")]
+    fn panic_injection_panics() {
+        let _ = InjectionPlan::parse("panic:boom").apply("boom", 1);
+    }
+}

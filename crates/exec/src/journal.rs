@@ -1,0 +1,348 @@
+//! Crash-safe checkpoint journal for resumable sweeps.
+//!
+//! A [`Journal`] is an append-only record of *completed* work units. Each
+//! record carries the unit's label, attempt count, elapsed time, and an
+//! opaque payload (the caller's serialized result), framed with a length
+//! and an FNV-1a checksum so a record torn by `kill -9` mid-write is
+//! detected and discarded — the reader recovers the longest valid prefix
+//! and truncates the file back to it, and the unit simply re-runs.
+//!
+//! The file is keyed by a caller-supplied *fingerprint* (scale, scene
+//! selection, schedule, format versions…). [`Journal::resume`] refuses to
+//! reuse a journal whose fingerprint differs — a sweep can only resume
+//! into the exact configuration that produced the checkpoint.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! rip-journal v1 <fingerprint>\n
+//! rec <body-len> <fnv64-hex>\n
+//! <body bytes>\n
+//! rec ...
+//! ```
+//!
+//! Body: `u32 label-len, label, u32 attempts, u64 elapsed-ms,
+//! u32 payload-len, payload`.
+
+use crate::fault::fnv64;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const HEADER_PREFIX: &str = "rip-journal v1 ";
+
+/// One completed work unit, as recorded in the journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Unit label (must match the sweep's unit naming).
+    pub label: String,
+    /// Attempts the unit took to succeed.
+    pub attempts: u32,
+    /// Wall-clock time of the successful attempt chain.
+    pub elapsed: Duration,
+    /// Caller-defined serialized result (e.g. an encoded report).
+    pub payload: Vec<u8>,
+}
+
+impl JournalEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(20 + self.label.len() + self.payload.len());
+        body.extend_from_slice(&(self.label.len() as u32).to_le_bytes());
+        body.extend_from_slice(self.label.as_bytes());
+        body.extend_from_slice(&self.attempts.to_le_bytes());
+        body.extend_from_slice(&(self.elapsed.as_millis() as u64).to_le_bytes());
+        body.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        body.extend_from_slice(&self.payload);
+        body
+    }
+
+    fn decode(body: &[u8]) -> Option<JournalEntry> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let slice = body.get(*at..*at + n)?;
+            *at += n;
+            Some(slice)
+        };
+        let u32_at = |at: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(at, 4)?.try_into().ok()?))
+        };
+        let label_len = u32_at(&mut at)? as usize;
+        let label = String::from_utf8(take(&mut at, label_len)?.to_vec()).ok()?;
+        let attempts = u32_at(&mut at)?;
+        let elapsed_ms = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let payload_len = u32_at(&mut at)? as usize;
+        let payload = take(&mut at, payload_len)?.to_vec();
+        (at == body.len()).then_some(JournalEntry {
+            label,
+            attempts,
+            elapsed: Duration::from_millis(elapsed_ms),
+            payload,
+        })
+    }
+}
+
+/// An open, append-able checkpoint journal.
+///
+/// Appends are serialized through an internal mutex and flushed per
+/// record, so concurrent workers may checkpoint completed units directly
+/// and a killed process loses at most the record being written.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// with the given configuration fingerprint.
+    ///
+    /// The fingerprint must be a single line; embedded newlines are
+    /// rejected because they would corrupt the header framing.
+    pub fn create(path: impl Into<PathBuf>, fingerprint: &str) -> io::Result<Journal> {
+        let path = path.into();
+        if fingerprint.contains('\n') || fingerprint.contains('\r') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal fingerprint must be a single line",
+            ));
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(format!("{HEADER_PREFIX}{fingerprint}\n").as_bytes())?;
+        file.flush()?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Opens `path` for resumption: returns the journal plus every intact
+    /// record whose fingerprint matches.
+    ///
+    /// - Missing file → fresh journal, no entries.
+    /// - Fingerprint mismatch or unreadable header → the stale journal is
+    ///   discarded and recreated, no entries.
+    /// - A torn/corrupt trailing record → the file is truncated back to
+    ///   the last intact record and the valid prefix is returned.
+    pub fn resume(
+        path: impl Into<PathBuf>,
+        fingerprint: &str,
+    ) -> io::Result<(Journal, Vec<JournalEntry>)> {
+        let path = path.into();
+        let mut bytes = Vec::new();
+        match File::open(&path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((Journal::create(path, fingerprint)?, Vec::new()));
+            }
+            Err(e) => return Err(e),
+        }
+        let expected_header = format!("{HEADER_PREFIX}{fingerprint}\n");
+        if !bytes.starts_with(expected_header.as_bytes()) {
+            eprintln!(
+                "[rip-exec] journal {} does not match this configuration; starting fresh",
+                path.display()
+            );
+            return Ok((Journal::create(path, fingerprint)?, Vec::new()));
+        }
+        let (entries, good_len) = parse_records(&bytes, expected_header.len());
+        if good_len < bytes.len() {
+            eprintln!(
+                "[rip-exec] journal {}: discarding {} torn trailing byte(s)",
+                path.display(),
+                bytes.len() - good_len
+            );
+        }
+        let mut file = OpenOptions::new().write(true).read(true).open(&path)?;
+        file.set_len(good_len as u64)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((
+            Journal {
+                path,
+                file: Mutex::new(file),
+            },
+            entries,
+        ))
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed-unit record and flushes it to the OS.
+    pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
+        let body = entry.encode();
+        let mut framed = Vec::with_capacity(body.len() + 32);
+        framed.extend_from_slice(format!("rec {} {:016x}\n", body.len(), fnv64(&body)).as_bytes());
+        framed.extend_from_slice(&body);
+        framed.push(b'\n');
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        file.write_all(&framed)?;
+        file.flush()
+    }
+}
+
+/// Parses intact records starting at `offset`; returns them plus the byte
+/// length of the valid prefix (header included).
+fn parse_records(bytes: &[u8], offset: usize) -> (Vec<JournalEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut at = offset;
+    while let Some(rest) = bytes.get(at..) {
+        if rest.is_empty() {
+            break;
+        }
+        let Some(line_end) = rest.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let Ok(line) = std::str::from_utf8(&rest[..line_end]) else {
+            break;
+        };
+        let mut parts = line.split(' ');
+        let (Some("rec"), Some(len), Some(crc), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            break;
+        };
+        let (Ok(len), Ok(crc)) = (len.parse::<usize>(), u64::from_str_radix(crc, 16)) else {
+            break;
+        };
+        let body_start = at + line_end + 1;
+        let Some(body) = bytes.get(body_start..body_start + len) else {
+            break;
+        };
+        if bytes.get(body_start + len) != Some(&b'\n') || fnv64(body) != crc {
+            break;
+        }
+        let Some(entry) = JournalEntry::decode(body) else {
+            break;
+        };
+        entries.push(entry);
+        at = body_start + len + 1;
+    }
+    (entries, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rip-journal-{tag}-{}", std::process::id()))
+    }
+
+    fn entry(label: &str, payload: &[u8]) -> JournalEntry {
+        JournalEntry {
+            label: label.to_string(),
+            attempts: 2,
+            elapsed: Duration::from_millis(37),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trips_entries_across_instances() {
+        let path = temp_path("roundtrip");
+        {
+            let journal = Journal::create(&path, "fp=a").unwrap();
+            journal.append(&entry("alpha", b"payload-1")).unwrap();
+            journal.append(&entry("beta", b"")).unwrap();
+        }
+        let (journal, entries) = Journal::resume(&path, "fp=a").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], entry("alpha", b"payload-1"));
+        assert_eq!(entries[1].label, "beta");
+        // Appending after resume keeps earlier records intact.
+        journal.append(&entry("gamma", b"xyz")).unwrap();
+        let (_, entries) = Journal::resume(&path, "fp=a").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[2].payload, b"xyz");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_truncated() {
+        let path = temp_path("torn");
+        {
+            let journal = Journal::create(&path, "fp").unwrap();
+            journal.append(&entry("ok", b"keep me")).unwrap();
+            journal.append(&entry("torn", b"about to be cut")).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (journal, entries) = Journal::resume(&path, "fp").unwrap();
+        assert_eq!(entries.len(), 1, "torn record must be dropped");
+        assert_eq!(entries[0].label, "ok");
+        // The file was truncated back, so appends start from a clean tail.
+        journal.append(&entry("next", b"fresh")).unwrap();
+        let (_, entries) = Journal::resume(&path, "fp").unwrap();
+        assert_eq!(
+            entries.iter().map(|e| e.label.as_str()).collect::<Vec<_>>(),
+            vec!["ok", "next"]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flipped_record_is_rejected_by_checksum() {
+        let path = temp_path("bitflip");
+        {
+            let journal = Journal::create(&path, "fp").unwrap();
+            journal.append(&entry("only", b"payload-payload")).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 4;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, entries) = Journal::resume(&path, "fp").unwrap();
+        assert!(
+            entries.is_empty(),
+            "checksum must reject the flipped record"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_starts_fresh() {
+        let path = temp_path("fingerprint");
+        {
+            let journal = Journal::create(&path, "scale=tiny").unwrap();
+            journal.append(&entry("stale", b"old world")).unwrap();
+        }
+        let (_, entries) = Journal::resume(&path, "scale=paper").unwrap();
+        assert!(entries.is_empty(), "mismatched journal must be discarded");
+        // And the file now carries the new fingerprint.
+        let (_, entries) = Journal::resume(&path, "scale=paper").unwrap();
+        assert!(entries.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_resumes_empty() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let (journal, entries) = Journal::resume(&path, "fp").unwrap();
+        assert!(entries.is_empty());
+        journal.append(&entry("first", b"x")).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multiline_fingerprints_are_rejected() {
+        let path = temp_path("newline");
+        assert!(Journal::create(&path, "two\nlines").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,23 +1,38 @@
-//! rip-exec: parallel experiment execution engine.
+//! rip-exec: parallel, fault-tolerant experiment execution engine.
 //!
-//! Three layers, each usable on its own:
+//! Five layers, each usable on its own:
 //!
 //! - [`pool`]: a scoped-thread [`JobPool`](pool::JobPool) with a global job
 //!   budget and *ordered* result collection, so parallel runs produce
 //!   byte-identical output to serial runs.
 //! - [`cache`]: a process-wide [`CaseCache`](cache::CaseCache) mapping
 //!   `(scene, scale, viewport)` to a built [`Case`], backed by an on-disk
-//!   artifact store of serialized meshes and BVH node buffers.
+//!   artifact store of serialized meshes and BVH node buffers; corrupt
+//!   artifacts are quarantined to `*.quarantine` and rebuilt from source.
 //! - [`runner`]: a [`ShardedRunner`](runner::ShardedRunner) fanning
 //!   `(scene, config)` work units across the pool with per-unit timing and
-//!   progress telemetry on stderr (stdout stays deterministic).
+//!   progress telemetry on stderr (stdout stays deterministic), plus a
+//!   fault-isolated mode ([`try_run`](runner::ShardedRunner::try_run))
+//!   with panic isolation, watchdog deadlines, and bounded retry.
+//! - [`fault`]: the structured fault taxonomy
+//!   ([`FaultKind`](fault::FaultKind)), the retry/backoff policy, the
+//!   `RIP_UNIT_TIMEOUT` watchdog knob, and the `RIP_FAULT_INJECT` test
+//!   hook.
+//! - [`journal`]: a crash-safe checkpoint journal of completed units so a
+//!   killed sweep resumes where it left off.
 
 pub mod cache;
 pub mod case;
+pub mod fault;
+pub mod journal;
 pub mod pool;
 pub mod runner;
 
-pub use cache::{CacheStats, CaseCache};
+pub use cache::{CacheError, CacheStats, CaseCache};
 pub use case::{Case, CaseKey};
+pub use fault::{
+    apply_injections, unit_timeout_from_env, Fault, FaultKind, InjectionPlan, RetryPolicy,
+};
+pub use journal::{Journal, JournalEntry};
 pub use pool::{available_parallelism, global_budget, set_global_budget, JobPool};
 pub use runner::{ShardedRunner, UnitReport};

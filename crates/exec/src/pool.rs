@@ -14,8 +14,10 @@
 //!    progress — nested parallelism degrades to serial execution instead
 //!    of deadlocking or oversubscribing the machine.
 
+use crate::fault::{panic_message, Fault};
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Sentinel meaning "budget not configured yet" (lazily defaults to
 /// `available_parallelism() - 1` extra threads on first use).
@@ -25,6 +27,10 @@ const UNCONFIGURED: isize = -1;
 static BUDGET_TOTAL: AtomicIsize = AtomicIsize::new(UNCONFIGURED);
 /// Extra worker threads currently running.
 static BUDGET_USED: AtomicIsize = AtomicIsize::new(0);
+
+/// Per-unit result slot of [`JobPool::map_units`]: the unit's outcome
+/// and wall-clock time, written once by whichever thread records it.
+type UnitSlot<U> = Mutex<Option<(Result<U, Fault>, Duration)>>;
 
 /// The machine's available parallelism (1 when unknown).
 pub fn available_parallelism() -> usize {
@@ -125,9 +131,36 @@ impl JobPool {
     ///
     /// # Panics
     ///
-    /// Panics (after all workers finish) when any invocation of `f`
-    /// panicked, propagating the first panic by input order.
+    /// Panics (after all workers finish, and after the pool's budget
+    /// permits are returned) when any invocation of `f` panicked. The
+    /// panic is re-raised as a named `JobPool` error carrying the input
+    /// index and the original payload message, so callers see which job
+    /// failed instead of a bare join panic. A caught panic never poisons
+    /// the pool: subsequent `map` calls run normally.
     pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let total = items.len();
+        self.map_caught(items, f)
+            .into_iter()
+            .enumerate()
+            .map(|(index, result)| match result {
+                Ok(value) => value,
+                Err(payload) => panic!(
+                    "JobPool: job {index} of {total} panicked: {}",
+                    panic_message(&*payload)
+                ),
+            })
+            .collect()
+    }
+
+    /// Like [`JobPool::map`] but returns each job's caught outcome
+    /// instead of re-panicking: `Err` holds the panic payload of that
+    /// job. Budget permits are always returned before this method does.
+    pub fn map_caught<T, U, F>(&self, items: &[T], f: F) -> Vec<std::thread::Result<U>>
     where
         T: Sync,
         U: Send,
@@ -141,7 +174,7 @@ impl JobPool {
             let index = next.fetch_add(1, Ordering::Relaxed);
             let Some(item) = items.get(index) else { break };
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
-            *slots[index].lock().expect("result slot poisoned") = Some(result);
+            *slots[index].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
         };
 
         let want = self
@@ -160,14 +193,91 @@ impl JobPool {
         slots
             .into_iter()
             .map(|slot| {
-                match slot
-                    .into_inner()
-                    .expect("result slot poisoned")
-                    .expect("slot filled")
-                {
-                    Ok(value) => value,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                }
+                slot.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .expect("every slot is filled once its worker returns")
+            })
+            .collect()
+    }
+
+    /// Fault-isolated map: applies the fallible `f` to every item with
+    /// panic isolation and an optional per-unit watchdog `deadline`,
+    /// returning `(outcome, wall-clock)` pairs in **input order**.
+    ///
+    /// With a deadline, each unit body runs on its own scoped thread
+    /// while the worker waits on a channel; a unit that overruns is
+    /// recorded as [`FaultKind::Timeout`](crate::fault::FaultKind) and
+    /// the worker moves on, so one stuck unit cannot starve the rest of
+    /// the queue. The overrunning body is not killed (Rust threads cannot
+    /// be safely cancelled): it keeps running detached from the schedule
+    /// and is joined when the whole map finishes, and whatever it
+    /// eventually returns is discarded. `on_done` fires as each unit is
+    /// *recorded* (completion order), timeouts included — runners use it
+    /// for streaming progress telemetry.
+    pub fn map_units<T, U, F, C>(
+        &self,
+        items: &[T],
+        deadline: Option<Duration>,
+        f: F,
+        on_done: C,
+    ) -> Vec<(Result<U, Fault>, Duration)>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> Result<U, Fault> + Sync,
+        C: Fn(usize, &Result<U, Fault>, Duration) + Sync,
+    {
+        let mut slots: Vec<UnitSlot<U>> = Vec::new();
+        slots.resize_with(items.len(), || Mutex::new(None));
+        let next = AtomicUsize::new(0);
+
+        let want = self
+            .jobs
+            .saturating_sub(1)
+            .min(items.len().saturating_sub(1));
+        let granted = try_acquire(want);
+        std::thread::scope(|scope| {
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            let on_done = &on_done;
+            let worker = move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                let start = Instant::now();
+                let outcome = match deadline {
+                    None => Fault::catch(|| f(item)),
+                    Some(limit) => {
+                        let (tx, rx) = mpsc::channel();
+                        scope.spawn(move || {
+                            let _ = tx.send(Fault::catch(|| f(item)));
+                        });
+                        match rx.recv_timeout(limit) {
+                            Ok(outcome) => outcome,
+                            Err(mpsc::RecvTimeoutError::Timeout) => Err(Fault::timeout(limit)),
+                            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                Err(Fault::panic("unit thread vanished without a result"))
+                            }
+                        }
+                    }
+                };
+                let elapsed = start.elapsed();
+                on_done(index, &outcome, elapsed);
+                *slots[index].lock().unwrap_or_else(|p| p.into_inner()) = Some((outcome, elapsed));
+            };
+            for _ in 0..granted {
+                scope.spawn(worker);
+            }
+            worker();
+        });
+        release(granted);
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .expect("every slot is filled once its worker returns")
             })
             .collect()
     }
@@ -239,5 +349,106 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn map_panic_is_a_named_error_and_does_not_poison_the_pool() {
+        let pool = JobPool::new(4);
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool.map(&items, |&x| {
+                if x == 5 {
+                    panic!("bad job");
+                }
+                x
+            })
+        });
+        let message = crate::fault::panic_message(&*result.unwrap_err());
+        assert!(
+            message.contains("JobPool: job 5 of 16 panicked: bad job"),
+            "panic must name the failing job, got: {message}"
+        );
+        // The same pool keeps working: no poisoned state, no leaked
+        // budget permits starving later runs.
+        let out = pool.map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(BUDGET_USED.load(Ordering::SeqCst), 0, "permits leaked");
+    }
+
+    #[test]
+    fn map_caught_isolates_panics_per_job() {
+        let pool = JobPool::new(4);
+        let items: Vec<u32> = (0..8).collect();
+        let results = pool.map_caught(&items, |&x| {
+            if x % 3 == 0 {
+                panic!("no multiples of three");
+            }
+            x + 100
+        });
+        for (i, result) in results.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(result.is_err(), "job {i} must be caught");
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), i as u32 + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn map_units_times_out_stuck_units_and_drains_the_rest() {
+        let pool = JobPool::new(2);
+        let items: Vec<u64> = (0..6).collect();
+        let out = pool.map_units(
+            &items,
+            Some(Duration::from_millis(40)),
+            |&x| {
+                if x == 2 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                Ok(x * 10)
+            },
+            |_, _, _| {},
+        );
+        for (i, (outcome, _)) in out.iter().enumerate() {
+            if i == 2 {
+                let fault = outcome.as_ref().unwrap_err();
+                assert_eq!(fault.kind, crate::fault::FaultKind::Timeout);
+            } else {
+                assert_eq!(*outcome.as_ref().unwrap(), i as u64 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn map_units_catches_panics_and_typed_faults() {
+        let pool = JobPool::new(3);
+        let items: Vec<u32> = (0..9).collect();
+        let out = pool.map_units(
+            &items,
+            None,
+            |&x| match x {
+                4 => panic!("unit 4 exploded"),
+                7 => Err(Fault::io("disk on fire")),
+                _ => Ok(x),
+            },
+            |_, _, _| {},
+        );
+        assert_eq!(
+            out[4].0.as_ref().unwrap_err().kind,
+            crate::fault::FaultKind::Panic
+        );
+        assert!(out[4]
+            .0
+            .as_ref()
+            .unwrap_err()
+            .message
+            .contains("unit 4 exploded"));
+        assert_eq!(
+            out[7].0.as_ref().unwrap_err().kind,
+            crate::fault::FaultKind::Io
+        );
+        for i in [0usize, 1, 2, 3, 5, 6, 8] {
+            assert_eq!(*out[i].0.as_ref().unwrap(), i as u32);
+        }
     }
 }

@@ -1,0 +1,264 @@
+//! The fault-path matrix of the execution engine (ISSUE 3): panic
+//! mid-unit, watchdog timeout, corrupt artifacts (bit-flip and header
+//! bomb), retry-then-succeed, and journal-backed resume — every
+//! degradation path must end in a recorded fault or a clean rebuild,
+//! never an aborted sweep.
+
+use rip_exec::{
+    CaseCache, CaseKey, Fault, FaultKind, JobPool, Journal, JournalEntry, RetryPolicy,
+    ShardedRunner,
+};
+use rip_scene::{SceneId, SceneScale};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rip-fault-tol-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn panic_mid_unit_is_recorded_and_the_sweep_drains() {
+    let pool = JobPool::new(4);
+    let runner = ShardedRunner::new(&pool, "matrix-panic").quiet();
+    let units: Vec<u32> = (0..16).collect();
+    let reports = runner.try_run(
+        &units,
+        |u| format!("unit{u}"),
+        |&u, _| {
+            if u == 9 {
+                panic!("unit nine detonated");
+            }
+            Ok(u + 1)
+        },
+    );
+    assert_eq!(reports.len(), 16, "every unit gets a report");
+    let failed: Vec<_> = reports.iter().filter(|r| !r.is_ok()).collect();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].label, "unit9");
+    assert_eq!(failed[0].fault().unwrap().kind, FaultKind::Panic);
+    assert!(failed[0].fault().unwrap().message.contains("detonated"));
+    for report in reports.iter().filter(|r| r.is_ok()) {
+        assert_eq!(*report.value(), report.index as u32 + 1);
+    }
+}
+
+#[test]
+fn watchdog_timeout_marks_the_stuck_unit_and_frees_the_queue() {
+    let pool = JobPool::new(2);
+    let runner = ShardedRunner::new(&pool, "matrix-timeout")
+        .quiet()
+        .with_deadline(Some(Duration::from_millis(50)));
+    let units: Vec<u32> = (0..8).collect();
+    let reports = runner.try_run(
+        &units,
+        |u| format!("unit{u}"),
+        |&u, _| {
+            if u == 3 {
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            Ok(u)
+        },
+    );
+    let fault = reports[3].fault().expect("unit 3 must time out");
+    assert_eq!(fault.kind, FaultKind::Timeout);
+    assert!(fault.message.contains("50 ms"));
+    for (i, report) in reports.iter().enumerate() {
+        if i != 3 {
+            assert_eq!(*report.value(), i as u32, "unit {i} must still complete");
+        }
+    }
+}
+
+#[test]
+fn retry_then_succeed_consumes_the_recorded_attempts() {
+    let pool = JobPool::new(2);
+    let runner = ShardedRunner::new(&pool, "matrix-retry")
+        .quiet()
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+        });
+    let flaky_failures = AtomicU32::new(2);
+    let units: Vec<u32> = (0..4).collect();
+    let reports = runner.try_run(
+        &units,
+        |u| format!("unit{u}"),
+        |&u, _| {
+            if u == 2
+                && flaky_failures
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                return Err(Fault::retryable("transient cache race"));
+            }
+            Ok(u * 7)
+        },
+    );
+    assert_eq!(reports[2].attempts, 3, "two injected failures + success");
+    assert_eq!(*reports[2].value(), 14);
+    for i in [0usize, 1, 3] {
+        assert_eq!(reports[i].attempts, 1);
+        assert_eq!(*reports[i].value(), i as u32 * 7);
+    }
+}
+
+#[test]
+fn corrupt_artifact_bit_flip_quarantines_and_rebuilds() {
+    let dir = temp_dir("bitflip");
+    let key = CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 28);
+    {
+        let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+        cache.get_or_build(key);
+    }
+    // Flip one byte in the middle of the BVH artifact.
+    let bvh: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "bvh"))
+        .collect();
+    assert_eq!(bvh.len(), 1);
+    let mut bytes = std::fs::read(&bvh[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&bvh[0], bytes).unwrap();
+
+    let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+    let case = cache.get_or_build(key);
+    assert_eq!(cache.stats().builds, 1, "bit flip must force a rebuild");
+    assert_eq!(cache.stats().quarantines, 1);
+    case.bvh.validate().unwrap();
+    assert!(
+        !bvh[0].exists() || {
+            // Rebuild re-persisted a fresh artifact under the same name;
+            // it must now decode cleanly.
+            rip_bvh::serial::decode(&std::fs::read(&bvh[0]).unwrap()).is_ok()
+        },
+        "no corrupt bytes may remain under the artifact name"
+    );
+    // The bad bytes are preserved for diagnosis.
+    let quarantined: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "quarantine"))
+        .collect();
+    assert_eq!(quarantined.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_artifact_header_bomb_is_rejected_quarantined_rebuilt() {
+    let dir = temp_dir("bomb");
+    let key = CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 30);
+    {
+        let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+        cache.get_or_build(key);
+    }
+    // Valid magic+version, absurd element count right behind them: the
+    // decoder's capacity guard must reject it without allocating.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let is_artifact = path.extension().is_some_and(|e| e == "bvh" || e == "scene");
+        if is_artifact {
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+            std::fs::write(&path, bytes).unwrap();
+        }
+    }
+    let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+    let case = cache.get_or_build(key);
+    assert_eq!(cache.stats().builds, 1, "header bombs must force a rebuild");
+    assert!(cache.stats().quarantines >= 1);
+    case.bvh.validate().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_resume_skips_completed_units_and_survives_torn_tails() {
+    let path = temp_dir("journal").join("sweep.journal");
+    let fingerprint = "matrix fp=1";
+    // First "process": complete two of four units, then die (simulated by
+    // simply dropping the journal mid-sweep).
+    {
+        let journal = Journal::create(&path, fingerprint).unwrap();
+        for label in ["alpha", "beta"] {
+            journal
+                .append(&JournalEntry {
+                    label: label.to_string(),
+                    attempts: 1,
+                    elapsed: Duration::from_millis(5),
+                    payload: format!("payload-of-{label}").into_bytes(),
+                })
+                .unwrap();
+        }
+    }
+    // Tear the tail: append garbage bytes as a torn in-flight record.
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(b"rec 9999 deadbeef").unwrap();
+    }
+    // Second "process": resume, observe exactly the completed prefix.
+    let (journal, entries) = Journal::resume(&path, fingerprint).unwrap();
+    assert_eq!(
+        entries.iter().map(|e| e.label.as_str()).collect::<Vec<_>>(),
+        vec!["alpha", "beta"],
+        "resume must recover exactly the intact completed units"
+    );
+    // The remaining units complete and checkpoint cleanly after resume.
+    let pool = JobPool::new(2);
+    let runner = ShardedRunner::new(&pool, "matrix-resume").quiet();
+    let pending = ["gamma", "delta"];
+    let reports = runner.try_run(
+        &pending,
+        |l| l.to_string(),
+        |&label, attempt| {
+            journal
+                .append(&JournalEntry {
+                    label: label.to_string(),
+                    attempts: attempt,
+                    elapsed: Duration::from_millis(1),
+                    payload: format!("payload-of-{label}").into_bytes(),
+                })
+                .map_err(|e| Fault::io(e.to_string()))?;
+            Ok(label.len())
+        },
+    );
+    assert!(reports.iter().all(|r| r.is_ok()));
+    let (_, entries) = Journal::resume(&path, fingerprint).unwrap();
+    assert_eq!(entries.len(), 4, "all four units are now checkpointed");
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn injection_plan_drives_the_isolated_runner() {
+    // The testkit hook in miniature, without the env var: directives
+    // parsed from a spec string steer try_run through panic, flaky, and
+    // clean paths in one sweep.
+    let plan = rip_exec::InjectionPlan::parse("panic:u1;flaky:u2=1");
+    let pool = JobPool::new(2);
+    let runner = ShardedRunner::new(&pool, "matrix-inject")
+        .quiet()
+        .with_retry(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+        });
+    let units = ["u0", "u1", "u2"];
+    let reports = runner.try_run(
+        &units,
+        |u| u.to_string(),
+        |&unit, attempt| {
+            plan.apply(unit, attempt)?;
+            Ok(unit.len())
+        },
+    );
+    assert!(reports[0].is_ok());
+    assert_eq!(reports[1].fault().unwrap().kind, FaultKind::Panic);
+    assert!(reports[2].is_ok(), "flaky unit must succeed on retry");
+    assert_eq!(reports[2].attempts, 2);
+}

@@ -1,0 +1,207 @@
+//! Fault-injection helpers: break things on purpose, deterministically.
+//!
+//! Two families of hooks, matching the two ways a sweep can be hurt:
+//!
+//! 1. **Work-unit faults** — panicking, slow (watchdog-tripping), flaky
+//!    (retry-then-succeed), and process-killing units, injected into a
+//!    real `run_all` sweep through the `RIP_FAULT_INJECT` environment
+//!    variable (parsed by [`rip_exec::InjectionPlan`]). [`spec`] and the
+//!    directive builders compose well-formed spec strings so tests never
+//!    hand-roll the grammar.
+//! 2. **Artifact corruption** — byte-level damage to on-disk scene/BVH
+//!    artifacts: single [`bit_flip`]s, [`header_bomb`]s (a valid header
+//!    promising absurd element counts, the classic allocator bomb), and
+//!    [`truncate`]d files. The cache must quarantine and rebuild, never
+//!    panic, never OOM, never serve garbage.
+//!
+//! Everything here is deterministic: no RNG, no clocks — a corrupted
+//! byte offset is part of the test, not of fate.
+
+use std::path::{Path, PathBuf};
+
+/// Composes directives into a `RIP_FAULT_INJECT` spec string.
+///
+/// ```
+/// use rip_testkit::faultinject;
+/// let spec = faultinject::spec(&[
+///     faultinject::panic_unit("fig12_speedup"),
+///     faultinject::flaky_unit("sec64_gi", 2),
+/// ]);
+/// assert_eq!(spec, "panic:fig12_speedup;flaky:sec64_gi=2");
+/// ```
+pub fn spec(directives: &[String]) -> String {
+    directives.join(";")
+}
+
+/// Directive: panic when `unit` starts.
+pub fn panic_unit(unit: &str) -> String {
+    format!("panic:{unit}")
+}
+
+/// Directive: sleep `ms` milliseconds before running `unit` (use with a
+/// smaller `RIP_UNIT_TIMEOUT` to trip the watchdog).
+pub fn slow_unit(unit: &str, ms: u64) -> String {
+    format!("slow:{unit}={ms}")
+}
+
+/// Directive: fail `unit` with a retryable fault on its first `attempts`
+/// attempts, then succeed.
+pub fn flaky_unit(unit: &str, attempts: u32) -> String {
+    format!("flaky:{unit}={attempts}")
+}
+
+/// Directive: fail `unit` with an unrecoverable `CacheCorrupt` fault.
+pub fn corrupt_unit(unit: &str) -> String {
+    format!("corrupt:{unit}")
+}
+
+/// Directive: hard-exit the process (simulated `kill -9`) when `unit`
+/// starts.
+pub fn kill_at_unit(unit: &str) -> String {
+    format!("kill:{unit}")
+}
+
+/// Flips one bit at `offset` (clamped to the file) in `path`.
+pub fn bit_flip(path: &Path, offset: usize) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let at = offset.min(bytes.len() - 1);
+    bytes[at] ^= 0x20;
+    std::fs::write(path, bytes)
+}
+
+/// Overwrites the first count field after the 8-byte magic+version
+/// header with `u32::MAX`: a syntactically valid header promising an
+/// absurd payload. Decoders must reject it via capacity guards instead
+/// of attempting a ~100 GiB allocation.
+pub fn header_bomb(path: &Path) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.len() < 12 {
+        return Ok(());
+    }
+    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(path, bytes)
+}
+
+/// Truncates the file to `keep` bytes (no-op when already shorter).
+pub fn truncate(path: &Path, keep: usize) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() > keep {
+        std::fs::write(path, &bytes[..keep])?;
+    }
+    Ok(())
+}
+
+/// The artifact files with extension `ext` (e.g. `"bvh"`, `"scene"`)
+/// under cache dir `dir`, sorted for determinism.
+pub fn artifacts_with_ext(dir: &Path, ext: &str) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|e| e == ext))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Bit-flips the middle byte of every `ext` artifact under `dir`;
+/// returns how many files were damaged.
+pub fn corrupt_artifacts(dir: &Path, ext: &str) -> std::io::Result<usize> {
+    let paths = artifacts_with_ext(dir, ext);
+    for path in &paths {
+        let len = std::fs::metadata(path)?.len() as usize;
+        bit_flip(path, len / 2)?;
+    }
+    Ok(paths.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_exec::{CaseCache, CaseKey, FaultKind, InjectionPlan};
+    use rip_scene::{SceneId, SceneScale};
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rip-faultinject-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key() -> CaseKey {
+        CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 24)
+    }
+
+    #[test]
+    fn spec_builders_parse_back_to_directives() {
+        let spec = spec(&[
+            panic_unit("a"),
+            slow_unit("b", 250),
+            flaky_unit("c", 3),
+            kill_at_unit("d"),
+        ]);
+        let plan = InjectionPlan::parse(&spec);
+        for label in ["a", "b", "c", "d"] {
+            assert_eq!(
+                plan.for_label(label).count(),
+                1,
+                "missing directive {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_bomb_is_rejected_not_allocated() {
+        let dir = temp_store("bomb");
+        {
+            let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+            cache.get_or_build(key());
+        }
+        for ext in ["scene", "bvh"] {
+            for path in artifacts_with_ext(&dir, ext) {
+                header_bomb(&path).unwrap();
+            }
+        }
+        // Decoding must fail fast via capacity guards — no 16 GiB Vec —
+        // and the cache must quarantine the bombs and rebuild.
+        let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+        let case = cache.get_or_build(key());
+        assert_eq!(cache.stats().builds, 1, "bombed artifacts must rebuild");
+        assert!(cache.stats().quarantines >= 1, "bombs must be quarantined");
+        case.bvh.validate().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_bvh_quarantines_and_rebuilds() {
+        let dir = temp_store("flip");
+        {
+            let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+            cache.get_or_build(key());
+        }
+        assert_eq!(corrupt_artifacts(&dir, "bvh").unwrap(), 1);
+        let cache = CaseCache::with_disk_dir(Some(dir.clone()));
+        let case = cache.get_or_build(key());
+        assert_eq!(cache.stats().builds, 1);
+        assert_eq!(cache.stats().quarantines, 1);
+        case.bvh.validate().unwrap();
+        assert_eq!(
+            artifacts_with_ext(&dir, "quarantine").len(),
+            1,
+            "the flipped artifact must be preserved as *.quarantine"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_flaky_unit_reports_retryable_fault() {
+        let plan = InjectionPlan::parse(&flaky_unit("unit", 1));
+        let fault = plan.apply("unit", 1).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Retryable);
+        assert!(plan.apply("unit", 2).is_ok());
+    }
+}

@@ -25,8 +25,14 @@
 //!    experiment modules at a fixed tiny scale, committed under
 //!    `tests/snapshots/` and diffed in CI with a documented float
 //!    tolerance.
+//! 6. **Fault injection** ([`faultinject`]) — deterministic hooks that
+//!    break things on purpose: panicking/slow/flaky/killed work units
+//!    (via `RIP_FAULT_INJECT`) and bit-flipped, header-bombed, or
+//!    truncated cache artifacts, proving every degradation path of the
+//!    fault-tolerant executor.
 
 pub mod diff;
+pub mod faultinject;
 pub mod gen;
 pub mod invariants;
 pub mod metamorphic;
