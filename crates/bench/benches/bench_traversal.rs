@@ -1,0 +1,198 @@
+//! Traversal-kernel throughput microbench (rays/sec per kernel × scene).
+//!
+//! Compares the per-ray steppable baseline (`Bvh::intersect`) against the
+//! batched ray-stream entry points of every [`TraversalKernel`] on the
+//! suite's AO workloads, then writes machine-readable results to
+//! `BENCH_traversal.json` at the repository root. The criterion group
+//! prints the usual console lines; the JSON numbers come from an explicit
+//! median-of-samples timer so they can be post-processed.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo bench -p rip-bench --bench bench_traversal            # full
+//! cargo bench -p rip-bench --bench bench_traversal -- --quick # CI smoke
+//! ```
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use rip_bvh::{
+    Bvh, RayBatch, StacklessKernel, TraversalKernel, TraversalKind, WhileWhileKernel, WideBvh,
+    WideKernel,
+};
+use rip_math::Triangle;
+use rip_render::{AoConfig, AoWorkload};
+use rip_scene::{SceneId, SceneScale};
+
+/// One prepared scene: geometry, both acceleration structures, AO rays.
+struct Prepared {
+    code: &'static str,
+    bvh: Bvh,
+    wide: WideBvh,
+    batch: RayBatch,
+}
+
+/// Timed samples per kernel (median reported).
+const SAMPLES_FULL: usize = 15;
+const SAMPLES_QUICK: usize = 3;
+
+fn prepare(id: SceneId, code: &'static str, viewport: u32, max_rays: usize) -> Prepared {
+    let scene = id.build_with_viewport(SceneScale::Tiny, viewport, viewport);
+    let tris: Vec<Triangle> = scene.mesh.triangles().collect();
+    let bvh = Bvh::build(&tris);
+    let wide = WideBvh::from_binary(&bvh);
+    let rays = AoWorkload::generate(&scene, &bvh, &AoConfig::default()).rays;
+    let batch = RayBatch::from_rays(&rays[..rays.len().min(max_rays)]);
+    Prepared {
+        code,
+        bvh,
+        wide,
+        batch,
+    }
+}
+
+/// Median wall-clock seconds for one full-batch trace.
+fn median_secs(samples: usize, mut trace: impl FnMut() -> usize) -> f64 {
+    // One warm-up pass populates caches and checks the workload is sane.
+    assert!(trace() > 0, "benchmark batch traced zero rays");
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(trace());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (viewport, max_rays, samples) = if quick {
+        (24, 1024, SAMPLES_QUICK)
+    } else {
+        (48, 4096, SAMPLES_FULL)
+    };
+    // Table-1 order, smallest to largest triangle budget; the last entry
+    // is the suite's largest scene and anchors the headline speedup.
+    let scene_list: &[(SceneId, &'static str)] = if quick {
+        &[(SceneId::Sibenik, "SB")]
+    } else {
+        &[
+            (SceneId::Sibenik, "SB"),
+            (SceneId::CrytekSponza, "SP"),
+            (SceneId::LostEmpire, "LE"),
+        ]
+    };
+    let prepared: Vec<Prepared> = scene_list
+        .iter()
+        .map(|&(id, code)| prepare(id, code, viewport, max_rays))
+        .collect();
+
+    // Criterion console output: any-hit throughput per kernel × scene.
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut scene_rows = Vec::new();
+    let mut speedups = Vec::new();
+    for p in &prepared {
+        let n = p.batch.len();
+        let mut group = criterion.benchmark_group("bench_traversal");
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(samples.max(5));
+
+        let scalar = |batch: &RayBatch| {
+            let mut hits = 0usize;
+            for i in 0..batch.len() {
+                let ray = batch.ray(i);
+                if p.bvh.intersect(&ray, TraversalKind::AnyHit).hit.is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        let batched = |kernel: &mut dyn TraversalKernel, batch: &RayBatch| {
+            kernel
+                .any_hit_batch(batch)
+                .iter()
+                .filter(|r| r.hit.is_some())
+                .count()
+        };
+
+        group.bench_with_input(
+            BenchmarkId::new("while_while_scalar", p.code),
+            &p.batch,
+            |b, batch| b.iter(|| scalar(batch)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("while_while_batched", p.code),
+            &p.batch,
+            |b, batch| b.iter(|| batched(&mut WhileWhileKernel::new(&p.bvh), batch)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stackless_batched", p.code),
+            &p.batch,
+            |b, batch| b.iter(|| batched(&mut StacklessKernel::new(&p.bvh), batch)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wide4_batched", p.code),
+            &p.batch,
+            |b, batch| b.iter(|| batched(&mut WideKernel::new(&p.wide, &p.bvh), batch)),
+        );
+        group.finish();
+
+        // Explicit median timing for the JSON artifact.
+        let t_scalar = median_secs(samples, || scalar(&p.batch));
+        let t_ww = median_secs(samples, || {
+            batched(&mut WhileWhileKernel::new(&p.bvh), &p.batch)
+        });
+        let t_sl = median_secs(samples, || {
+            batched(&mut StacklessKernel::new(&p.bvh), &p.batch)
+        });
+        let t_wide = median_secs(samples, || {
+            batched(&mut WideKernel::new(&p.wide, &p.bvh), &p.batch)
+        });
+        let rps = |t: f64| n as f64 / t.max(1e-12);
+        let speedup = t_scalar / t_ww.max(1e-12);
+        println!(
+            "{}: batched while-while {:.2}x over per-ray baseline ({:.2} vs {:.2} Mrays/s)",
+            p.code,
+            speedup,
+            rps(t_ww) / 1e6,
+            rps(t_scalar) / 1e6
+        );
+        scene_rows.push(format!(
+            "    {{\"scene\": \"{}\", \"triangles\": {}, \"rays\": {}, \
+             \"rays_per_sec\": {{\
+             \"while_while_scalar\": {:.0}, \
+             \"while_while_batched\": {:.0}, \
+             \"stackless_batched\": {:.0}, \
+             \"wide4_batched\": {:.0}}}, \
+             \"batched_over_scalar_speedup\": {:.4}}}",
+            p.code,
+            p.bvh.triangle_count(),
+            n,
+            rps(t_scalar),
+            rps(t_ww),
+            rps(t_sl),
+            rps(t_wide),
+            speedup
+        ));
+        speedups.push(speedup);
+    }
+    criterion.final_summary();
+
+    // The last prepared scene is the largest in the suite.
+    let largest = prepared.last().expect("at least one scene");
+    let largest_speedup = *speedups.last().expect("one speedup per scene");
+    let json = format!(
+        "{{\n  \"bench\": \"bench_traversal\",\n  \"mode\": \"{}\",\n  \"scenes\": [\n{}\n  ],\n  \
+         \"largest_scene\": \"{}\",\n  \"largest_scene_batched_speedup\": {:.4}\n}}\n",
+        if quick { "quick" } else { "full" },
+        scene_rows.join(",\n"),
+        largest.code,
+        largest_speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_traversal.json");
+    std::fs::write(path, &json).expect("write BENCH_traversal.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,8 @@
+//! Binary wrapper for the `ext_wide_predictor` extension experiment.
+//! Usage: `cargo run --release -p rip-bench --bin ext_wide_predictor -- [--scale tiny|quick|paper] [--scenes N]`
+
+fn main() {
+    let ctx = rip_bench::Context::from_args();
+    let report = rip_bench::experiments::ext_wide_predictor::run(&ctx);
+    println!("{report}");
+}

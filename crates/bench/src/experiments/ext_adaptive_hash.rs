@@ -24,7 +24,7 @@ pub fn run(ctx: &Context) -> Report {
     let mut rows = 0usize;
     let results = ctx.map_scenes("ext_adaptive_hash", &ctx.scene_ids(), |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
 
         let run_pure = |hash: HashFunction| -> PredictionStats {
             let config = PredictorConfig {
@@ -32,8 +32,8 @@ pub fn run(ctx: &Context) -> Report {
                 ..PredictorConfig::paper_default()
             };
             let mut predictor = Predictor::new(config, case.bvh.bounds());
-            for ray in &rays {
-                trace_occlusion(&mut predictor, &case.bvh, ray);
+            for ray in batch.iter() {
+                trace_occlusion(&mut predictor, &case.bvh, &ray);
             }
             predictor.stats()
         };
@@ -44,8 +44,8 @@ pub fn run(ctx: &Context) -> Report {
         });
 
         let mut adaptive = AdaptivePredictor::paper_budget(case.bvh.bounds());
-        for ray in &rays {
-            adaptive.trace_occlusion(&case.bvh, ray);
+        for ray in batch.iter() {
+            adaptive.trace_occlusion(&case.bvh, &ray);
         }
         (
             grid.verified_rate(),

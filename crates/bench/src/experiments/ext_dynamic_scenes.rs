@@ -52,8 +52,8 @@ pub fn run(ctx: &Context) -> Report {
                         ..AoConfig::default()
                     },
                 );
-                for ray in &workload.rays {
-                    trace_occlusion(&mut predictor, animated.bvh(), ray);
+                for ray in workload.batch().iter() {
+                    trace_occlusion(&mut predictor, animated.bvh(), &ray);
                 }
                 per_frame_v.push(frame_verified_rate(&before, &predictor.stats()));
             }

@@ -33,7 +33,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run(&case.bvh, &workload.rays);
+        let r = sim.run_batch(&case.bvh, &workload.batch());
         Some((
             workload.rays.len(),
             r.prediction.hit_rate(),

@@ -8,7 +8,7 @@
 //! shrinks `n` in Equation 1 — the same budget the predictor competes for.
 
 use crate::{Context, Report, Table};
-use rip_bvh::{TraversalKind, WideBvh};
+use rip_bvh::{TraversalKernel, WhileWhileKernel, WideBvh, WideKernel};
 
 /// Compares binary vs 4-wide traversal work on the AO workloads.
 pub fn run(ctx: &Context) -> Report {
@@ -27,17 +27,17 @@ pub fn run(ctx: &Context) -> Report {
     let results = ctx.map_scenes("ext_wide_bvh", subset, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let wide = WideBvh::from_binary(&case.bvh);
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
+        let binary_results = WhileWhileKernel::new(&case.bvh).any_hit_batch(&batch);
+        let wide_results = WideKernel::new(&wide, &case.bvh).any_hit_batch(&batch);
         let mut binary_fetches = 0u64;
         let mut wide_fetches = 0u64;
-        for ray in &rays {
-            let b = case.bvh.intersect(ray, TraversalKind::AnyHit);
-            let w = wide.intersect(&case.bvh, ray, TraversalKind::AnyHit);
+        for (b, w) in binary_results.iter().zip(&wide_results) {
             debug_assert_eq!(b.hit.is_some(), w.hit.is_some());
             binary_fetches += b.stats.node_fetches();
             wide_fetches += w.stats.interior_fetches + w.stats.leaf_fetches;
         }
-        let n = rays.len().max(1) as f64;
+        let n = batch.len().max(1) as f64;
         (
             case.bvh.node_count(),
             wide.node_count(),

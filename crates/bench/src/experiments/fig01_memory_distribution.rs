@@ -28,7 +28,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run(&case.bvh, &workload.rays);
+        let r = sim.run_batch(&case.bvh, &workload.batch());
         let total = (r.first_touch_node_fetches
             + r.repeated_node_fetches
             + r.first_touch_tri_fetches
@@ -73,13 +73,13 @@ pub fn run(ctx: &Context) -> Report {
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes_kb.len()];
     let right_results = ctx.map_scenes("fig01_right", sweep_scenes, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         let cycles: Vec<f64> = sizes_kb
             .iter()
             .map(|&kb| {
                 let mut cfg = ctx.gpu_baseline();
                 cfg.l1 = cfg.l1.with_size(kb * 1024);
-                Simulator::new(cfg).run(&case.bvh, &rays).cycles as f64
+                Simulator::new(cfg).run_batch(&case.bvh, &batch).cycles as f64
             })
             .collect();
         let base = cycles[sizes_kb

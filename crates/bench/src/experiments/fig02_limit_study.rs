@@ -19,7 +19,7 @@ pub fn run(ctx: &Context) -> Report {
     let mut per_mode_verified = vec![Vec::new(); modes.len()];
     let mut per_mode_predicted = vec![Vec::new(); modes.len()];
     let results = ctx.map_cases("fig02_limit_study", |case| {
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         modes
             .iter()
             .map(|&mode| {
@@ -31,7 +31,7 @@ pub fn run(ctx: &Context) -> Report {
                         ..SimOptions::default()
                     },
                 );
-                let r = sim.run(&case.bvh, &rays);
+                let r = sim.run_batch(&case.bvh, &batch);
                 (
                     r.memory_savings(),
                     r.prediction.verified_rate(),

@@ -8,7 +8,6 @@
 
 use crate::{Context, Report, Table};
 use rip_gpusim::Simulator;
-use rip_math::Ray;
 use rip_render::{GiConfig, GiWorkload, ReferenceInput};
 
 /// Core clock used to convert cycles to rays/s (Table 2).
@@ -32,15 +31,14 @@ pub fn run(ctx: &Context) -> Report {
                 seed: 11,
             },
         );
-        let g0 = gi.generation_sizes[0] as usize;
-        let primary: Vec<Ray> = gi.rays[..g0].to_vec();
-        let reflection: Vec<Ray> = gi.rays[g0..].to_vec();
+        // Generation batches: 0 = primary, 1 = reflection-like bounces.
+        let batches = gi.generation_batches();
         let mut points = Vec::new();
-        for (label, rays) in [("primary", primary), ("reflection", reflection)] {
-            if rays.len() < 64 {
+        for (&label, batch) in ["primary", "reflection"].iter().zip(&batches) {
+            if batch.len() < 64 {
                 continue;
             }
-            let sim = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+            let sim = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, batch);
             let sim_rps = sim.rays_per_second(CORE_MHZ);
             let mean_nodes = sim.traversal.node_fetches() as f64 / sim.completed_rays.max(1) as f64;
             let mean_tris = sim.traversal.tri_fetches as f64 / sim.completed_rays.max(1) as f64;

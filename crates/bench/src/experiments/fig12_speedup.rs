@@ -20,12 +20,13 @@ pub fn run(ctx: &Context) -> Report {
     let mut sorted_speedups = Vec::new();
     let results = ctx.map_cases("fig12_speedup", |case| {
         let workload = case.ao_workload();
-        let sorted = workload.sorted(&case.bvh);
+        let unsorted = workload.batch();
+        let sorted = workload.sorted(&case.bvh).batch();
 
-        let base_u = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &workload.rays);
-        let pred_u = Simulator::new(ctx.gpu_predictor()).run(&case.bvh, &workload.rays);
-        let base_s = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &sorted.rays);
-        let pred_s = Simulator::new(ctx.gpu_predictor()).run(&case.bvh, &sorted.rays);
+        let base_u = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &unsorted);
+        let pred_u = Simulator::new(ctx.gpu_predictor()).run_batch(&case.bvh, &unsorted);
+        let base_s = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &sorted);
+        let pred_s = Simulator::new(ctx.gpu_predictor()).run_batch(&case.bvh, &sorted);
 
         assert_eq!(
             base_u.hits, pred_u.hits,

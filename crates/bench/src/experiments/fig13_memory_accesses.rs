@@ -23,7 +23,7 @@ pub fn run(ctx: &Context) -> Report {
     let mut overheads = Vec::new();
     let mut wastes = Vec::new();
     let results = ctx.map_cases("fig13_memory_accesses", |case| {
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         let sim = FunctionalSim::new(
             PredictorConfig::paper_default(),
             SimOptions {
@@ -31,7 +31,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run(&case.bvh, &rays);
+        let r = sim.run_batch(&case.bvh, &batch);
         (
             r.memory_savings(),
             r.node_savings(),

@@ -14,7 +14,7 @@ pub fn run(ctx: &Context) -> Report {
     let mut savings = vec![Vec::new(); levels.len()];
     let mut m_costs = vec![Vec::new(); levels.len()];
     let results = ctx.map_cases("fig14_go_up_level", |case| {
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         levels
             .iter()
             .map(|&gul| {
@@ -29,7 +29,7 @@ pub fn run(ctx: &Context) -> Report {
                         ..SimOptions::default()
                     },
                 );
-                let r = sim.run(&case.bvh, &rays);
+                let r = sim.run_batch(&case.bvh, &batch);
                 (
                     r.prediction.verified_rate(),
                     r.memory_savings(),

@@ -16,15 +16,15 @@ pub fn run(ctx: &Context) -> Report {
     let mut table = Table::new(&["Scene", "Default", "Repack", "Repack 4"]);
     let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
     let results = ctx.map_cases("fig15_repacking", |case| {
-        let rays = case.ao_workload().rays;
-        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        let batch = case.ao_batch();
+        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
         modes
             .iter()
             .map(|(_, mode)| {
                 let mut cfg = ctx.gpu_predictor();
                 cfg.repack = *mode;
                 Simulator::new(cfg)
-                    .run(&case.bvh, &rays)
+                    .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })
             .collect::<Vec<f64>>()

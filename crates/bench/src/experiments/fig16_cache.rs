@@ -25,7 +25,7 @@ pub fn run(ctx: &Context) -> Report {
         .collect();
     let results = ctx.map_scenes("fig16_cache", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         let mut base_cycles = None;
         let mut per_config = Vec::new();
         for (i, &(_, l1_kb, rt_kb)) in configs.iter().enumerate() {
@@ -36,7 +36,7 @@ pub fn run(ctx: &Context) -> Report {
                 line_bytes: 128,
                 ways: usize::MAX,
             });
-            let r = Simulator::new(cfg).run(&case.bvh, &rays);
+            let r = Simulator::new(cfg).run_batch(&case.bvh, &batch);
             if configs[i].0.contains("base") {
                 base_cycles = Some(r.cycles as f64);
             }

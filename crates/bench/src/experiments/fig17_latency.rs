@@ -22,7 +22,7 @@ pub fn run(ctx: &Context) -> Report {
 
     let results = ctx.map_scenes("fig17_latency", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
 
         let isect: Vec<f64> = isect_latencies
             .iter()
@@ -31,19 +31,19 @@ pub fn run(ctx: &Context) -> Report {
                 base.latency.intersection = lat;
                 let mut pred = ctx.gpu_predictor();
                 pred.latency.intersection = lat;
-                let b = Simulator::new(base).run(&case.bvh, &rays);
-                let p = Simulator::new(pred).run(&case.bvh, &rays);
+                let b = Simulator::new(base).run_batch(&case.bvh, &batch);
+                let p = Simulator::new(pred).run_batch(&case.bvh, &batch);
                 p.speedup_over(&b)
             })
             .collect();
-        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
         let lat: Vec<f64> = pred_latencies
             .iter()
             .map(|&lat| {
                 let mut pred = ctx.gpu_predictor();
                 pred.predictor_unit.access_latency = lat;
                 Simulator::new(pred)
-                    .run(&case.bvh, &rays)
+                    .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })
             .collect();
@@ -53,7 +53,7 @@ pub fn run(ctx: &Context) -> Report {
                 let mut pred = ctx.gpu_predictor();
                 pred.predictor_unit.ports = ports;
                 Simulator::new(pred)
-                    .run(&case.bvh, &rays)
+                    .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })
             .collect();

@@ -6,6 +6,7 @@ pub mod ext_adaptive_hash;
 pub mod ext_dynamic_scenes;
 pub mod ext_shadow_rays;
 pub mod ext_wide_bvh;
+pub mod ext_wide_predictor;
 pub mod fig01_memory_distribution;
 pub mod fig02_limit_study;
 pub mod fig11_correlation;
@@ -35,7 +36,7 @@ pub type Experiment = fn(&Context) -> Report;
 
 /// Every experiment in paper order, as `(name, run)` pairs. This is the
 /// schedule consumed by [`run_all`] and by the determinism tests.
-pub const ALL: [(&str, Experiment); 22] = [
+pub const ALL: [(&str, Experiment); 23] = [
     ("table1_scenes", table1_scenes::run),
     ("fig01_memory_distribution", fig01_memory_distribution::run),
     ("fig02_limit_study", fig02_limit_study::run),
@@ -58,6 +59,7 @@ pub const ALL: [(&str, Experiment); 22] = [
     ("ext_adaptive_hash", ext_adaptive_hash::run),
     ("ext_shadow_rays", ext_shadow_rays::run),
     ("ext_wide_bvh", ext_wide_bvh::run),
+    ("ext_wide_predictor", ext_wide_predictor::run),
 ];
 
 /// Runs every experiment in paper order.

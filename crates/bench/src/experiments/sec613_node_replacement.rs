@@ -17,7 +17,7 @@ pub fn run(ctx: &Context) -> Report {
     let mut savings = vec![Vec::new(); policies.len()];
     let mut verified = vec![Vec::new(); policies.len()];
     let results = ctx.map_cases("sec613_node_replacement", |case| {
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         policies
             .iter()
             .map(|&(_, policy)| {
@@ -33,7 +33,7 @@ pub fn run(ctx: &Context) -> Report {
                         ..SimOptions::default()
                     },
                 );
-                let r = sim.run(&case.bvh, &rays);
+                let r = sim.run_batch(&case.bvh, &batch);
                 (r.memory_savings(), r.prediction.verified_rate())
             })
             .collect::<Vec<_>>()

@@ -12,7 +12,7 @@ pub fn run(ctx: &Context) -> Report {
     let mut savings = vec![Vec::new(); sm_counts.len()];
     let mut verified = vec![Vec::new(); sm_counts.len()];
     let results = ctx.map_cases("sec625_sm_sweep", |case| {
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         sm_counts
             .iter()
             .map(|&sms| {
@@ -24,7 +24,7 @@ pub fn run(ctx: &Context) -> Report {
                         ..SimOptions::default()
                     },
                 );
-                let r = sim.run(&case.bvh, &rays);
+                let r = sim.run_batch(&case.bvh, &batch);
                 (r.memory_savings(), r.prediction.verified_rate())
             })
             .collect::<Vec<_>>()

@@ -35,7 +35,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run_closest(&case.bvh, &gi.rays);
+        let r = sim.run_closest_batch(&case.bvh, &gi.batch());
         (
             gi.rays.len(),
             r.node_savings(),

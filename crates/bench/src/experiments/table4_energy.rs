@@ -14,9 +14,9 @@ pub fn run(ctx: &Context) -> Report {
     let mut pred_total = rip_energy::EnergyBreakdown::default();
     let mut scenes = 0.0f64;
     let results = ctx.map_cases("table4_energy", |case| {
-        let rays = case.ao_workload().rays;
-        let base = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
-        let pred = Simulator::new(ctx.gpu_predictor()).run(&case.bvh, &rays);
+        let batch = case.ao_batch();
+        let base = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
+        let pred = Simulator::new(ctx.gpu_predictor()).run_batch(&case.bvh, &batch);
         (model.breakdown(&base), model.breakdown(&pred))
     });
     for (bb, pb) in results {

@@ -18,7 +18,7 @@ pub fn run(ctx: &Context) -> Report {
     let mut count = 0.0f64;
     let mut per_scene = Table::new(&["Scene", "v", "n", "p", "k", "m", "Estimated", "Actual"]);
     let results = ctx.map_cases("table5_eq1", |case| {
-        let rays = case.ao_workload().rays;
+        let batch = case.ao_batch();
         let sim = FunctionalSim::new(
             PredictorConfig::paper_default(),
             SimOptions {
@@ -26,7 +26,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run(&case.bvh, &rays);
+        let r = sim.run_batch(&case.bvh, &batch);
         (r.eq1_model(), r.actual_nodes_skipped_per_ray())
     });
     for (id, (model, actual)) in ctx.scene_ids().into_iter().zip(results) {

@@ -17,8 +17,8 @@ pub fn run(ctx: &Context) -> Report {
     let mut speedups = vec![vec![Vec::new(); node_counts.len()]; entry_counts.len()];
     let results = ctx.map_scenes("table6_table_size", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
-        let rays = case.ao_workload().rays;
-        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        let batch = case.ao_batch();
+        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
         entry_counts
             .iter()
             .map(|&entries| {
@@ -32,7 +32,7 @@ pub fn run(ctx: &Context) -> Report {
                             ..PredictorConfig::paper_default()
                         });
                         Simulator::new(cfg)
-                            .run(&case.bvh, &rays)
+                            .run_batch(&case.bvh, &batch)
                             .speedup_over(&baseline)
                     })
                     .collect::<Vec<_>>()

@@ -21,8 +21,8 @@ pub fn run(ctx: &Context) -> Report {
     let mut verified = vec![Vec::new(); ways_options.len()];
     let results = ctx.map_scenes("table7_placement", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
-        let rays = case.ao_workload().rays;
-        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
+        let batch = case.ao_batch();
+        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
         ways_options
             .iter()
             .map(|&(ways, _)| {
@@ -31,7 +31,7 @@ pub fn run(ctx: &Context) -> Report {
                     ways,
                     ..PredictorConfig::paper_default()
                 });
-                let r = Simulator::new(cfg).run(&case.bvh, &rays);
+                let r = Simulator::new(cfg).run_batch(&case.bvh, &batch);
                 (
                     r.speedup_over(&baseline),
                     r.prediction.predicted_rate(),

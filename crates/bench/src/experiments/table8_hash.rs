@@ -15,20 +15,20 @@ pub fn run(ctx: &Context) -> Report {
     // Gather the per-scene baselines once (in parallel across scenes).
     let cases = ctx.map_scenes("table8_hash_cases", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
-        let rays = case.ao_workload().rays;
-        let baseline = Simulator::new(ctx.gpu_baseline()).run(&case.bvh, &rays);
-        (case, rays, baseline)
+        let batch = case.ao_batch();
+        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
+        (case, batch, baseline)
     });
     let run_hash = |hash: &HashFunction| -> f64 {
         let hash = *hash;
         let mut speedups = Vec::new();
-        for (case, rays, baseline) in &cases {
+        for (case, batch, baseline) in &cases {
             let mut cfg = ctx.gpu_predictor();
             cfg.predictor = Some(PredictorConfig {
                 hash,
                 ..PredictorConfig::paper_default()
             });
-            let r = Simulator::new(cfg).run(&case.bvh, rays);
+            let r = Simulator::new(cfg).run_batch(&case.bvh, batch);
             speedups.push(r.speedup_over(baseline));
         }
         super::geomean_or_one(speedups)

@@ -106,7 +106,7 @@ fn faulted_sweep_completes_reports_and_exits_nonzero() {
         "corrupt fault kind not named"
     );
     assert!(
-        stdout.contains("2 of 22 unit(s) failed"),
+        stdout.contains("2 of 23 unit(s) failed"),
         "wrong failure count"
     );
 

@@ -12,7 +12,11 @@
 //!   state machine so the cycle-level simulator can interleave rays,
 //! * Morton-order ray sorting (the Aila–Laine quicksort baseline of §5.2),
 //! * the byte-address layout of the node/triangle buffers used for cache
-//!   simulation.
+//!   simulation,
+//! * the batched ray-stream layer: the SoA [`RayBatch`] with its
+//!   un-sortable [`StreamPermutation`] ([`stream`]), and the unified
+//!   [`TraversalKernel`] trait fronting the while-while, stackless and
+//!   4-wide traversal loops ([`kernel`]).
 //!
 //! # Examples
 //!
@@ -32,6 +36,7 @@
 
 mod builder;
 mod bvh;
+pub mod kernel;
 mod layout;
 mod node;
 pub mod serial;
@@ -39,14 +44,17 @@ pub mod sorting;
 mod stack;
 pub mod stackless;
 mod stats;
+pub mod stream;
 mod traversal;
 mod wide;
 
 pub use builder::{BvhBuilder, SplitMethod};
 pub use bvh::Bvh;
+pub use kernel::{StacklessKernel, SteppableKernel, TraversalKernel, WhileWhileKernel, WideKernel};
 pub use layout::MemoryLayout;
 pub use node::{BvhNode, NodeId, NodeKind};
 pub use stack::TraversalStack;
 pub use stats::TraversalStats;
+pub use stream::{RayBatch, StreamPermutation};
 pub use traversal::{Hit, StepEvent, Traversal, TraversalKind, TraversalResult};
 pub use wide::{WideBvh, WideResult, WIDE_ARITY};

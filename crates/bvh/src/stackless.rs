@@ -12,9 +12,10 @@
 //! [`Traversal`](crate::Traversal): identical results, different
 //! memory/compute tradeoff (more node fetches, zero stack storage).
 
+use crate::kernel;
 use crate::node::{NodeId, NodeKind};
 use crate::{Bvh, Hit, TraversalKind, TraversalStats};
-use rip_math::Ray;
+use rip_math::{Ray, Vec3};
 
 /// Result of a stackless traversal run.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,6 +52,23 @@ pub const MAX_TRAIL_DEPTH: u32 = 63;
 /// assert!(result.hit.is_some());
 /// ```
 pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
+    traverse_with_inv(bvh, ray, ray.inv_direction(), kind)
+}
+
+/// [`traverse`] with the ray's reciprocal direction supplied by the caller
+/// (batch pipelines precompute it once per ray; trimming `t_max` between
+/// restarts never changes the direction, so one reciprocal serves every
+/// restart).
+///
+/// # Panics
+///
+/// Panics when the BVH is deeper than [`MAX_TRAIL_DEPTH`] levels.
+pub fn traverse_with_inv(
+    bvh: &Bvh,
+    ray: &Ray,
+    inv_dir: Vec3,
+    kind: TraversalKind,
+) -> StacklessResult {
     assert!(
         bvh.depth() <= MAX_TRAIL_DEPTH,
         "tree depth {} exceeds the {}-bit trail",
@@ -65,11 +83,7 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
     // take the far child. `popped` marks levels exhausted entirely.
     let mut trail: u64 = 0;
     'outer: loop {
-        let mut ray_eff = *ray;
-        if let (TraversalKind::ClosestHit, Some(h)) = (kind, best) {
-            ray_eff = ray_eff.trimmed(h.t);
-        }
-        let inv_dir = ray_eff.inv_direction();
+        let ray_eff = kernel::effective_ray(ray, kind, best);
         let mut node_id = NodeId::ROOT;
         let mut level: u32 = 0;
 
@@ -82,10 +96,13 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
                     left_bounds,
                     right_bounds,
                 } => {
-                    stats.interior_fetches += 1;
-                    stats.box_tests += 2;
-                    let t_left = left_bounds.intersect_with_inv(&ray_eff, inv_dir);
-                    let t_right = right_bounds.intersect_with_inv(&ray_eff, inv_dir);
+                    let (t_left, t_right) = kernel::fetch_interior(
+                        &mut stats,
+                        &left_bounds,
+                        &right_bounds,
+                        &ray_eff,
+                        inv_dir,
+                    );
                     // Near/far ordering must be deterministic per ray so the
                     // trail stays meaningful across restarts.
                     let (near, far, t_near, t_far) = match (t_left, t_right) {
@@ -125,27 +142,17 @@ pub fn traverse(bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> StacklessResult {
                     }
                 }
                 NodeKind::Leaf { .. } => {
-                    stats.leaf_fetches += 1;
-                    for (tri_index, tri) in bvh.leaf_triangles(node_id) {
-                        stats.tri_fetches += 1;
-                        stats.tri_tests += 1;
-                        let bound = match (kind, best) {
-                            (TraversalKind::ClosestHit, Some(h)) => ray_eff.trimmed(h.t),
-                            _ => ray_eff,
-                        };
-                        if let Some(h) = tri.intersect(&bound) {
-                            let hit = Hit {
-                                t: h.t,
-                                tri_index,
-                                leaf: node_id,
-                            };
-                            if best.is_none_or(|b| hit.closer_than(&b)) {
-                                best = Some(hit);
-                            }
-                            if kind == TraversalKind::AnyHit {
-                                break 'outer;
-                            }
-                        }
+                    let outcome = kernel::test_leaf_triangles(
+                        bvh.leaf_triangles(node_id),
+                        &mut |_| node_id,
+                        kind,
+                        &mut best,
+                        &ray_eff,
+                        &mut stats,
+                        None,
+                    );
+                    if outcome.terminated {
+                        break 'outer;
                     }
                     if pop_trail(&mut trail, level) {
                         restarts += 1;

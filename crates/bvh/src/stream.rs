@@ -1,0 +1,360 @@
+//! Batched SoA ray streams.
+//!
+//! The predictor of §3–§4 is evaluated on ray *streams*: Morton-sorted
+//! batches whose spatial locality the hash tables exploit (§5.2). This
+//! module provides the batch substrate every traversal kernel consumes:
+//!
+//! * [`RayBatch`] — a structure-of-arrays ray container (origins,
+//!   directions, reciprocal directions and parameter intervals in separate
+//!   arrays). The reciprocal direction used by the slab test is computed
+//!   **once per ray at batch build time** instead of once per traversal
+//!   step, hoisting the per-call ray setup the four scalar kernels used to
+//!   repeat.
+//! * [`StreamPermutation`] — a stable reordering of a batch (Morton order
+//!   being the canonical one) that can *un-sort* per-ray results back to
+//!   the caller's original ray order, so sorting never leaks into result
+//!   indexing.
+//!
+//! Bit-exactness contract: `batch.ray(i)` reconstructs exactly the ray the
+//! batch was built from (`f32` values are stored, never re-derived), and
+//! `batch.inv_direction(i)` equals `ray.inv_direction()` bit for bit, so a
+//! batched traversal produces the same hits and statistics as the scalar
+//! call — the `rip-testkit` differential oracles enforce this.
+
+use crate::sorting;
+use rip_math::{Aabb, Ray, Vec3};
+
+/// A structure-of-arrays batch of rays.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::RayBatch;
+/// use rip_math::{Ray, Vec3};
+///
+/// let rays = vec![Ray::new(Vec3::ZERO, Vec3::X), Ray::new(Vec3::Y, Vec3::Z)];
+/// let batch = RayBatch::from_rays(&rays);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.ray(1), rays[1]);
+/// assert_eq!(batch.inv_direction(0), rays[0].inv_direction());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RayBatch {
+    origins: Vec<Vec3>,
+    directions: Vec<Vec3>,
+    inv_directions: Vec<Vec3>,
+    t_mins: Vec<f32>,
+    t_maxes: Vec<f32>,
+}
+
+impl RayBatch {
+    /// An empty batch with capacity for `n` rays.
+    pub fn with_capacity(n: usize) -> Self {
+        RayBatch {
+            origins: Vec::with_capacity(n),
+            directions: Vec::with_capacity(n),
+            inv_directions: Vec::with_capacity(n),
+            t_mins: Vec::with_capacity(n),
+            t_maxes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a batch from AoS rays, precomputing the reciprocal
+    /// directions.
+    pub fn from_rays(rays: &[Ray]) -> Self {
+        let mut batch = RayBatch::with_capacity(rays.len());
+        for ray in rays {
+            batch.push(*ray);
+        }
+        batch
+    }
+
+    /// Appends one ray.
+    pub fn push(&mut self, ray: Ray) {
+        self.origins.push(ray.origin);
+        self.directions.push(ray.direction);
+        self.inv_directions.push(ray.inv_direction());
+        self.t_mins.push(ray.t_min);
+        self.t_maxes.push(ray.t_max);
+    }
+
+    /// Number of rays in the batch.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Whether the batch holds no rays.
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+
+    /// Reconstructs ray `i` exactly as it was pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn ray(&self, i: usize) -> Ray {
+        Ray::with_interval(
+            self.origins[i],
+            self.directions[i],
+            self.t_mins[i],
+            self.t_maxes[i],
+        )
+    }
+
+    /// The precomputed reciprocal direction of ray `i` (identical bits to
+    /// `self.ray(i).inv_direction()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn inv_direction(&self, i: usize) -> Vec3 {
+        self.inv_directions[i]
+    }
+
+    /// Iterates the rays in batch order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Ray> + '_ {
+        (0..self.len()).map(move |i| self.ray(i))
+    }
+
+    /// Collects the batch back into AoS rays.
+    pub fn to_rays(&self) -> Vec<Ray> {
+        self.iter().collect()
+    }
+
+    /// The stable permutation that puts this batch in Morton stream order
+    /// (the Aila–Laine sorted-ray configuration of §5.2), keyed by
+    /// [`sorting::ray_sort_key`] over `scene_bounds`.
+    pub fn morton_permutation(&self, scene_bounds: &Aabb) -> StreamPermutation {
+        let mut gather: Vec<u32> = (0..self.len() as u32).collect();
+        gather.sort_by_cached_key(|&i| sorting::ray_sort_key(&self.ray(i as usize), scene_bounds));
+        StreamPermutation { gather }
+    }
+
+    /// Returns the Morton-sorted copy of this batch together with the
+    /// permutation that produced it (use [`StreamPermutation::unsort`] to
+    /// map per-ray results back to this batch's order).
+    pub fn morton_sorted(&self, scene_bounds: &Aabb) -> (RayBatch, StreamPermutation) {
+        let perm = self.morton_permutation(scene_bounds);
+        (self.permuted(&perm), perm)
+    }
+
+    /// Gathers a reordered copy of the batch: ray `j` of the result is ray
+    /// `perm.gather()[j]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the permutation length differs from the batch length.
+    pub fn permuted(&self, perm: &StreamPermutation) -> RayBatch {
+        assert_eq!(
+            perm.len(),
+            self.len(),
+            "permutation length must match the batch"
+        );
+        let mut out = RayBatch::with_capacity(self.len());
+        for &i in perm.gather() {
+            out.push(self.ray(i as usize));
+        }
+        out
+    }
+}
+
+impl FromIterator<Ray> for RayBatch {
+    fn from_iter<T: IntoIterator<Item = Ray>>(iter: T) -> Self {
+        let mut batch = RayBatch::default();
+        for ray in iter {
+            batch.push(ray);
+        }
+        batch
+    }
+}
+
+/// A stable reordering of a ray stream, with its inverse.
+///
+/// `gather()[new_position] = old_index` — the same convention as
+/// [`sorting::sort_permutation`]. [`StreamPermutation::apply`] reorders
+/// inputs into stream order; [`StreamPermutation::unsort`] scatters
+/// per-ray results computed in stream order back to the original order,
+/// so callers never observe the sort.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::{RayBatch, StreamPermutation};
+/// use rip_math::{Aabb, Ray, Vec3};
+///
+/// let bounds = Aabb::new(Vec3::ZERO, Vec3::splat(8.0));
+/// let rays = vec![Ray::new(Vec3::splat(7.0), Vec3::X), Ray::new(Vec3::ZERO, Vec3::X)];
+/// let batch = RayBatch::from_rays(&rays);
+/// let (sorted, perm) = batch.morton_sorted(&bounds);
+/// // Results computed on the sorted stream, un-sorted back:
+/// let sorted_labels: Vec<u32> = perm.apply(&[10, 20]);
+/// assert_eq!(perm.unsort(&sorted_labels), vec![10, 20]);
+/// assert_eq!(sorted.ray(0), rays[1]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamPermutation {
+    gather: Vec<u32>,
+}
+
+impl StreamPermutation {
+    /// The identity permutation over `n` elements.
+    pub fn identity(n: usize) -> Self {
+        StreamPermutation {
+            gather: (0..n as u32).collect(),
+        }
+    }
+
+    /// Wraps an explicit gather map (`gather[new] = old`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gather` is not a bijection over `0..len`.
+    pub fn from_gather(gather: Vec<u32>) -> Self {
+        let mut seen = vec![false; gather.len()];
+        for &i in &gather {
+            let slot = seen
+                .get_mut(i as usize)
+                .unwrap_or_else(|| panic!("gather index {i} out of range"));
+            assert!(!*slot, "gather index {i} repeated");
+            *slot = true;
+        }
+        StreamPermutation { gather }
+    }
+
+    /// Number of elements the permutation covers.
+    pub fn len(&self) -> usize {
+        self.gather.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gather.is_empty()
+    }
+
+    /// The gather map (`gather[new_position] = old_index`).
+    pub fn gather(&self) -> &[u32] {
+        &self.gather
+    }
+
+    /// Reorders `items` into stream order: `out[j] = items[gather[j]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` length differs from the permutation length.
+    pub fn apply<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.len(), "item count must match");
+        self.gather
+            .iter()
+            .map(|&i| items[i as usize].clone())
+            .collect()
+    }
+
+    /// Scatters stream-order `items` back to the original order:
+    /// `out[gather[j]] = items[j]`. This is the exact inverse of
+    /// [`StreamPermutation::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` length differs from the permutation length.
+    pub fn unsort<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.len(), "item count must match");
+        let mut out: Vec<Option<T>> = vec![None; items.len()];
+        for (j, &old) in self.gather.iter().enumerate() {
+            out[old as usize] = Some(items[j].clone());
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("bijection covers every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rays(n: usize, seed: u64) -> (Vec<Ray>, Aabb) {
+        let bounds = Aabb::new(Vec3::ZERO, Vec3::splat(10.0));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rays = (0..n)
+            .map(|_| {
+                let o = Vec3::new(rng.gen(), rng.gen(), rng.gen()) * 10.0;
+                let d = rip_math::sampling::uniform_sphere(rng.gen(), rng.gen());
+                Ray::segment(o, d, 3.0)
+            })
+            .collect();
+        (rays, bounds)
+    }
+
+    #[test]
+    fn batch_round_trips_rays_exactly() {
+        let (rays, _) = random_rays(64, 1);
+        let batch = RayBatch::from_rays(&rays);
+        assert_eq!(batch.len(), rays.len());
+        for (i, ray) in rays.iter().enumerate() {
+            assert_eq!(batch.ray(i), *ray);
+            assert_eq!(batch.inv_direction(i), ray.inv_direction());
+        }
+        assert_eq!(batch.to_rays(), rays);
+    }
+
+    #[test]
+    fn morton_permutation_matches_sorting_module() {
+        let (rays, bounds) = random_rays(300, 2);
+        let batch = RayBatch::from_rays(&rays);
+        let perm = batch.morton_permutation(&bounds);
+        assert_eq!(
+            perm.gather(),
+            &sorting::sort_permutation(&rays, &bounds)[..]
+        );
+    }
+
+    #[test]
+    fn morton_sorted_orders_keys() {
+        let (rays, bounds) = random_rays(200, 3);
+        let (sorted, _) = RayBatch::from_rays(&rays).morton_sorted(&bounds);
+        let keys: Vec<u64> = sorted
+            .iter()
+            .map(|r| sorting::ray_sort_key(&r, &bounds))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn unsort_inverts_apply() {
+        let (rays, bounds) = random_rays(150, 4);
+        let batch = RayBatch::from_rays(&rays);
+        let perm = batch.morton_permutation(&bounds);
+        let labels: Vec<usize> = (0..rays.len()).collect();
+        assert_eq!(perm.unsort(&perm.apply(&labels)), labels);
+        // And the permuted batch un-sorts back to the original rays.
+        let sorted = batch.permuted(&perm);
+        assert_eq!(perm.unsort(&sorted.to_rays()), rays);
+    }
+
+    #[test]
+    fn identity_permutation_is_a_no_op() {
+        let (rays, _) = random_rays(20, 5);
+        let perm = StreamPermutation::identity(rays.len());
+        assert_eq!(perm.apply(&rays), rays);
+        assert_eq!(perm.unsort(&rays), rays);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn from_gather_rejects_non_bijections() {
+        let _ = StreamPermutation::from_gather(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn permuted_rejects_length_mismatch() {
+        let (rays, _) = random_rays(8, 6);
+        let batch = RayBatch::from_rays(&rays);
+        let _ = batch.permuted(&StreamPermutation::identity(4));
+    }
+}

@@ -6,6 +6,7 @@
 //! The cycle-level simulator drives steps one at a time, interleaving rays
 //! across warps; functional callers use [`Traversal::run`].
 
+use crate::kernel;
 use crate::node::{NodeId, NodeKind};
 use crate::stack::TraversalStack;
 use crate::stats::TraversalStats;
@@ -164,22 +165,13 @@ impl Traversal {
         s
     }
 
-    /// The ray interval still worth searching: `t_max` shrinks to the best
-    /// hit for closest-hit queries.
-    fn effective_ray(&self, ray: &Ray) -> Ray {
-        match (self.kind, self.best) {
-            (TraversalKind::ClosestHit, Some(h)) => ray.trimmed(h.t),
-            _ => *ray,
-        }
-    }
-
     /// Processes the current node (its record is assumed to have arrived
     /// from memory) and advances to the next one.
     pub fn step(&mut self, bvh: &Bvh, ray: &Ray) -> StepEvent {
         let Some(node_id) = self.current.take() else {
             return StepEvent::Finished;
         };
-        let ray_eff = self.effective_ray(ray);
+        let ray_eff = kernel::effective_ray(ray, self.kind, self.best);
         let inv_dir = ray_eff.inv_direction();
         let node = bvh.node(node_id);
         match node.kind {
@@ -189,10 +181,13 @@ impl Traversal {
                 left_bounds,
                 right_bounds,
             } => {
-                self.stats.interior_fetches += 1;
-                self.stats.box_tests += 2;
-                let t_left = left_bounds.intersect_with_inv(&ray_eff, inv_dir);
-                let t_right = right_bounds.intersect_with_inv(&ray_eff, inv_dir);
+                let (t_left, t_right) = kernel::fetch_interior(
+                    &mut self.stats,
+                    &left_bounds,
+                    &right_bounds,
+                    &ray_eff,
+                    inv_dir,
+                );
                 let child_hits = t_left.is_some() as u8 + t_right.is_some() as u8;
                 match (t_left, t_right) {
                     (Some(tl), Some(tr)) => {
@@ -215,38 +210,16 @@ impl Traversal {
                 }
             }
             NodeKind::Leaf { .. } => {
-                self.stats.leaf_fetches += 1;
                 let mut tris_tested = Vec::new();
-                let mut found: Option<Hit> = None;
-                for (tri_index, tri) in bvh.leaf_triangles(node_id) {
-                    tris_tested.push(tri_index);
-                    self.stats.tri_fetches += 1;
-                    self.stats.tri_tests += 1;
-                    // Re-trim against the best hit found within this leaf.
-                    let bound = match (self.kind, found.or(self.best)) {
-                        (TraversalKind::ClosestHit, Some(h)) => ray_eff.trimmed(h.t),
-                        _ => ray_eff,
-                    };
-                    if let Some(h) = tri.intersect(&bound) {
-                        let hit = Hit {
-                            t: h.t,
-                            tri_index,
-                            leaf: node_id,
-                        };
-                        found = Some(match found {
-                            Some(prev) if !hit.closer_than(&prev) => prev,
-                            _ => hit,
-                        });
-                        if self.kind == TraversalKind::AnyHit {
-                            break; // Algorithm 1 line 13
-                        }
-                    }
-                }
-                if let Some(hit) = found {
-                    if self.best.is_none_or(|b| hit.closer_than(&b)) {
-                        self.best = Some(hit);
-                    }
-                }
+                let outcome = kernel::test_leaf_triangles(
+                    bvh.leaf_triangles(node_id),
+                    &mut |_| node_id,
+                    self.kind,
+                    &mut self.best,
+                    &ray_eff,
+                    &mut self.stats,
+                    Some(&mut tris_tested),
+                );
                 self.current = match (self.kind, self.best) {
                     (TraversalKind::AnyHit, Some(_)) => None, // Algorithm 1 line 15
                     _ => self.stack.pop(),
@@ -254,7 +227,7 @@ impl Traversal {
                 StepEvent::Leaf {
                     node: node_id,
                     tris_tested,
-                    found,
+                    found: outcome.found,
                 }
             }
         }

@@ -9,9 +9,10 @@
 //! produces the same hits as the binary tree — asserted by tests — while
 //! fetching roughly half the interior nodes.
 
+use crate::kernel;
 use crate::node::{NodeId, NodeKind};
 use crate::{Bvh, Hit, TraversalKind, TraversalStats};
-use rip_math::{Aabb, Ray};
+use rip_math::{Aabb, Ray, Vec3};
 
 /// Maximum children per wide node.
 pub const WIDE_ARITY: usize = 4;
@@ -93,15 +94,24 @@ impl WideBvh {
     /// Traverses the wide tree. The binary `bvh` supplies the shared
     /// triangle storage (leaf ranges are identical by construction).
     pub fn intersect(&self, bvh: &Bvh, ray: &Ray, kind: TraversalKind) -> WideResult {
+        self.intersect_with_inv(bvh, ray, ray.inv_direction(), kind)
+    }
+
+    /// [`WideBvh::intersect`] with the ray's reciprocal direction supplied
+    /// by the caller (batch pipelines precompute it once per ray; trimming
+    /// `t_max` never changes the direction).
+    pub fn intersect_with_inv(
+        &self,
+        bvh: &Bvh,
+        ray: &Ray,
+        inv_dir: Vec3,
+        kind: TraversalKind,
+    ) -> WideResult {
         let mut stats = TraversalStats::default();
         let mut best: Option<Hit> = None;
         let mut stack: Vec<WideChild> = vec![WideChild::Interior(0)];
         'outer: while let Some(entry) = stack.pop() {
-            let ray_eff = match (kind, best) {
-                (TraversalKind::ClosestHit, Some(h)) => ray.trimmed(h.t),
-                _ => *ray,
-            };
-            let inv_dir = ray_eff.inv_direction();
+            let ray_eff = kernel::effective_ray(ray, kind, best);
             match entry {
                 WideChild::Empty => {}
                 WideChild::Interior(idx) => {
@@ -125,32 +135,29 @@ impl WideBvh {
                     }
                 }
                 WideChild::Leaf { first, count } => {
-                    stats.leaf_fetches += 1;
-                    for slot in first..first + count {
-                        let tri_index = bvh.tri_order_at(slot);
-                        let tri = bvh.triangle(tri_index);
-                        stats.tri_fetches += 1;
-                        stats.tri_tests += 1;
-                        let bound = match (kind, best) {
-                            (TraversalKind::ClosestHit, Some(h)) => ray_eff.trimmed(h.t),
-                            _ => ray_eff,
-                        };
-                        if let Some(h) = tri.intersect(&bound) {
-                            // Leaf ids are not meaningful in the wide tree;
-                            // report the binary leaf for interoperability.
-                            let leaf = bvh.leaf_of_triangle(tri_index).unwrap_or(NodeId::ROOT);
-                            let hit = Hit {
-                                t: h.t,
-                                tri_index,
-                                leaf,
-                            };
-                            if best.is_none_or(|b| hit.closer_than(&b)) {
-                                best = Some(hit);
-                            }
-                            if kind == TraversalKind::AnyHit {
-                                break 'outer;
-                            }
-                        }
+                    // Leaf ids are not meaningful in the wide tree; report
+                    // the binary leaf for interoperability. The wide leaf
+                    // covers exactly one binary leaf's range, so one lookup
+                    // serves every hit in it.
+                    let mut cached: Option<NodeId> = None;
+                    let outcome = kernel::test_leaf_triangles(
+                        (first..first + count).map(|slot| {
+                            let tri_index = bvh.tri_order_at(slot);
+                            (tri_index, bvh.triangle(tri_index))
+                        }),
+                        &mut |tri_index| {
+                            *cached.get_or_insert_with(|| {
+                                bvh.leaf_of_triangle(tri_index).unwrap_or(NodeId::ROOT)
+                            })
+                        },
+                        kind,
+                        &mut best,
+                        &ray_eff,
+                        &mut stats,
+                        None,
+                    );
+                    if outcome.terminated {
+                        break 'outer;
                     }
                 }
             }

@@ -18,7 +18,10 @@
 //! * [`Predictor`] — table + hash + Go Up Level (§4.3) + training,
 //! * [`trace_occlusion`] / [`trace_closest`] — the full §3 prediction /
 //!   verification / fallback flow for occlusion and closest-hit (GI, §6.4)
-//!   rays,
+//!   rays, generic over the fallback kernel (`*_with` variants),
+//! * [`Predicted`] — the predictor as a composable wrapper kernel: wraps
+//!   any [`rip_bvh::TraversalKernel`] (while-while, stackless, wide) with
+//!   the prediction flow, itself implementing the kernel trait,
 //! * [`FunctionalSim`] — a trace-level simulator producing the
 //!   memory-access and rate metrics of Figures 1, 2, 14 and Tables 5–8,
 //!   including the oracle modes of the §6.3 limit study,
@@ -47,6 +50,7 @@ mod eq1;
 mod hash;
 mod oracle;
 mod policies;
+mod predicted;
 mod predictor;
 mod sim;
 mod stats;
@@ -59,8 +63,12 @@ pub use eq1::Eq1Model;
 pub use hash::{fold_hash, HashFunction, RayHasher};
 pub use oracle::OracleMode;
 pub use policies::NodeReplacement;
+pub use predicted::Predicted;
 pub use predictor::{Prediction, Predictor};
 pub use sim::{FunctionalReport, FunctionalSim, SimOptions};
 pub use stats::PredictionStats;
 pub use table::{PredictorTable, TableStats};
-pub use traverse::{trace_closest, trace_occlusion, PredictedTrace, RayOutcome};
+pub use traverse::{
+    trace_closest, trace_closest_with, trace_occlusion, trace_occlusion_with, PredictedTrace,
+    RayOutcome,
+};

@@ -10,7 +10,7 @@ use crate::{
     trace_closest, trace_occlusion, Eq1Model, PredictionStats, Predictor, PredictorConfig,
     RayOutcome,
 };
-use rip_bvh::{Bvh, NodeKind, Traversal, TraversalKind, TraversalStats};
+use rip_bvh::{Bvh, NodeKind, RayBatch, Traversal, TraversalKind, TraversalStats};
 use rip_math::Ray;
 
 /// Options orthogonal to the predictor configuration.
@@ -180,29 +180,41 @@ impl FunctionalSim {
     }
 
     /// Runs an occlusion (any-hit) workload; the paper's primary AO
-    /// experiment.
+    /// experiment. Convenience wrapper over [`FunctionalSim::run_batch`].
     pub fn run(&self, bvh: &Bvh, rays: &[Ray]) -> FunctionalReport {
-        self.run_kind(bvh, rays, TraversalKind::AnyHit)
+        self.run_batch(bvh, &RayBatch::from_rays(rays))
+    }
+
+    /// Runs an occlusion (any-hit) workload over an SoA ray batch.
+    pub fn run_batch(&self, bvh: &Bvh, batch: &RayBatch) -> FunctionalReport {
+        self.run_kind(bvh, batch, TraversalKind::AnyHit)
     }
 
     /// Runs a closest-hit workload with prediction-based ray trimming
-    /// (GI, §6.4).
+    /// (GI, §6.4). Convenience wrapper over
+    /// [`FunctionalSim::run_closest_batch`].
     pub fn run_closest(&self, bvh: &Bvh, rays: &[Ray]) -> FunctionalReport {
-        self.run_kind(bvh, rays, TraversalKind::ClosestHit)
+        self.run_closest_batch(bvh, &RayBatch::from_rays(rays))
     }
 
-    fn run_kind(&self, bvh: &Bvh, rays: &[Ray], kind: TraversalKind) -> FunctionalReport {
+    /// Runs a closest-hit workload over an SoA ray batch.
+    pub fn run_closest_batch(&self, bvh: &Bvh, batch: &RayBatch) -> FunctionalReport {
+        self.run_kind(bvh, batch, TraversalKind::ClosestHit)
+    }
+
+    fn run_kind(&self, bvh: &Bvh, batch: &RayBatch, kind: TraversalKind) -> FunctionalReport {
         let mut predictors: Vec<Predictor> = (0..self.options.num_predictors)
             .map(|_| Predictor::new(self.config, bvh.bounds()))
             .collect();
         let mut report = FunctionalReport {
-            rays: rays.len() as u64,
+            rays: batch.len() as u64,
             ..Default::default()
         };
         let mut node_seen = vec![false; bvh.node_count()];
         let mut tri_seen = vec![false; bvh.triangle_count()];
 
-        for (i, ray) in rays.iter().enumerate() {
+        for i in 0..batch.len() {
+            let ray = &batch.ray(i);
             let warp = i / self.options.warp_size;
             let predictor = &mut predictors[warp % self.options.num_predictors];
 

@@ -1,7 +1,18 @@
 //! The §3 prediction / verification / fallback flow for a single ray.
+//!
+//! The flow is generic over the fallback [`TraversalKernel`]: prediction
+//! probes always run on the steppable [`Traversal`] seeded via
+//! `Traversal::from_nodes` (that *is* the hardware mechanism — predicted
+//! nodes are pushed onto the ray's traversal stack, §3), while the full
+//! root traversal paid by not-predicted and mispredicted rays goes through
+//! whichever kernel the caller composes with — while-while, stackless or
+//! wide. [`trace_occlusion`] and [`trace_closest`] keep the historical
+//! while-while binding.
 
 use crate::{OracleMode, Predictor};
-use rip_bvh::{Bvh, Hit, NodeId, Traversal, TraversalKind, TraversalStats};
+use rip_bvh::{
+    Bvh, Hit, NodeId, Traversal, TraversalKernel, TraversalKind, TraversalStats, WhileWhileKernel,
+};
 use rip_math::Ray;
 
 /// Per-ray predictor outcome (§3 terminology).
@@ -85,12 +96,25 @@ pub(crate) fn ancestor_chain(bvh: &Bvh, leaf: NodeId) -> Vec<NodeId> {
 /// assert_eq!(second.outcome, RayOutcome::Verified);
 /// ```
 pub fn trace_occlusion(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> PredictedTrace {
+    trace_occlusion_with(predictor, bvh, &mut WhileWhileKernel::new(bvh), ray)
+}
+
+/// [`trace_occlusion`] with an explicit fallback kernel: the full root
+/// traversal of not-predicted and mispredicted rays runs through `kernel`
+/// instead of the default while-while loop. The prediction probe itself
+/// still uses the seeded stack traversal (the hardware mechanism of §3).
+pub fn trace_occlusion_with(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+) -> PredictedTrace {
     predictor.begin_ray();
     let oracle = predictor.config().oracle;
     let trace = if oracle == OracleMode::None {
-        trace_occlusion_real(predictor, bvh, ray)
+        trace_occlusion_real(predictor, bvh, kernel, ray)
     } else {
-        trace_occlusion_oracle(predictor, bvh, ray)
+        trace_occlusion_oracle(predictor, bvh, kernel, ray)
     };
     record(predictor, &trace);
     if let Some(hit) = trace.hit {
@@ -100,7 +124,12 @@ pub fn trace_occlusion(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Predi
     trace
 }
 
-fn trace_occlusion_real(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> PredictedTrace {
+fn trace_occlusion_real(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+) -> PredictedTrace {
     match predictor.lookup(ray) {
         Some(pred) => {
             let k = pred.nodes.len() as u32;
@@ -116,7 +145,7 @@ fn trace_occlusion_real(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Pred
                     k,
                 }
             } else {
-                let full = bvh.intersect(ray, TraversalKind::AnyHit);
+                let full = kernel.trace(ray, TraversalKind::AnyHit);
                 PredictedTrace {
                     outcome: RayOutcome::Mispredicted,
                     hit: full.hit,
@@ -127,7 +156,7 @@ fn trace_occlusion_real(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Pred
             }
         }
         None => {
-            let full = bvh.intersect(ray, TraversalKind::AnyHit);
+            let full = kernel.trace(ray, TraversalKind::AnyHit);
             PredictedTrace {
                 outcome: RayOutcome::NotPredicted,
                 hit: full.hit,
@@ -139,9 +168,16 @@ fn trace_occlusion_real(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Pred
     }
 }
 
-fn trace_occlusion_oracle(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> PredictedTrace {
-    // Ground truth (not charged — this is oracle knowledge).
-    let truth = bvh.intersect(ray, TraversalKind::AnyHit);
+fn trace_occlusion_oracle(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+) -> PredictedTrace {
+    // Ground truth (not charged to the ray when a prediction verifies —
+    // this is oracle knowledge — but it *is* the full traversal a
+    // not-predicted ray pays, so it runs on the composed kernel).
+    let truth = kernel.trace(ray, TraversalKind::AnyHit);
     let prediction = truth
         .hit
         .and_then(|hit| predictor.oracle_lookup(ray, &ancestor_chain(bvh, hit.leaf)));
@@ -174,6 +210,19 @@ fn trace_occlusion_oracle(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Pr
 /// rather than replacing it: the prediction supplies a conservative `t`
 /// bound that lets the full traversal cull far subtrees.
 pub fn trace_closest(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> PredictedTrace {
+    trace_closest_with(predictor, bvh, &mut WhileWhileKernel::new(bvh), ray)
+}
+
+/// [`trace_closest`] with an explicit fallback kernel (see
+/// [`trace_occlusion_with`]): the trimmed authoritative traversal runs
+/// through `kernel`; the conservative any-hit probe stays on the seeded
+/// stack traversal.
+pub fn trace_closest_with(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+) -> PredictedTrace {
     predictor.begin_ray();
     let trace = match predictor.lookup(ray) {
         Some(pred) => {
@@ -190,7 +239,7 @@ pub fn trace_closest(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Predict
                     predictor.reward(pred.hash, phit.leaf);
                     // Trim and run the authoritative traversal.
                     let trimmed = ray.trimmed(phit.t * (1.0 + 1e-5));
-                    let full = bvh.intersect(&trimmed, TraversalKind::ClosestHit);
+                    let full = kernel.trace(&trimmed, TraversalKind::ClosestHit);
                     let best = match full.hit {
                         Some(fhit) if fhit.t <= phit.t => Some(fhit),
                         _ => Some(phit),
@@ -204,7 +253,7 @@ pub fn trace_closest(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Predict
                     }
                 }
                 None => {
-                    let full = bvh.intersect(ray, TraversalKind::ClosestHit);
+                    let full = kernel.trace(ray, TraversalKind::ClosestHit);
                     PredictedTrace {
                         outcome: RayOutcome::Mispredicted,
                         hit: full.hit,
@@ -216,7 +265,7 @@ pub fn trace_closest(predictor: &mut Predictor, bvh: &Bvh, ray: &Ray) -> Predict
             }
         }
         None => {
-            let full = bvh.intersect(ray, TraversalKind::ClosestHit);
+            let full = kernel.trace(ray, TraversalKind::ClosestHit);
             PredictedTrace {
                 outcome: RayOutcome::NotPredicted,
                 hit: full.hit,

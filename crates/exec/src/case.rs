@@ -4,7 +4,7 @@
 //! [`CaseCache`](crate::cache::CaseCache) can build, persist, and share
 //! cases across experiments without depending on the bench crate.
 
-use rip_bvh::Bvh;
+use rip_bvh::{Bvh, RayBatch};
 use rip_math::Triangle;
 use rip_render::{AoConfig, AoWorkload};
 use rip_scene::{Scene, SceneId, SceneScale};
@@ -84,6 +84,12 @@ impl Case {
     /// Generates this case's AO workload with the §5.2 parameters.
     pub fn ao_workload(&self) -> AoWorkload {
         AoWorkload::generate(&self.scene, &self.bvh, &AoConfig::default())
+    }
+
+    /// The AO workload as a SoA [`RayBatch`], ready for the batched
+    /// simulator and kernel entry points.
+    pub fn ao_batch(&self) -> RayBatch {
+        self.ao_workload().batch()
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::rt_unit::{RayPhase, RayWork, SmState, WarpState};
 use crate::{GpuConfig, MemoryHierarchy, PartialWarpCollector, SimReport};
-use rip_bvh::{Bvh, StepEvent, Traversal, TraversalKind};
+use rip_bvh::{Bvh, RayBatch, StepEvent, Traversal, TraversalKind};
 use rip_core::Predictor;
 use rip_math::Ray;
 use std::cmp::Reverse;
@@ -67,7 +67,14 @@ impl Simulator {
 
     /// Simulates an occlusion (any-hit) workload to completion.
     pub fn run(&self, bvh: &Bvh, rays: &[Ray]) -> SimReport {
-        Engine::new(&self.config, bvh, rays).run()
+        Engine::new(&self.config, bvh, rays.iter().copied()).run()
+    }
+
+    /// Simulates an occlusion workload supplied as an SoA ray batch — the
+    /// RT unit consumes the stream in batch order, so `run_batch(bvh,
+    /// &RayBatch::from_rays(rays))` is identical to `run(bvh, rays)`.
+    pub fn run_batch(&self, bvh: &Bvh, batch: &RayBatch) -> SimReport {
+        Engine::new(&self.config, bvh, batch.iter()).run()
     }
 }
 
@@ -89,12 +96,9 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(config: &'a GpuConfig, bvh: &'a Bvh, rays: &[Ray]) -> Self {
+    fn new(config: &'a GpuConfig, bvh: &'a Bvh, rays: impl Iterator<Item = Ray>) -> Self {
         let needs_lookup = config.predictor.is_some();
-        let ray_works: Vec<RayWork> = rays
-            .iter()
-            .map(|&r| RayWork::new(r, needs_lookup))
-            .collect();
+        let ray_works: Vec<RayWork> = rays.map(|r| RayWork::new(r, needs_lookup)).collect();
         let memory = MemoryHierarchy::new(
             config.num_sms,
             config.rt_cache,

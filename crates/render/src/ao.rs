@@ -2,9 +2,22 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rip_bvh::{Bvh, TraversalKind};
+use rip_bvh::{Bvh, RayBatch, TraversalKernel, WhileWhileKernel};
 use rip_math::{sampling, Ray, Vec3};
 use rip_scene::Scene;
+
+/// Builds the per-pixel primary-ray batch for a scene viewport, in
+/// row-major pixel order.
+pub(crate) fn primary_batch(scene: &Scene) -> RayBatch {
+    let (width, height) = (scene.camera.width(), scene.camera.height());
+    let mut batch = RayBatch::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            batch.push(scene.camera.primary_ray(x, y));
+        }
+    }
+    batch
+}
 
 /// Parameters of the AO ray generator.
 #[derive(Clone, Copy, Debug)]
@@ -80,31 +93,33 @@ impl AoWorkload {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let diag = bvh.bounds().diagonal_length();
         let (width, height) = (scene.camera.width(), scene.camera.height());
+        let primaries = primary_batch(scene);
+        let primary_results = WhileWhileKernel::new(bvh).closest_hit_batch(&primaries);
         let mut rays = Vec::new();
         let mut ray_pixel = Vec::new();
         let mut primary_hits = 0;
-        for y in 0..height {
-            for x in 0..width {
-                let primary = scene.camera.primary_ray(x, y);
-                let Some(hit) = bvh.intersect(&primary, TraversalKind::ClosestHit).hit else {
-                    continue;
-                };
-                primary_hits += 1;
-                let point = primary.at(hit.t);
-                let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
-                // Face the normal toward the camera side of the surface.
-                let normal = if normal.dot(primary.direction) > 0.0 {
-                    -normal
-                } else {
-                    normal
-                };
-                let origin = point + normal * (1e-4 * diag);
-                for _ in 0..config.samples_per_hit {
-                    let dir = sampling::cosine_hemisphere_around(normal, rng.gen(), rng.gen());
-                    let len = diag * rng.gen_range(lo..=hi);
-                    rays.push(Ray::segment(origin, dir, len));
-                    ray_pixel.push(y * width + x);
-                }
+        // Iterate hits in pixel order so the RNG stream is consumed exactly
+        // as a per-pixel loop would.
+        for (pixel, result) in primary_results.iter().enumerate() {
+            let Some(hit) = result.hit else {
+                continue;
+            };
+            let primary = primaries.ray(pixel);
+            primary_hits += 1;
+            let point = primary.at(hit.t);
+            let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
+            // Face the normal toward the camera side of the surface.
+            let normal = if normal.dot(primary.direction) > 0.0 {
+                -normal
+            } else {
+                normal
+            };
+            let origin = point + normal * (1e-4 * diag);
+            for _ in 0..config.samples_per_hit {
+                let dir = sampling::cosine_hemisphere_around(normal, rng.gen(), rng.gen());
+                let len = diag * rng.gen_range(lo..=hi);
+                rays.push(Ray::segment(origin, dir, len));
+                ray_pixel.push(pixel as u32);
             }
         }
         AoWorkload {
@@ -116,13 +131,20 @@ impl AoWorkload {
         }
     }
 
+    /// The occlusion rays as a SoA [`RayBatch`] ready for the batched
+    /// kernel entry points (inverse directions precomputed once).
+    pub fn batch(&self) -> RayBatch {
+        RayBatch::from_rays(&self.rays)
+    }
+
     /// Returns a copy of the rays sorted in Morton order (the paper's
     /// "sorted" configuration, §5.2), with the pixel map permuted to match.
+    /// The permutation key is identical to `rip_bvh::sorting`.
     pub fn sorted(&self, bvh: &Bvh) -> AoWorkload {
-        let perm = rip_bvh::sorting::sort_permutation(&self.rays, &bvh.bounds());
+        let perm = self.batch().morton_permutation(&bvh.bounds());
         AoWorkload {
-            rays: perm.iter().map(|&i| self.rays[i as usize]).collect(),
-            ray_pixel: perm.iter().map(|&i| self.ray_pixel[i as usize]).collect(),
+            rays: perm.apply(&self.rays),
+            ray_pixel: perm.apply(&self.ray_pixel),
             ..*self
         }
     }

@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rip_bvh::{Bvh, TraversalKind};
+use rip_bvh::{Bvh, RayBatch, TraversalKernel, WhileWhileKernel};
 use rip_math::{sampling, Ray, Vec3};
 use rip_scene::Scene;
 
@@ -64,26 +64,31 @@ impl GiWorkload {
         let mut rays = Vec::new();
         let mut generation_sizes = Vec::new();
 
-        // Primary generation.
-        let mut frontier: Vec<Ray> = Vec::new();
+        // Primary generation: one batch per bounce frontier, traced with
+        // the batched while-while kernel. Continuations are spawned in ray
+        // order so the RNG stream matches a per-ray loop exactly.
+        let mut frontier = RayBatch::with_capacity((width * height) as usize);
         for y in 0..height {
             for x in 0..width {
                 frontier.push(scene.camera.primary_ray(x, y));
             }
         }
         let primary_rays = frontier.len() as u32;
+        let mut kernel = WhileWhileKernel::new(bvh);
 
         for _generation in 0..=config.bounces {
             if frontier.is_empty() {
                 break;
             }
             generation_sizes.push(frontier.len() as u32);
-            rays.extend_from_slice(&frontier);
-            let mut next = Vec::new();
-            for ray in &frontier {
-                let Some(hit) = bvh.intersect(ray, TraversalKind::ClosestHit).hit else {
+            rays.extend(frontier.iter());
+            let results = kernel.closest_hit_batch(&frontier);
+            let mut next = RayBatch::with_capacity(frontier.len());
+            for (i, result) in results.iter().enumerate() {
+                let Some(hit) = result.hit else {
                     continue;
                 };
+                let ray = frontier.ray(i);
                 let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
                 let normal = if normal.dot(ray.direction) > 0.0 {
                     -normal
@@ -101,6 +106,24 @@ impl GiWorkload {
             primary_rays,
             generation_sizes,
         }
+    }
+
+    /// The full path-segment stream as a SoA [`RayBatch`] in trace order.
+    pub fn batch(&self) -> RayBatch {
+        RayBatch::from_rays(&self.rays)
+    }
+
+    /// One [`RayBatch`] per bounce generation, in trace order — the
+    /// natural unit for wavefront-style batched tracing.
+    pub fn generation_batches(&self) -> Vec<RayBatch> {
+        let mut batches = Vec::with_capacity(self.generation_sizes.len());
+        let mut offset = 0usize;
+        for &size in &self.generation_sizes {
+            let end = offset + size as usize;
+            batches.push(RayBatch::from_rays(&self.rays[offset..end]));
+            offset = end;
+        }
+        batches
     }
 }
 

@@ -7,7 +7,7 @@
 //! producing longer and more directionally coherent occlusion rays than
 //! the AO hemisphere.
 
-use rip_bvh::{Bvh, TraversalKind};
+use rip_bvh::{Bvh, RayBatch, TraversalKernel, WhileWhileKernel};
 use rip_math::{Ray, Vec3};
 use rip_scene::Scene;
 
@@ -64,40 +64,40 @@ impl ShadowWorkload {
             config.lights.clone()
         };
         let (width, height) = (scene.camera.width(), scene.camera.height());
+        let primaries = crate::ao::primary_batch(scene);
+        let primary_results = WhileWhileKernel::new(bvh).closest_hit_batch(&primaries);
         let mut rays = Vec::new();
         let mut ray_pixel = Vec::new();
         let eps = 1e-4 * bounds.diagonal_length();
-        for y in 0..height {
-            for x in 0..width {
-                let primary = scene.camera.primary_ray(x, y);
-                let Some(hit) = bvh.intersect(&primary, TraversalKind::ClosestHit).hit else {
+        for (pixel, result) in primary_results.iter().enumerate() {
+            let Some(hit) = result.hit else {
+                continue;
+            };
+            let primary = primaries.ray(pixel);
+            let point = primary.at(hit.t);
+            let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
+            let normal = if normal.dot(primary.direction) > 0.0 {
+                -normal
+            } else {
+                normal
+            };
+            for &light in &lights {
+                let to_light = light - point;
+                let distance = to_light.length();
+                let Some(dir) = to_light.try_normalized() else {
                     continue;
                 };
-                let point = primary.at(hit.t);
-                let normal = bvh.triangle(hit.tri_index).unit_normal().unwrap_or(Vec3::Y);
-                let normal = if normal.dot(primary.direction) > 0.0 {
-                    -normal
-                } else {
-                    normal
-                };
-                for &light in &lights {
-                    let to_light = light - point;
-                    let distance = to_light.length();
-                    let Some(dir) = to_light.try_normalized() else {
-                        continue;
-                    };
-                    // Lights behind the surface cast no ray (always dark).
-                    if dir.dot(normal) <= 0.0 {
-                        continue;
-                    }
-                    rays.push(Ray::with_interval(
-                        point + normal * eps,
-                        dir,
-                        0.0,
-                        distance - 2.0 * eps,
-                    ));
-                    ray_pixel.push(y * width + x);
+                // Lights behind the surface cast no ray (always dark).
+                if dir.dot(normal) <= 0.0 {
+                    continue;
                 }
+                rays.push(Ray::with_interval(
+                    point + normal * eps,
+                    dir,
+                    0.0,
+                    distance - 2.0 * eps,
+                ));
+                ray_pixel.push(pixel as u32);
             }
         }
         ShadowWorkload {
@@ -106,6 +106,25 @@ impl ShadowWorkload {
             lights,
             width,
             height,
+        }
+    }
+
+    /// The shadow rays as a SoA [`RayBatch`] ready for the batched kernel
+    /// entry points.
+    pub fn batch(&self) -> RayBatch {
+        RayBatch::from_rays(&self.rays)
+    }
+
+    /// Returns a copy of the rays sorted in Morton order, with the pixel
+    /// map permuted to match (the paper's "sorted" configuration).
+    pub fn sorted(&self, bvh: &Bvh) -> ShadowWorkload {
+        let perm = self.batch().morton_permutation(&bvh.bounds());
+        ShadowWorkload {
+            rays: perm.apply(&self.rays),
+            ray_pixel: perm.apply(&self.ray_pixel),
+            lights: self.lights.clone(),
+            width: self.width,
+            height: self.height,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Golden-snapshot maintenance tool.
 //!
-//! `--check` (default) re-runs all 22 experiments at the fixed snapshot
+//! `--check` (default) re-runs all 23 experiments at the fixed snapshot
 //! scale and diffs each report against `tests/snapshots/`; `--update`
 //! rewrites the committed files instead. Exit status is non-zero when a
 //! check fails, so CI can gate on it.

@@ -9,8 +9,18 @@
 //! ([`rip_bvh::Hit::closer_than`]) picks the same winner among equal-`t`
 //! candidates. Any-hit queries are compared on hit/miss (kernels
 //! legitimately stop at different first intersections).
+//!
+//! On top of the scalar agreement checks, the batch oracles pin the
+//! ray-stream layer: every [`TraversalKernel`]'s batch entry points must be
+//! **bit-exact** — hits *and* statistics — with its own per-ray calls
+//! ([`assert_batch_matches_scalar`]), and tracing a Morton-sorted stream
+//! then un-sorting the results must reproduce the unsorted run bit for bit
+//! ([`assert_batch_morton_exact`]).
 
-use rip_bvh::{stackless, Bvh, TraversalKind, WideBvh};
+use rip_bvh::{
+    stackless, Bvh, RayBatch, StacklessKernel, SteppableKernel, TraversalKernel, TraversalKind,
+    WhileWhileKernel, WideBvh, WideKernel,
+};
 use rip_math::{Ray, Triangle};
 
 /// A scene prepared for differential checking: one binary BVH plus the
@@ -113,6 +123,81 @@ impl DiffOracle {
     pub fn check_ray(&self, ray: &Ray) -> Result<(), String> {
         self.check_closest(ray)?;
         self.check_any(ray)
+    }
+}
+
+/// The repo's four traversal kernels as trait objects over one oracle's
+/// trees, in a fixed order (while-while, stackless, wide4, steppable).
+pub fn kernels<'a>(oracle: &'a DiffOracle) -> Vec<Box<dyn TraversalKernel + 'a>> {
+    vec![
+        Box::new(WhileWhileKernel::new(&oracle.bvh)),
+        Box::new(StacklessKernel::new(&oracle.bvh)),
+        Box::new(WideKernel::new(&oracle.wide, &oracle.bvh)),
+        Box::new(SteppableKernel::new(&oracle.bvh)),
+    ]
+}
+
+fn assert_results_bit_exact(
+    context: &str,
+    got: &rip_bvh::TraversalResult,
+    want: &rip_bvh::TraversalResult,
+) {
+    assert_eq!(
+        got.hit.map(|h| (h.tri_index, h.leaf, h.t.to_bits())),
+        want.hit.map(|h| (h.tri_index, h.leaf, h.t.to_bits())),
+        "{context}: hit differs"
+    );
+    assert_eq!(got.stats, want.stats, "{context}: statistics differ");
+}
+
+/// Asserts that every kernel's batch entry points are bit-exact — hits
+/// (same `t` bits, triangle and leaf) *and* traversal statistics — with
+/// its own per-ray calls, for both query kinds.
+pub fn assert_batch_matches_scalar(label: &str, tris: &[Triangle], rays: &[Ray]) {
+    let oracle = DiffOracle::new(tris);
+    let batch = RayBatch::from_rays(rays);
+    for kernel in &mut kernels(&oracle) {
+        for kind in [TraversalKind::ClosestHit, TraversalKind::AnyHit] {
+            let batched = kernel.trace_batch(&batch, kind);
+            assert_eq!(batched.len(), batch.len(), "one result per ray");
+            for (i, b) in batched.iter().enumerate() {
+                let scalar = kernel.trace(&rays[i], kind);
+                assert_results_bit_exact(
+                    &format!(
+                        "[{label}] {} ray {i} ({kind:?}) batch-vs-scalar",
+                        kernel.name()
+                    ),
+                    b,
+                    &scalar,
+                );
+            }
+        }
+    }
+}
+
+/// Metamorphic batch oracle: tracing the Morton-sorted stream and
+/// un-sorting the per-ray results must reproduce the unsorted batch run
+/// bit for bit (hits and statistics), for every kernel and query kind —
+/// sorting may only change throughput, never any answer.
+pub fn assert_batch_morton_exact(label: &str, tris: &[Triangle], rays: &[Ray]) {
+    let oracle = DiffOracle::new(tris);
+    let batch = RayBatch::from_rays(rays);
+    let (sorted, perm) = batch.morton_sorted(&oracle.bvh.bounds());
+    for kernel in &mut kernels(&oracle) {
+        for kind in [TraversalKind::ClosestHit, TraversalKind::AnyHit] {
+            let base = kernel.trace_batch(&batch, kind);
+            let unsorted = perm.unsort(&kernel.trace_batch(&sorted, kind));
+            for (i, (b, u)) in base.iter().zip(&unsorted).enumerate() {
+                assert_results_bit_exact(
+                    &format!(
+                        "[{label}] {} ray {i} ({kind:?}) morton-roundtrip",
+                        kernel.name()
+                    ),
+                    u,
+                    b,
+                );
+            }
+        }
     }
 }
 

@@ -13,7 +13,10 @@
 //!    brute-force O(n) reference. Closest hits must agree *exactly*: the
 //!    kernels share the tie-break rule of
 //!    [`rip_bvh::Hit::closer_than`] (smaller `t` wins, equal `t` resolves
-//!    to the smaller triangle index).
+//!    to the smaller triangle index). The batch oracles additionally pin
+//!    the ray-stream layer: every kernel's batch entry points are bit-exact
+//!    with its per-ray calls, including through a Morton sort/unsort
+//!    round trip.
 //! 3. **Predictor invariants** ([`invariants`]) — the predictor is an
 //!    accelerator, never an approximation: predictor-on and predictor-off
 //!    return identical hits, the §6.3 oracle ladder upper-bounds the real
@@ -21,7 +24,7 @@
 //! 4. **Metamorphic properties** ([`metamorphic`]) — ray-order
 //!    permutations, Morton sorting and rigid scene transforms preserve hit
 //!    sets even though they reshape predictor training history.
-//! 5. **Golden snapshots** ([`snapshot`]) — the text output of all 22
+//! 5. **Golden snapshots** ([`snapshot`]) — the text output of all 23
 //!    experiment modules at a fixed tiny scale, committed under
 //!    `tests/snapshots/` and diffed in CI with a documented float
 //!    tolerance.

@@ -1,4 +1,4 @@
-//! Tolerance-aware golden snapshots of the 22 experiment reports.
+//! Tolerance-aware golden snapshots of the 23 experiment reports.
 //!
 //! Each experiment's rendered text at a fixed tiny scale is committed
 //! under `tests/snapshots/<name>.snap` and diffed in CI. On one platform

@@ -13,7 +13,7 @@ fn all_experiments_produce_reports() {
     let reports = experiments::run_all(&ctx());
     assert_eq!(
         reports.len(),
-        22,
+        23,
         "one report per reproduced result + extensions"
     );
     for report in &reports {
