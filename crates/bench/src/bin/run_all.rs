@@ -12,6 +12,11 @@
 //! - `--resume` — load completed experiments from the journal and run
 //!   only the rest; the final tables are byte-identical to an
 //!   uninterrupted run. Implies journaling (to the same path).
+//! - `--trace PATH` (or `RIP_TRACE`) — record a chrome://tracing JSONL
+//!   trace of the whole sweep (spans, structured events, final counter
+//!   totals) to `PATH`, and append the counter summary to stderr.
+//!   Tracing never touches stdout: the experiment tables stay
+//!   byte-identical with or without it.
 //!
 //! Each experiment runs behind `catch_unwind`, the `RIP_UNIT_TIMEOUT`
 //! watchdog, and bounded retry, so one panicking or hung experiment is
@@ -116,6 +121,12 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
     }
+    // The metrics summary and the trace go to stderr / the trace file
+    // only — stdout stays byte-identical with tracing on or off.
+    if ctx.trace_guard().is_some() {
+        eprintln!("metrics summary:");
+        eprint!("{}", ctx.metrics_summary());
+    }
     if !outcome.failures.is_empty() {
         print!("{}", outcome.failure_report());
         eprintln!(
@@ -123,6 +134,9 @@ fn main() {
             outcome.failures.len(),
             start.elapsed().as_secs_f64()
         );
+        // exit() skips destructors; write the trace before leaving.
+        ctx.flush_trace();
         std::process::exit(1);
     }
+    ctx.flush_trace();
 }

@@ -3,7 +3,6 @@
 
 use crate::{fmt_pct, Context, Report, Table};
 use rip_core::{FunctionalSim, PredictorConfig, SimOptions};
-use rip_gpusim::Simulator;
 
 /// Regenerates both panels of Figure 1.
 pub fn run(ctx: &Context) -> Report {
@@ -79,7 +78,7 @@ pub fn run(ctx: &Context) -> Report {
             .map(|&kb| {
                 let mut cfg = ctx.gpu_baseline();
                 cfg.l1 = cfg.l1.with_size(kb * 1024);
-                Simulator::new(cfg).run_batch(&case.bvh, &batch).cycles as f64
+                ctx.simulator(cfg).run_batch(&case.bvh, &batch).cycles as f64
             })
             .collect();
         let base = cycles[sizes_kb

@@ -7,7 +7,7 @@
 //! (DESIGN.md §2) and report the same correlation coefficient.
 
 use crate::{Context, Report, Table};
-use rip_gpusim::Simulator;
+
 use rip_render::{GiConfig, GiWorkload, ReferenceInput};
 
 /// Core clock used to convert cycles to rays/s (Table 2).
@@ -38,7 +38,9 @@ pub fn run(ctx: &Context) -> Report {
             if batch.len() < 64 {
                 continue;
             }
-            let sim = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, batch);
+            let sim = ctx
+                .simulator(ctx.gpu_baseline())
+                .run_batch(&case.bvh, batch);
             let sim_rps = sim.rays_per_second(CORE_MHZ);
             let mean_nodes = sim.traversal.node_fetches() as f64 / sim.completed_rays.max(1) as f64;
             let mean_tris = sim.traversal.tri_fetches as f64 / sim.completed_rays.max(1) as f64;

@@ -3,7 +3,6 @@
 //! Morton-sorted rays.
 
 use crate::{Context, Report, Table};
-use rip_gpusim::Simulator;
 
 /// Regenerates Figure 12 (paper: 26% geometric-mean speedup on unsorted
 /// rays; sorted rays benefit less because similar rays are traced close
@@ -23,10 +22,18 @@ pub fn run(ctx: &Context) -> Report {
         let unsorted = workload.batch();
         let sorted = workload.sorted(&case.bvh).batch();
 
-        let base_u = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &unsorted);
-        let pred_u = Simulator::new(ctx.gpu_predictor()).run_batch(&case.bvh, &unsorted);
-        let base_s = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &sorted);
-        let pred_s = Simulator::new(ctx.gpu_predictor()).run_batch(&case.bvh, &sorted);
+        let base_u = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &unsorted);
+        let pred_u = ctx
+            .simulator(ctx.gpu_predictor())
+            .run_batch(&case.bvh, &unsorted);
+        let base_s = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &sorted);
+        let pred_s = ctx
+            .simulator(ctx.gpu_predictor())
+            .run_batch(&case.bvh, &sorted);
 
         assert_eq!(
             base_u.hits, pred_u.hits,

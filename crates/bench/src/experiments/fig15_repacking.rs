@@ -2,7 +2,7 @@
 //! with four additional warps, relative to the baseline RT unit (§6.2.2).
 
 use crate::{Context, Report, Table};
-use rip_gpusim::{RepackMode, Simulator};
+use rip_gpusim::RepackMode;
 
 /// Regenerates Figure 15 (paper: Default sometimes slows down; Repack
 /// improves on Default by a geomean 17%; four additional warps add ~7%).
@@ -17,13 +17,15 @@ pub fn run(ctx: &Context) -> Report {
     let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
     let results = ctx.map_cases("fig15_repacking", |case| {
         let batch = case.ao_batch();
-        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
+        let baseline = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &batch);
         modes
             .iter()
             .map(|(_, mode)| {
                 let mut cfg = ctx.gpu_predictor();
                 cfg.repack = *mode;
-                Simulator::new(cfg)
+                ctx.simulator(cfg)
                     .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })

@@ -2,7 +2,7 @@
 //! configurations, including a dedicated RT cache (§6.2.3).
 
 use crate::{fmt_pct, Context, Report, Table};
-use rip_gpusim::{CacheConfig, Simulator};
+use rip_gpusim::CacheConfig;
 
 /// Regenerates Figure 16 (paper: diminishing returns beyond a 64 KB L1;
 /// a dedicated RT cache is an alternative placement).
@@ -36,7 +36,7 @@ pub fn run(ctx: &Context) -> Report {
                 line_bytes: 128,
                 ways: usize::MAX,
             });
-            let r = Simulator::new(cfg).run_batch(&case.bvh, &batch);
+            let r = ctx.simulator(cfg).run_batch(&case.bvh, &batch);
             if configs[i].0.contains("base") {
                 base_cycles = Some(r.cycles as f64);
             }

@@ -2,7 +2,6 @@
 //! access latency, and predictor bandwidth (§6.2.4).
 
 use crate::{Context, Report, Table};
-use rip_gpusim::Simulator;
 
 /// Regenerates Figure 17 (paper: intersection latency matters most; the
 /// predictor's own latency and bandwidth barely move the result because
@@ -31,18 +30,20 @@ pub fn run(ctx: &Context) -> Report {
                 base.latency.intersection = lat;
                 let mut pred = ctx.gpu_predictor();
                 pred.latency.intersection = lat;
-                let b = Simulator::new(base).run_batch(&case.bvh, &batch);
-                let p = Simulator::new(pred).run_batch(&case.bvh, &batch);
+                let b = ctx.simulator(base).run_batch(&case.bvh, &batch);
+                let p = ctx.simulator(pred).run_batch(&case.bvh, &batch);
                 p.speedup_over(&b)
             })
             .collect();
-        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
+        let baseline = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &batch);
         let lat: Vec<f64> = pred_latencies
             .iter()
             .map(|&lat| {
                 let mut pred = ctx.gpu_predictor();
                 pred.predictor_unit.access_latency = lat;
-                Simulator::new(pred)
+                ctx.simulator(pred)
                     .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })
@@ -52,7 +53,7 @@ pub fn run(ctx: &Context) -> Report {
             .map(|&ports| {
                 let mut pred = ctx.gpu_predictor();
                 pred.predictor_unit.ports = ports;
-                Simulator::new(pred)
+                ctx.simulator(pred)
                     .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })

@@ -2,7 +2,6 @@
 
 use crate::{Context, Report, Table};
 use rip_energy::EnergyModel;
-use rip_gpusim::Simulator;
 
 /// Regenerates Table 4 (paper: 296 nJ/ray baseline; −20 nJ/ray with the
 /// predictor, dominated by the base GPU's DRAM term while the predictor
@@ -15,8 +14,12 @@ pub fn run(ctx: &Context) -> Report {
     let mut scenes = 0.0f64;
     let results = ctx.map_cases("table4_energy", |case| {
         let batch = case.ao_batch();
-        let base = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
-        let pred = Simulator::new(ctx.gpu_predictor()).run_batch(&case.bvh, &batch);
+        let base = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &batch);
+        let pred = ctx
+            .simulator(ctx.gpu_predictor())
+            .run_batch(&case.bvh, &batch);
         (model.breakdown(&base), model.breakdown(&pred))
     });
     for (bb, pb) in results {

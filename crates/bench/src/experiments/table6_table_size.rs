@@ -2,7 +2,6 @@
 
 use crate::{Context, Report, Table};
 use rip_core::PredictorConfig;
-use rip_gpusim::Simulator;
 
 /// Regenerates Table 6 (paper: best at 1024 entries × 1 node/entry;
 /// more nodes per entry raise verification but cost more per prediction).
@@ -18,7 +17,9 @@ pub fn run(ctx: &Context) -> Report {
     let results = ctx.map_scenes("table6_table_size", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let batch = case.ao_batch();
-        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
+        let baseline = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &batch);
         entry_counts
             .iter()
             .map(|&entries| {
@@ -31,7 +32,7 @@ pub fn run(ctx: &Context) -> Report {
                             nodes_per_entry: nodes,
                             ..PredictorConfig::paper_default()
                         });
-                        Simulator::new(cfg)
+                        ctx.simulator(cfg)
                             .run_batch(&case.bvh, &batch)
                             .speedup_over(&baseline)
                     })

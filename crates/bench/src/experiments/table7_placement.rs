@@ -2,7 +2,6 @@
 
 use crate::{fmt_pct, Context, Report, Table};
 use rip_core::PredictorConfig;
-use rip_gpusim::Simulator;
 
 /// Regenerates Table 7 (paper: 4-way set-associative is best — 25.8%
 /// speedup, 95.5% predicted, 24.6% verified; direct-mapped falls to 15.9%).
@@ -22,7 +21,9 @@ pub fn run(ctx: &Context) -> Report {
     let results = ctx.map_scenes("table7_placement", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let batch = case.ao_batch();
-        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
+        let baseline = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &batch);
         ways_options
             .iter()
             .map(|&(ways, _)| {
@@ -31,7 +32,7 @@ pub fn run(ctx: &Context) -> Report {
                     ways,
                     ..PredictorConfig::paper_default()
                 });
-                let r = Simulator::new(cfg).run_batch(&case.bvh, &batch);
+                let r = ctx.simulator(cfg).run_batch(&case.bvh, &batch);
                 (
                     r.speedup_over(&baseline),
                     r.prediction.predicted_rate(),

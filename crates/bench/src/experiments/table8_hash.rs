@@ -2,7 +2,6 @@
 
 use crate::{Context, Report, Table};
 use rip_core::{HashFunction, PredictorConfig};
-use rip_gpusim::Simulator;
 
 /// Regenerates Tables 8a and 8b (paper: Grid Spherical with 5 origin /
 /// 3 direction bits is best at +25.8%; Two Point is comparable with
@@ -16,7 +15,9 @@ pub fn run(ctx: &Context) -> Report {
     let cases = ctx.map_scenes("table8_hash_cases", sweep, |id| {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let batch = case.ao_batch();
-        let baseline = Simulator::new(ctx.gpu_baseline()).run_batch(&case.bvh, &batch);
+        let baseline = ctx
+            .simulator(ctx.gpu_baseline())
+            .run_batch(&case.bvh, &batch);
         (case, batch, baseline)
     });
     let run_hash = |hash: &HashFunction| -> f64 {
@@ -28,7 +29,7 @@ pub fn run(ctx: &Context) -> Report {
                 hash,
                 ..PredictorConfig::paper_default()
             });
-            let r = Simulator::new(cfg).run_batch(&case.bvh, batch);
+            let r = ctx.simulator(cfg).run_batch(&case.bvh, batch);
             speedups.push(r.speedup_over(baseline));
         }
         super::geomean_or_one(speedups)

@@ -9,8 +9,10 @@
 //! experiment output is byte-identical at any `--jobs` count.
 
 use rip_exec::{CaseCache, CaseKey, JobPool, ShardedRunner};
-use rip_gpusim::GpuConfig;
+use rip_gpusim::{GpuConfig, Simulator};
+use rip_obs::{Obs, TraceFileGuard};
 use rip_scene::{SceneId, SceneScale, SCENE_IDS};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 pub use rip_exec::Case;
@@ -36,6 +38,11 @@ pub struct Context {
     jobs: usize,
     pool: JobPool,
     cache: Arc<CaseCache>,
+    obs: Arc<Obs>,
+    trace: Option<Arc<TraceFileGuard>>,
+    /// `--trace PATH` seen during parsing, installed by
+    /// [`Context::from_arg_slice`].
+    trace_request: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for Context {
@@ -66,13 +73,44 @@ impl Context {
 
     /// Creates a context with an explicit worker-thread count.
     pub fn with_jobs(scale: SceneScale, selection: SceneSelection, jobs: usize) -> Self {
+        Context::assemble(
+            scale,
+            selection,
+            jobs,
+            Arc::clone(Obs::global()),
+            CaseCache::new(),
+        )
+    }
+
+    /// A context with an isolated [`Obs`] instance and an in-memory-only
+    /// case cache — for tests that compare counter totals or traces
+    /// across runs without cross-test pollution or disk-tier asymmetry.
+    pub fn scoped(
+        scale: SceneScale,
+        selection: SceneSelection,
+        jobs: usize,
+        obs: Arc<Obs>,
+    ) -> Self {
+        Context::assemble(scale, selection, jobs, obs, CaseCache::in_memory_only())
+    }
+
+    fn assemble(
+        scale: SceneScale,
+        selection: SceneSelection,
+        jobs: usize,
+        obs: Arc<Obs>,
+        cache: CaseCache,
+    ) -> Self {
         let jobs = jobs.max(1);
         Context {
             scale,
             selection,
             jobs,
             pool: JobPool::new(jobs),
-            cache: Arc::new(CaseCache::new()),
+            cache: Arc::new(cache.with_obs(Arc::clone(&obs))),
+            obs,
+            trace: None,
+            trace_request: None,
         }
     }
 
@@ -85,14 +123,18 @@ impl Context {
          \x20 --scenes N                restrict to the first N Table-1 scenes\n\
          \x20 --jobs N                  worker threads (default: RIP_JOBS env, else\n\
          \x20                           available parallelism; 1 = serial)\n\
+         \x20 --trace PATH              write a chrome://tracing JSONL trace to PATH\n\
          \x20 --help                    print this help\n\
          \n\
          ENVIRONMENT:\n\
-         \x20 RIP_JOBS       default worker-thread count\n\
-         \x20 RIP_CACHE_DIR  scene/BVH artifact store (set empty to disable;\n\
-         \x20                default: <system temp dir>/rip-artifacts)\n\
+         \x20 RIP_JOBS         default worker-thread count\n\
+         \x20 RIP_CACHE_DIR    scene/BVH artifact store (set empty to disable;\n\
+         \x20                  default: <system temp dir>/rip-artifacts)\n\
+         \x20 RIP_TRACE        default trace path for --trace (set empty to disable)\n\
+         \x20 RIP_TRACE_CLOCK  trace timestamp source: wall (default) or logical\n\
          \n\
-         Output at a given scale is byte-identical for every --jobs value."
+         Output at a given scale is byte-identical for every --jobs value;\n\
+         with tracing enabled, counter totals and normalized traces are too."
     }
 
     /// Parses a context from command-line arguments; the production entry
@@ -106,6 +148,7 @@ impl Context {
         let mut scale = SceneScale::Quick;
         let mut selection = SceneSelection::All;
         let mut jobs = None;
+        let mut trace_request: Option<PathBuf> = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -138,16 +181,21 @@ impl Context {
                     }
                     jobs = Some(n);
                 }
+                "--trace" => {
+                    let v = it.next().ok_or("--trace requires a path")?;
+                    if v.is_empty() {
+                        return Err("--trace requires a non-empty path".into());
+                    }
+                    trace_request = Some(PathBuf::from(v));
+                }
                 other => {
                     eprintln!("warning: ignoring unknown argument '{other}' (see --help)");
                 }
             }
         }
-        Ok(ParsedArgs::Run(Context::with_jobs(
-            scale,
-            selection,
-            jobs.unwrap_or_else(jobs_from_env),
-        )))
+        let mut ctx = Context::with_jobs(scale, selection, jobs.unwrap_or_else(jobs_from_env));
+        ctx.trace_request = trace_request;
+        Ok(ParsedArgs::Run(ctx))
     }
 
     /// Parses the process arguments, printing help or errors as needed.
@@ -166,8 +214,17 @@ impl Context {
     /// own private flags first and pass the remainder through.
     pub fn from_arg_slice(args: &[String], usage: &str) -> Self {
         match Context::parse_args(args) {
-            Ok(ParsedArgs::Run(ctx)) => {
+            Ok(ParsedArgs::Run(mut ctx)) => {
                 rip_exec::set_global_budget(ctx.jobs);
+                let trace_path = ctx.trace_request.take().or_else(|| {
+                    std::env::var("RIP_TRACE")
+                        .ok()
+                        .filter(|v| !v.is_empty())
+                        .map(PathBuf::from)
+                });
+                if let Some(path) = trace_path {
+                    ctx.install_trace(path);
+                }
                 ctx
             }
             Ok(ParsedArgs::Help) => {
@@ -206,9 +263,52 @@ impl Context {
         &self.cache
     }
 
-    /// A sharded runner named `name` on this context's pool.
+    /// The observability instance this context's cache, runners, and
+    /// simulators report into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Enables tracing on this context's [`Obs`] instance and arranges
+    /// for the trace to be written to `path` when the context (strictly:
+    /// its last clone) is dropped — or earlier via
+    /// [`Context::flush_trace`].
+    pub fn install_trace(&mut self, path: impl Into<PathBuf>) {
+        self.trace = Some(Arc::new(TraceFileGuard::new(Arc::clone(&self.obs), path)));
+    }
+
+    /// The installed trace file guard, when `--trace`/`RIP_TRACE` (or
+    /// [`Context::install_trace`]) enabled tracing.
+    pub fn trace_guard(&self) -> Option<&Arc<TraceFileGuard>> {
+        self.trace.as_ref()
+    }
+
+    /// Writes the pending trace file now, if tracing is enabled — call
+    /// before `std::process::exit`, which skips destructors.
+    pub fn flush_trace(&self) {
+        if let Some(guard) = &self.trace {
+            guard.flush();
+        }
+    }
+
+    /// The counter-registry summary table (every `exec.*`, `gpusim.*`,
+    /// `predictor.*` total recorded so far) — rendered onto stderr by
+    /// `run_all` after the experiment tables.
+    pub fn metrics_summary(&self) -> String {
+        self.obs.registry().summary_table()
+    }
+
+    /// A sharded runner named `name` on this context's pool, reporting
+    /// into this context's [`Obs`] instance.
     pub fn runner(&self, name: &str) -> ShardedRunner<'_> {
-        ShardedRunner::new(&self.pool, name)
+        ShardedRunner::new(&self.pool, name).with_obs(Arc::clone(&self.obs))
+    }
+
+    /// A simulator for `config` whose `gpusim.*` counters land in this
+    /// context's [`Obs`] instance. Experiments construct simulators
+    /// through here so scoped contexts observe their own runs.
+    pub fn simulator(&self, config: GpuConfig) -> Simulator {
+        Simulator::new(config).with_obs(Arc::clone(&self.obs))
     }
 
     /// Fans `f` over this context's scenes (each given its built case),

@@ -16,9 +16,10 @@
 //! invariants for all three BVH kernels.
 
 use crate::traverse::{trace_closest_with, trace_occlusion_with, PredictedTrace};
-use crate::{Predictor, PredictorConfig};
+use crate::{PredictionStats, Predictor, PredictorConfig};
 use rip_bvh::{Bvh, TraversalKernel, TraversalKind, TraversalResult};
 use rip_math::Ray;
+use std::sync::Arc;
 
 /// A traversal kernel accelerated by the intersection predictor.
 ///
@@ -44,6 +45,10 @@ pub struct Predicted<'a, K> {
     bvh: &'a Bvh,
     predictor: Predictor,
     kernel: K,
+    obs: Arc<rip_obs::Obs>,
+    /// Predictor stats already mirrored into the registry, so each
+    /// trace adds exactly its own delta (registry == stats always).
+    mirrored: PredictionStats,
 }
 
 impl<'a, K: TraversalKernel> Predicted<'a, K> {
@@ -51,33 +56,75 @@ impl<'a, K: TraversalKernel> Predicted<'a, K> {
     /// `bvh` is the tree predictions are trained on and probed against —
     /// for the wide kernel, the binary tree it was collapsed from.
     pub fn new(bvh: &'a Bvh, config: PredictorConfig, kernel: K) -> Self {
-        Predicted {
-            predictor: Predictor::new(config, bvh.bounds()),
-            bvh,
-            kernel,
-        }
+        Predicted::with_predictor(bvh, Predictor::new(config, bvh.bounds()), kernel)
     }
 
     /// Wraps `kernel` around an existing (possibly pre-trained) predictor.
     pub fn with_predictor(bvh: &'a Bvh, predictor: Predictor, kernel: K) -> Self {
+        let mirrored = predictor.stats();
         Predicted {
             predictor,
             bvh,
             kernel,
+            obs: Arc::clone(rip_obs::Obs::global()),
+            mirrored,
         }
+    }
+
+    /// Routes this kernel's `predictor.*` counters to `obs` instead of
+    /// the process-wide default instance.
+    pub fn with_obs(mut self, obs: Arc<rip_obs::Obs>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Traces one ray, returning the full per-ray predictor accounting
     /// (outcome, split prediction/fallback stats, `k`).
+    ///
+    /// After every trace the predictor's cumulative
+    /// [`PredictionStats`] are mirrored field-for-field into the
+    /// attached [`Obs`](rip_obs::Obs) registry under `predictor.*`.
     pub fn trace_detailed(&mut self, ray: &Ray, kind: TraversalKind) -> PredictedTrace {
-        match kind {
+        let trace = match kind {
             TraversalKind::AnyHit => {
                 trace_occlusion_with(&mut self.predictor, self.bvh, &mut self.kernel, ray)
             }
             TraversalKind::ClosestHit => {
                 trace_closest_with(&mut self.predictor, self.bvh, &mut self.kernel, ray)
             }
-        }
+        };
+        self.mirror_stats();
+        trace
+    }
+
+    /// Adds the not-yet-mirrored slice of the predictor's stats to the
+    /// registry (saturating, so a caller resetting stats via
+    /// [`Predicted::predictor_mut`] re-baselines instead of panicking).
+    fn mirror_stats(&mut self) {
+        let now = self.predictor.stats();
+        let last = self.mirrored;
+        let obs = &self.obs;
+        obs.add("predictor.rays", now.rays.saturating_sub(last.rays));
+        obs.add("predictor.hits", now.hits.saturating_sub(last.hits));
+        obs.add(
+            "predictor.predicted",
+            now.predicted.saturating_sub(last.predicted),
+        );
+        obs.add(
+            "predictor.verified",
+            now.verified.saturating_sub(last.verified),
+        );
+        obs.add(
+            "predictor.predicted_nodes_evaluated",
+            now.predicted_nodes_evaluated
+                .saturating_sub(last.predicted_nodes_evaluated),
+        );
+        obs.add(
+            "predictor.prediction_eval_fetches",
+            now.prediction_eval_fetches
+                .saturating_sub(last.prediction_eval_fetches),
+        );
+        self.mirrored = now;
     }
 
     /// The predictor state (tables, prediction statistics).

@@ -25,10 +25,14 @@
 //! leave a truncated artifact under the final name.
 //!
 //! Telemetry (hits, builds, timings) goes to **stderr** so experiment
-//! tables on stdout stay byte-deterministic.
+//! tables on stdout stay byte-deterministic. Every diagnostic is a
+//! structured [`rip_obs`] event that prints its stderr line verbatim
+//! and mirrors into the `exec.cache.*` counters of the attached
+//! [`Obs`] instance ([`CaseCache::with_obs`]).
 
 use crate::case::{Case, CaseKey};
 use crate::fault::Fault;
+use rip_obs::Obs;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -123,6 +127,7 @@ pub struct CacheStats {
 pub struct CaseCache {
     cases: Mutex<HashMap<CaseKey, Arc<OnceLock<Arc<Case>>>>>,
     disk_dir: Option<PathBuf>,
+    obs: Arc<Obs>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     builds: AtomicU64,
@@ -146,6 +151,7 @@ impl CaseCache {
         CaseCache {
             cases: Mutex::new(HashMap::new()),
             disk_dir,
+            obs: Arc::clone(Obs::global()),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             builds: AtomicU64::new(0),
@@ -156,6 +162,13 @@ impl CaseCache {
     /// A cache with no disk tier.
     pub fn in_memory_only() -> Self {
         CaseCache::with_disk_dir(None)
+    }
+
+    /// Routes this cache's `exec.cache.*` counters and events to `obs`
+    /// instead of the process-wide default instance.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Where this cache persists artifacts, when it does.
@@ -194,6 +207,7 @@ impl CaseCache {
         };
         if let Some(case) = cell.get() {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.add("exec.cache.memory_hit", 1);
             return Arc::clone(case);
         }
         let mut initialized_here = false;
@@ -205,6 +219,7 @@ impl CaseCache {
             // Another thread raced us to the build; for this request it
             // behaved like an in-memory hit.
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.add("exec.cache.memory_hit", 1);
         }
         Arc::clone(case)
     }
@@ -213,31 +228,60 @@ impl CaseCache {
         match self.try_load(key) {
             Ok(case) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.add("exec.cache.disk_hit", 1);
                 return case;
             }
             Err(CacheError::Miss | CacheError::Disabled) => {}
             Err(error @ (CacheError::Corrupt { .. } | CacheError::KeyMismatch { .. })) => {
-                eprintln!("[rip-exec] {error}; quarantining and rebuilding from source");
+                self.obs
+                    .event("exec.cache", "artifact_rejected")
+                    .arg("case", key.label())
+                    .arg("error", error.to_string())
+                    .stderr(format!(
+                        "[rip-exec] {error}; quarantining and rebuilding from source"
+                    ))
+                    .emit();
                 self.quarantine(key, &error);
             }
             Err(error @ CacheError::Io { .. }) => {
-                eprintln!("[rip-exec] {error}; rebuilding from source");
+                self.obs
+                    .event("exec.cache", "artifact_io_error")
+                    .arg("case", key.label())
+                    .stderr(format!("[rip-exec] {error}; rebuilding from source"))
+                    .emit();
             }
         }
         self.builds.fetch_add(1, Ordering::Relaxed);
+        self.obs.add("exec.cache.build", 1);
+        let span = self
+            .obs
+            .span("exec.cache", "build")
+            .arg("case", key.label());
         let start = Instant::now();
         let case = Case::build(key);
-        let built_ms = start.elapsed().as_millis();
+        let built_ms = start.elapsed().as_millis() as u64;
+        drop(span);
+        let event = self
+            .obs
+            .event("exec.cache", "build")
+            .arg("case", key.label())
+            .arg_u64("built_ms", built_ms);
         match self.store(key, &case) {
-            Some(dir) => eprintln!(
-                "[rip-exec] built case {} in {built_ms} ms (artifacts cached to {})",
-                key.label(),
-                dir.display(),
-            ),
-            None => eprintln!(
-                "[rip-exec] built case {} in {built_ms} ms (disk cache disabled)",
-                key.label(),
-            ),
+            Some(dir) => event
+                .arg("store", "disk")
+                .stderr(format!(
+                    "[rip-exec] built case {} in {built_ms} ms (artifacts cached to {})",
+                    key.label(),
+                    dir.display(),
+                ))
+                .emit(),
+            None => event
+                .arg("store", "none")
+                .stderr(format!(
+                    "[rip-exec] built case {} in {built_ms} ms (disk cache disabled)",
+                    key.label(),
+                ))
+                .emit(),
         }
         case
     }
@@ -266,11 +310,16 @@ impl CaseCache {
         {
             return Err(CacheError::KeyMismatch { label: key.label() });
         }
-        eprintln!(
-            "[rip-exec] artifact cache hit: {} (scene+BVH loaded in {} ms, 0 rebuilds)",
-            key.label(),
-            start.elapsed().as_millis(),
-        );
+        let load_ms = start.elapsed().as_millis() as u64;
+        self.obs
+            .event("exec.cache", "artifact_hit")
+            .arg("case", key.label())
+            .arg_u64("load_ms", load_ms)
+            .stderr(format!(
+                "[rip-exec] artifact cache hit: {} (scene+BVH loaded in {load_ms} ms, 0 rebuilds)",
+                key.label(),
+            ))
+            .emit();
         let id = scene.id;
         Ok(Case { id, scene, bvh })
     }
@@ -294,19 +343,30 @@ impl CaseCache {
             match std::fs::rename(path, &quarantined) {
                 Ok(()) => {
                     self.quarantines.fetch_add(1, Ordering::Relaxed);
-                    eprintln!(
-                        "[rip-exec] quarantined {} -> {}",
-                        path.display(),
-                        Path::new(&quarantined).display()
-                    );
+                    self.obs.add("exec.cache.quarantine", 1);
+                    self.obs
+                        .event("exec.cache", "quarantine")
+                        .arg("case", key.label())
+                        .arg("path", path.display().to_string())
+                        .stderr(format!(
+                            "[rip-exec] quarantined {} -> {}",
+                            path.display(),
+                            Path::new(&quarantined).display()
+                        ))
+                        .emit();
                 }
                 Err(e) => {
                     // Last resort: make sure the bad bytes cannot be
                     // decoded again even if we cannot preserve them.
-                    eprintln!(
-                        "[rip-exec] cannot quarantine {} ({e}); removing instead",
-                        path.display()
-                    );
+                    self.obs
+                        .event("exec.cache", "quarantine_failed")
+                        .arg("case", key.label())
+                        .arg("path", path.display().to_string())
+                        .stderr(format!(
+                            "[rip-exec] cannot quarantine {} ({e}); removing instead",
+                            path.display()
+                        ))
+                        .emit();
                     let _ = std::fs::remove_file(path);
                 }
             }
@@ -318,14 +378,21 @@ impl CaseCache {
         let (scene_path, bvh_path) = self.artifact_paths(key)?;
         let dir = self.disk_dir.as_deref()?;
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!(
-                "[rip-exec] cannot create artifact dir {}: {e}",
-                dir.display()
-            );
+            self.obs
+                .event("exec.cache", "store_failed")
+                .arg("path", dir.display().to_string())
+                .stderr(format!(
+                    "[rip-exec] cannot create artifact dir {}: {e}",
+                    dir.display()
+                ))
+                .emit();
             return None;
         }
-        let ok = write_atomic(&scene_path, &rip_scene::serial::encode(&case.scene))
-            && write_atomic(&bvh_path, &rip_bvh::serial::encode(&case.bvh));
+        let ok = write_atomic(
+            &self.obs,
+            &scene_path,
+            &rip_scene::serial::encode(&case.scene),
+        ) && write_atomic(&self.obs, &bvh_path, &rip_bvh::serial::encode(&case.bvh));
         ok.then_some(dir)
     }
 
@@ -369,11 +436,17 @@ fn read_artifact(path: &Path) -> Result<Vec<u8>, CacheError> {
 /// Writes via a temp file + atomic rename so a killed process (or a
 /// concurrent one) can never leave a truncated artifact under the final
 /// name — readers see either the old complete file or the new one.
-fn write_atomic(path: &Path, bytes: &[u8]) -> bool {
+fn write_atomic(obs: &Obs, path: &Path, bytes: &[u8]) -> bool {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
     if let Err(e) = result {
-        eprintln!("[rip-exec] cannot persist artifact {}: {e}", path.display());
+        obs.event("exec.cache", "store_failed")
+            .arg("path", path.display().to_string())
+            .stderr(format!(
+                "[rip-exec] cannot persist artifact {}: {e}",
+                path.display()
+            ))
+            .emit();
         let _ = std::fs::remove_file(&tmp);
         return false;
     }

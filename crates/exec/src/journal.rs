@@ -25,6 +25,7 @@
 //! u32 payload-len, payload`.
 
 use crate::fault::fnv64;
+use rip_obs::Obs;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, Write};
 use std::path::{Path, PathBuf};
@@ -151,19 +152,28 @@ impl Journal {
         }
         let expected_header = format!("{HEADER_PREFIX}{fingerprint}\n");
         if !bytes.starts_with(expected_header.as_bytes()) {
-            eprintln!(
-                "[rip-exec] journal {} does not match this configuration; starting fresh",
-                path.display()
-            );
+            Obs::global()
+                .event("exec.journal", "fingerprint_mismatch")
+                .arg("path", path.display().to_string())
+                .stderr(format!(
+                    "[rip-exec] journal {} does not match this configuration; starting fresh",
+                    path.display()
+                ))
+                .emit();
             return Ok((Journal::create(path, fingerprint)?, Vec::new()));
         }
         let (entries, good_len) = parse_records(&bytes, expected_header.len());
         if good_len < bytes.len() {
-            eprintln!(
-                "[rip-exec] journal {}: discarding {} torn trailing byte(s)",
-                path.display(),
-                bytes.len() - good_len
-            );
+            let torn = (bytes.len() - good_len) as u64;
+            Obs::global()
+                .event("exec.journal", "torn_tail_discarded")
+                .arg("path", path.display().to_string())
+                .arg_u64("bytes", torn)
+                .stderr(format!(
+                    "[rip-exec] journal {}: discarding {torn} torn trailing byte(s)",
+                    path.display(),
+                ))
+                .emit();
         }
         let mut file = OpenOptions::new().write(true).read(true).open(&path)?;
         file.set_len(good_len as u64)?;
@@ -191,7 +201,9 @@ impl Journal {
         framed.push(b'\n');
         let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
         file.write_all(&framed)?;
-        file.flush()
+        file.flush()?;
+        Obs::global().add("exec.journal.append", 1);
+        Ok(())
     }
 }
 

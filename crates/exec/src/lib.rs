@@ -20,6 +20,14 @@
 //!   hook.
 //! - [`journal`]: a crash-safe checkpoint journal of completed units so a
 //!   killed sweep resumes where it left off.
+//!
+//! Every diagnostic that used to be a raw `eprintln!` is now a
+//! structured [`rip_obs`] event: the stderr text is printed verbatim
+//! (greps keep working), while the structured part feeds the bounded
+//! event log, the `exec.*` counters, and — when tracing is enabled —
+//! the chrome://tracing export. Caches and runners accept a scoped
+//! [`Obs`](rip_obs::Obs) via their `with_obs` builders; everything else
+//! uses the process-wide instance.
 
 pub mod cache;
 pub mod case;

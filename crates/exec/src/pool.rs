@@ -166,6 +166,12 @@ impl JobPool {
         U: Send,
         F: Fn(&T) -> U + Sync,
     {
+        let obs = rip_obs::Obs::global();
+        obs.add("exec.pool.maps", 1);
+        obs.add("exec.pool.items", items.len() as u64);
+        let _span = obs
+            .span("exec.pool", "map")
+            .arg_u64("items", items.len() as u64);
         let mut slots: Vec<Mutex<Option<std::thread::Result<U>>>> = Vec::new();
         slots.resize_with(items.len(), || Mutex::new(None));
         let next = AtomicUsize::new(0);
@@ -227,6 +233,12 @@ impl JobPool {
         F: Fn(&T) -> Result<U, Fault> + Sync,
         C: Fn(usize, &Result<U, Fault>, Duration) + Sync,
     {
+        let obs = rip_obs::Obs::global();
+        obs.add("exec.pool.maps", 1);
+        obs.add("exec.pool.items", items.len() as u64);
+        let _span = obs
+            .span("exec.pool", "map_units")
+            .arg_u64("items", items.len() as u64);
         let mut slots: Vec<UnitSlot<U>> = Vec::new();
         slots.resize_with(items.len(), || Mutex::new(None));
         let next = AtomicUsize::new(0);

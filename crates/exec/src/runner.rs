@@ -19,7 +19,9 @@
 
 use crate::fault::{Fault, RetryPolicy};
 use crate::pool::JobPool;
+use rip_obs::Obs;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One finished work unit: identity, timing, and a structured outcome.
@@ -93,6 +95,7 @@ pub struct ShardedRunner<'p> {
     progress: bool,
     deadline: Option<Duration>,
     retry: RetryPolicy,
+    obs: Arc<Obs>,
 }
 
 impl<'p> ShardedRunner<'p> {
@@ -104,12 +107,20 @@ impl<'p> ShardedRunner<'p> {
             progress: true,
             deadline: None,
             retry: RetryPolicy::none(),
+            obs: Arc::clone(Obs::global()),
         }
     }
 
     /// Disables per-unit progress lines (timings are still collected).
     pub fn quiet(mut self) -> Self {
         self.progress = false;
+        self
+    }
+
+    /// Routes this runner's `exec.unit.*` counters, per-unit spans, and
+    /// progress events to `obs` instead of the process-wide default.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -152,16 +163,29 @@ impl<'p> ShardedRunner<'p> {
         let indexed: Vec<(usize, &T)> = units.iter().enumerate().collect();
         self.pool.map(&indexed, |&(index, unit)| {
             let unit_label = label(unit);
+            let span = self
+                .obs
+                .span("exec.unit", &unit_label)
+                .arg("runner", &self.name);
             let start = Instant::now();
             let value = work(unit);
             let elapsed = start.elapsed();
+            drop(span);
+            self.obs.add("exec.unit.completed", 1);
             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
             if self.progress {
-                eprintln!(
-                    "[rip-exec] {}: {finished}/{total} {unit_label} done in {} ms",
-                    self.name,
-                    elapsed.as_millis(),
-                );
+                // The completion rank is schedule-dependent, so it lives
+                // only in the stderr text — never in structured args.
+                self.obs
+                    .event("exec.runner", "unit_done")
+                    .arg("runner", &self.name)
+                    .arg("unit", &unit_label)
+                    .stderr(format!(
+                        "[rip-exec] {}: {finished}/{total} {unit_label} done in {} ms",
+                        self.name,
+                        elapsed.as_millis(),
+                    ))
+                    .emit();
             }
             UnitReport {
                 index,
@@ -204,18 +228,32 @@ impl<'p> ShardedRunner<'p> {
                 let mut attempt = 1u32;
                 loop {
                     attempts[index].store(attempt, Ordering::Relaxed);
-                    match Fault::catch(|| work(unit, attempt)) {
+                    let span = self
+                        .obs
+                        .span("exec.unit", &labels[index])
+                        .arg("runner", &self.name)
+                        .arg_u64("attempt", attempt as u64);
+                    let outcome = Fault::catch(|| work(unit, attempt));
+                    drop(span);
+                    match outcome {
                         Err(fault) if fault.is_retryable() && attempt < self.retry.max_attempts => {
                             let pause = self.retry.backoff(attempt + 1, index as u64);
+                            self.obs.add("exec.unit.retries", 1);
                             if self.progress {
-                                eprintln!(
-                                    "[rip-exec] {}: {} attempt {attempt} hit a retryable fault \
-                                     ({}); retrying in {} ms",
-                                    self.name,
-                                    labels[index],
-                                    fault.message,
-                                    pause.as_millis(),
-                                );
+                                self.obs
+                                    .event("exec.runner", "unit_retry")
+                                    .arg("runner", &self.name)
+                                    .arg("unit", &labels[index])
+                                    .arg_u64("attempt", attempt as u64)
+                                    .stderr(format!(
+                                        "[rip-exec] {}: {} attempt {attempt} hit a retryable \
+                                         fault ({}); retrying in {} ms",
+                                        self.name,
+                                        labels[index],
+                                        fault.message,
+                                        pause.as_millis(),
+                                    ))
+                                    .emit();
                             }
                             std::thread::sleep(pause);
                             attempt += 1;
@@ -228,19 +266,32 @@ impl<'p> ShardedRunner<'p> {
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if self.progress {
                     match outcome {
-                        Ok(_) => eprintln!(
-                            "[rip-exec] {}: {finished}/{total} {} done in {} ms",
-                            self.name,
-                            labels[index],
-                            elapsed.as_millis(),
-                        ),
-                        Err(fault) => eprintln!(
-                            "[rip-exec] {}: {finished}/{total} {} FAILED ({}) after {} ms",
-                            self.name,
-                            labels[index],
-                            fault.kind,
-                            elapsed.as_millis(),
-                        ),
+                        Ok(_) => self
+                            .obs
+                            .event("exec.runner", "unit_done")
+                            .arg("runner", &self.name)
+                            .arg("unit", &labels[index])
+                            .stderr(format!(
+                                "[rip-exec] {}: {finished}/{total} {} done in {} ms",
+                                self.name,
+                                labels[index],
+                                elapsed.as_millis(),
+                            ))
+                            .emit(),
+                        Err(fault) => self
+                            .obs
+                            .event("exec.runner", "unit_failed")
+                            .arg("runner", &self.name)
+                            .arg("unit", &labels[index])
+                            .arg("fault", fault.kind.to_string())
+                            .stderr(format!(
+                                "[rip-exec] {}: {finished}/{total} {} FAILED ({}) after {} ms",
+                                self.name,
+                                labels[index],
+                                fault.kind,
+                                elapsed.as_millis(),
+                            ))
+                            .emit(),
                     }
                 }
             },
@@ -251,15 +302,21 @@ impl<'p> ShardedRunner<'p> {
             .zip(labels)
             .zip(&attempts)
             .enumerate()
-            .map(
-                |(index, (((outcome, elapsed), label), attempts))| UnitReport {
+            .map(|(index, (((outcome, elapsed), label), attempts))| {
+                match &outcome {
+                    Ok(_) => self.obs.add("exec.unit.completed", 1),
+                    Err(_) => self.obs.add("exec.unit.failed", 1),
+                }
+                let attempts = attempts.load(Ordering::Relaxed);
+                self.obs.add("exec.unit.attempts", attempts as u64);
+                UnitReport {
                     index,
                     label,
                     elapsed,
-                    attempts: attempts.load(Ordering::Relaxed),
+                    attempts,
                     outcome,
-                },
-            )
+                }
+            })
             .collect()
     }
 

@@ -83,6 +83,71 @@ impl SimReport {
     pub fn memory_accesses(&self) -> u64 {
         self.activity.l1_accesses
     }
+
+    /// Mirrors every field of this report into the `gpusim.*` counters
+    /// of `obs` (adding, so repeated runs accumulate).
+    ///
+    /// The mapping is total: each scalar field lands under exactly one
+    /// dotted path, and per-SM cache vectors land as their sums —
+    /// `rip-testkit`'s differential test holds the registry to this.
+    pub fn mirror_into(&self, obs: &rip_obs::Obs) {
+        obs.add("gpusim.cycles", self.cycles);
+        obs.add("gpusim.rays.completed", self.completed_rays);
+        obs.add("gpusim.rays.hit", self.hits);
+
+        let t = &self.traversal;
+        obs.add("gpusim.traversal.interior_fetches", t.interior_fetches);
+        obs.add("gpusim.traversal.leaf_fetches", t.leaf_fetches);
+        obs.add("gpusim.traversal.tri_fetches", t.tri_fetches);
+        obs.add("gpusim.traversal.box_tests", t.box_tests);
+        obs.add("gpusim.traversal.tri_tests", t.tri_tests);
+        obs.add("gpusim.traversal.stack_spills", t.stack_spills);
+
+        let p = &self.prediction;
+        obs.add("gpusim.predictor.rays", p.rays);
+        obs.add("gpusim.predictor.hits", p.hits);
+        obs.add("gpusim.predictor.predicted", p.predicted);
+        obs.add("gpusim.predictor.verified", p.verified);
+        obs.add(
+            "gpusim.predictor.predicted_nodes_evaluated",
+            p.predicted_nodes_evaluated,
+        );
+        obs.add(
+            "gpusim.predictor.prediction_eval_fetches",
+            p.prediction_eval_fetches,
+        );
+
+        let m = &self.memory;
+        let rt: (u64, u64) = m
+            .rt_cache
+            .iter()
+            .fold((0, 0), |(a, h), s| (a + s.accesses, h + s.hits));
+        obs.add("gpusim.cache.rt.access", rt.0);
+        obs.add("gpusim.cache.rt.hit", rt.1);
+        let l1 = m.l1_combined();
+        obs.add("gpusim.cache.l1.access", l1.accesses);
+        obs.add("gpusim.cache.l1.hit", l1.hits);
+        obs.add("gpusim.cache.l2.access", m.l2.accesses);
+        obs.add("gpusim.cache.l2.hit", m.l2.hits);
+        obs.add("gpusim.dram.access", m.dram.accesses);
+        obs.add("gpusim.dram.bank_wait_cycles", m.dram.bank_wait_cycles);
+
+        let a = &self.activity;
+        obs.add("gpusim.activity.l1_accesses", a.l1_accesses);
+        obs.add("gpusim.activity.l2_accesses", a.l2_accesses);
+        obs.add("gpusim.activity.dram_accesses", a.dram_accesses);
+        obs.add("gpusim.activity.box_tests", a.box_tests);
+        obs.add("gpusim.activity.tri_tests", a.tri_tests);
+        obs.add("gpusim.activity.predictor_lookups", a.predictor_lookups);
+        obs.add("gpusim.activity.predictor_updates", a.predictor_updates);
+        obs.add("gpusim.activity.ray_buffer_accesses", a.ray_buffer_accesses);
+        obs.add("gpusim.activity.stack_ops", a.stack_ops);
+        obs.add("gpusim.activity.collector_ops", a.collector_ops);
+        obs.add("gpusim.activity.mshr_merges", a.mshr_merges);
+
+        obs.add("gpusim.warp.executed", self.warps_executed);
+        obs.add("gpusim.warp.repacked", self.repacked_warps);
+    }
 }
 
 #[cfg(test)]

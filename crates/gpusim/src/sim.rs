@@ -47,6 +47,7 @@ const EV_COLLECTOR: u8 = 2;
 #[derive(Clone, Debug)]
 pub struct Simulator {
     config: GpuConfig,
+    obs: std::sync::Arc<rip_obs::Obs>,
 }
 
 impl Simulator {
@@ -57,7 +58,17 @@ impl Simulator {
     /// Panics when the configuration is invalid.
     pub fn new(config: GpuConfig) -> Self {
         config.validate().expect("invalid GPU configuration");
-        Simulator { config }
+        Simulator {
+            config,
+            obs: std::sync::Arc::clone(rip_obs::Obs::global()),
+        }
+    }
+
+    /// Routes this simulator's `gpusim.*` counters and run spans to
+    /// `obs` instead of the process-wide default instance.
+    pub fn with_obs(mut self, obs: std::sync::Arc<rip_obs::Obs>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The configuration.
@@ -66,15 +77,40 @@ impl Simulator {
     }
 
     /// Simulates an occlusion (any-hit) workload to completion.
+    ///
+    /// Every [`SimReport`] field is mirrored into the attached
+    /// [`Obs`](rip_obs::Obs) registry under `gpusim.*`
+    /// ([`SimReport::mirror_into`]); the run is wrapped in a
+    /// `gpusim`/`run` span when tracing is enabled.
     pub fn run(&self, bvh: &Bvh, rays: &[Ray]) -> SimReport {
-        Engine::new(&self.config, bvh, rays.iter().copied()).run()
+        self.observe(rays.len() as u64, || {
+            Engine::new(&self.config, bvh, rays.iter().copied()).run()
+        })
     }
 
     /// Simulates an occlusion workload supplied as an SoA ray batch — the
     /// RT unit consumes the stream in batch order, so `run_batch(bvh,
     /// &RayBatch::from_rays(rays))` is identical to `run(bvh, rays)`.
     pub fn run_batch(&self, bvh: &Bvh, batch: &RayBatch) -> SimReport {
-        Engine::new(&self.config, bvh, batch.iter()).run()
+        self.observe(batch.len() as u64, || {
+            Engine::new(&self.config, bvh, batch.iter()).run()
+        })
+    }
+
+    fn observe(&self, rays: u64, run: impl FnOnce() -> SimReport) -> SimReport {
+        let mut span = self.obs.span("gpusim", "run").arg_u64("rays", rays);
+        let report = run();
+        span.push_arg(
+            "predictor",
+            if self.config.predictor.is_some() {
+                "on"
+            } else {
+                "off"
+            },
+        );
+        drop(span);
+        report.mirror_into(&self.obs);
+        report
     }
 }
 

@@ -1,0 +1,138 @@
+//! Property-based tests for the §4.4.1 partial warp collector: a
+//! driver feeds it randomized push/advance schedules and checks the
+//! structural invariants the repacking pipeline relies on.
+
+use proptest::prelude::*;
+use rip_gpusim::PartialWarpCollector;
+
+/// One step of a randomized schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Push the next sequential ray ID (skipped when full).
+    Push,
+    /// Advance time by this many cycles and drain ready warps.
+    Advance(u64),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    // 3:1 push/advance mix, encoded as a tagged tuple (the vendored
+    // proptest stand-in has no prop_oneof!).
+    prop::collection::vec(
+        (0u8..4, 0u64..40).prop_map(|(tag, dt)| {
+            if tag < 3 {
+                Step::Push
+            } else {
+                Step::Advance(dt)
+            }
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn collector_invariants_hold_under_any_schedule(
+        schedule in steps(),
+        capacity_warps in 1usize..4,
+        warp_size in 1usize..33,
+        timeout in 1u64..32,
+    ) {
+        let capacity = capacity_warps * warp_size;
+        let mut c = PartialWarpCollector::new(capacity, warp_size, timeout);
+        let mut now = 0u64;
+        let mut next_id = 0u32;
+        let mut pushed: Vec<u32> = Vec::new();
+        let mut released: Vec<u32> = Vec::new();
+
+        for step in &schedule {
+            match step {
+                Step::Push => {
+                    if c.free_slots() > 0 {
+                        c.push(next_id, now);
+                        pushed.push(next_id);
+                        next_id += 1;
+                    }
+                }
+                Step::Advance(dt) => now += dt,
+            }
+            // Drain everything ready at the current cycle, the way the
+            // RT unit polls the collector every cycle.
+            loop {
+                let deadline = c.deadline();
+                let Some(warp) = c.take_ready(now) else { break };
+                prop_assert!(!warp.is_empty());
+                prop_assert!(warp.len() <= warp_size);
+                if warp.len() < warp_size {
+                    // Partial warps only ever flush via an expired
+                    // timeout, never eagerly.
+                    prop_assert!(deadline.is_some_and(|d| now >= d),
+                        "partial warp of {} released before its deadline", warp.len());
+                }
+                released.extend(warp);
+            }
+            // Occupancy never exceeds capacity, and a full warp never
+            // survives a same-cycle poll.
+            prop_assert!(c.len() <= capacity);
+            prop_assert!(c.len() < warp_size,
+                "full warp not released eagerly: {} waiting >= warp {}", c.len(), warp_size);
+            prop_assert_eq!(c.free_slots(), capacity - c.len());
+            prop_assert_eq!(c.is_empty(), c.free_slots() == capacity);
+            // Conservation: every pushed ID is either released or waiting.
+            prop_assert_eq!(released.len() + c.len(), pushed.len());
+        }
+
+        // Timeout always flushes stragglers: once the deadline passes,
+        // nothing may remain.
+        if let Some(deadline) = c.deadline() {
+            while let Some(warp) = c.take_ready(deadline) {
+                released.extend(warp);
+            }
+            prop_assert!(c.is_empty(),
+                "stragglers survived an expired timeout: {} waiting", c.len());
+        }
+        prop_assert!(c.deadline().is_none(), "empty collector kept a deadline");
+
+        // Released IDs are exactly the pushed IDs, in order (the
+        // collector is FIFO: warps are carved off the front).
+        prop_assert_eq!(&released, &pushed);
+    }
+
+    #[test]
+    fn drained_ids_are_a_permutation_of_pushed_ids(
+        burst in 1usize..130,
+        warp_size in 1usize..33,
+        timeout in 1u64..16,
+    ) {
+        // Feed one saturating burst, draining as needed, then advance
+        // past the timeout: everything pushed must come back once.
+        let capacity = warp_size.max(64);
+        let mut c = PartialWarpCollector::new(capacity, warp_size, timeout);
+        let mut released = Vec::new();
+        for id in 0..burst as u32 {
+            while c.free_slots() == 0 {
+                let warp = c.take_ready(0).expect("full collector must have a ready warp");
+                released.extend(warp);
+            }
+            c.push(id, 0);
+        }
+        // Carving a full warp off restarts the residual's wait clock, so
+        // chase the deadline until the timeout has flushed everything.
+        let mut now = 0u64;
+        loop {
+            if let Some(warp) = c.take_ready(now) {
+                released.extend(warp);
+                continue;
+            }
+            match c.deadline() {
+                Some(deadline) => now = deadline,
+                None => break,
+            }
+        }
+        prop_assert!(c.is_empty());
+        let mut sorted = released.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), burst, "duplicate or lost ray IDs");
+        prop_assert_eq!(released, (0..burst as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,89 @@
+//! Pluggable time sources for spans and trace timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// How an [`Obs`](crate::Obs) instance stamps events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Microseconds of wall-clock time since the instance was created —
+    /// what a human wants when reading a trace in `chrome://tracing`.
+    #[default]
+    Wall,
+    /// A logical tick: every reading increments an atomic counter, so
+    /// timestamps carry ordering but no wall time at all. Output built
+    /// on a logical clock is stable enough to snapshot.
+    Logical,
+}
+
+impl ClockMode {
+    /// Parses `wall` / `logical` (as accepted by `RIP_TRACE_CLOCK`).
+    pub fn parse(s: &str) -> Option<ClockMode> {
+        match s {
+            "wall" => Some(ClockMode::Wall),
+            "logical" => Some(ClockMode::Logical),
+            _ => None,
+        }
+    }
+}
+
+/// A monotonic clock in one of the [`ClockMode`]s.
+#[derive(Debug)]
+pub struct Clock {
+    mode: ClockMode,
+    origin: Instant,
+    ticks: AtomicU64,
+}
+
+impl Clock {
+    /// A clock starting at zero now.
+    pub fn new(mode: ClockMode) -> Self {
+        Clock {
+            mode,
+            origin: Instant::now(),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// This clock's mode.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// The current reading: microseconds since creation (wall mode) or
+    /// the next logical tick (logical mode).
+    pub fn now_us(&self) -> u64 {
+        match self.mode {
+            ClockMode::Wall => self.origin.elapsed().as_micros() as u64,
+            ClockMode::Logical => self.ticks.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = Clock::new(ClockMode::Wall);
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn logical_clock_ticks_by_one() {
+        let clock = Clock::new(ClockMode::Logical);
+        assert_eq!(clock.now_us(), 0);
+        assert_eq!(clock.now_us(), 1);
+        assert_eq!(clock.now_us(), 2);
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(ClockMode::parse("wall"), Some(ClockMode::Wall));
+        assert_eq!(ClockMode::parse("logical"), Some(ClockMode::Logical));
+        assert_eq!(ClockMode::parse("cycle-ish"), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Bounded structured event log.
+//!
+//! An [`Event`] is what used to be a raw `eprintln!`: a category, a
+//! name, typed arguments, and (optionally) the exact stderr line the
+//! call site used to print. Emitting an event appends it to a bounded
+//! in-memory ring (old events drop first), prints the stderr text
+//! verbatim when present — so human-readable diagnostics and the tests
+//! that grep for them keep working — and forwards the structured part
+//! to the trace sink.
+//!
+//! **Determinism contract.** `args` must hold only values that are a
+//! pure function of the work performed — never of the thread schedule.
+//! Wall-clock measurements are allowed but must use a key ending in
+//! `_ms` or `_us`, which trace normalization strips; free-form timing
+//! belongs in `stderr_text`, which is never exported to the trace.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A typed event argument.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An unsigned counter-ish value.
+    U64(u64),
+    /// A short string (labels, paths, outcome names).
+    Str(String),
+}
+
+impl std::fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+/// One structured diagnostic event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Dotted source category (`exec.cache`, `exec.journal`, …).
+    pub cat: String,
+    /// Event name within the category (`artifact_hit`, `quarantine`, …).
+    pub name: String,
+    /// Structured arguments (see the module-level determinism contract).
+    pub args: Vec<(String, ArgValue)>,
+    /// The exact stderr line this event prints, when it prints one.
+    pub stderr_text: Option<String>,
+}
+
+/// A bounded FIFO of recent events.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events (oldest drop first).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `event`, evicting the oldest entry when full.
+    pub fn push(&self, event: Event) {
+        let mut buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str) -> Event {
+        Event {
+            cat: "test".into(),
+            name: name.into(),
+            args: vec![("k".into(), ArgValue::U64(1))],
+            stderr_text: None,
+        }
+    }
+
+    #[test]
+    fn log_is_bounded_and_drops_oldest() {
+        let log = EventLog::new(3);
+        for name in ["a", "b", "c", "d", "e"] {
+            log.push(event(name));
+        }
+        let names: Vec<String> = log.recent().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["c", "d", "e"]);
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn arg_display() {
+        assert_eq!(ArgValue::U64(42).to_string(), "42");
+        assert_eq!(ArgValue::Str("x".into()).to_string(), "x");
+    }
+}

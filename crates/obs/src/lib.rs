@@ -1,0 +1,376 @@
+//! rip-obs: deterministic tracing & metrics for the simulator stack.
+//!
+//! One telemetry spine for every layer — the experiment executor
+//! (`rip-exec`), the cycle simulator (`rip-gpusim`), the predictor
+//! (`rip-core`) and the benchmark harness (`rip-bench`) — built from
+//! four pieces:
+//!
+//! - [`CounterRegistry`]: cheap atomic counters addressable by dotted
+//!   path (`exec.cache.hit`, `gpusim.dram.access`,
+//!   `predictor.verified`).
+//! - [`Span`]: scoped timers over a pluggable [`Clock`] (wall-clock
+//!   for humans, logical ticks for snapshot-stable output).
+//! - [`EventLog`]: a bounded structured event log replacing raw
+//!   `eprintln!` diagnostics — events keep their exact stderr text, so
+//!   the human-facing output (and everything that greps it) is
+//!   unchanged.
+//! - [`TraceSink`]: a chrome://tracing-compatible JSONL exporter with
+//!   deterministic event ordering.
+//!
+//! **The observability contract**: with tracing disabled, nothing here
+//! writes to stdout or changes any experiment output (counters still
+//! count — they are atomics — but only stderr and explicit exports
+//! ever render them); with tracing enabled, two runs of the same
+//! workload at different `--jobs` counts produce identical counter
+//! totals and identical traces once wall-time fields are stripped.
+//! `rip-testkit` and `tests/exec_determinism.rs` machine-check both
+//! halves.
+//!
+//! # Examples
+//!
+//! ```
+//! use rip_obs::{ClockMode, Obs};
+//!
+//! let obs = Obs::new(ClockMode::Logical);
+//! obs.trace().enable();
+//! obs.add("exec.cache.hit", 2);
+//! {
+//!     let _span = obs.span("exec", "build:SB").arg("case", "SB_tiny");
+//! }
+//! obs.event("exec.cache", "artifact_hit")
+//!     .arg("case", "SB_tiny")
+//!     .emit();
+//! assert_eq!(obs.get("exec.cache.hit"), 2);
+//! let trace = obs.export_trace_jsonl();
+//! assert_eq!(trace.lines().count(), 3); // span + event + counter
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clock;
+pub mod events;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use clock::{Clock, ClockMode};
+pub use events::{ArgValue, Event, EventLog};
+pub use registry::{Counter, CounterRegistry};
+pub use span::Span;
+pub use trace::{TraceEvent, TraceSink};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Capacity of the bounded event log.
+const EVENT_LOG_CAPACITY: usize = 4096;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense id for the calling thread (0 = first thread observed).
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// One observability instance: a counter registry, an event log, a
+/// trace sink and the clock that stamps them.
+///
+/// The process-wide default lives behind [`Obs::global`]; tests that
+/// need isolated counters construct their own instance and thread it
+/// through the `with_obs` builders of the layers under test.
+#[derive(Debug)]
+pub struct Obs {
+    clock: Clock,
+    registry: CounterRegistry,
+    log: EventLog,
+    trace: TraceSink,
+}
+
+impl Obs {
+    /// A fresh instance with its clock in `mode` and tracing disabled.
+    pub fn new(mode: ClockMode) -> Self {
+        Obs {
+            clock: Clock::new(mode),
+            registry: CounterRegistry::new(),
+            log: EventLog::new(EVENT_LOG_CAPACITY),
+            trace: TraceSink::new(),
+        }
+    }
+
+    /// The process-wide default instance (tracing off until something
+    /// enables it). The clock mode honors `RIP_TRACE_CLOCK`
+    /// (`wall`/`logical`) at first use, defaulting to wall time.
+    pub fn global() -> &'static Arc<Obs> {
+        static GLOBAL: OnceLock<Arc<Obs>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let mode = std::env::var("RIP_TRACE_CLOCK")
+                .ok()
+                .and_then(|v| ClockMode::parse(&v))
+                .unwrap_or(ClockMode::Wall);
+            Arc::new(Obs::new(mode))
+        })
+    }
+
+    /// The clock stamping this instance's spans and events.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The counter registry.
+    pub fn registry(&self) -> &CounterRegistry {
+        &self.registry
+    }
+
+    /// The bounded event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Resolves a counter handle (see [`CounterRegistry::counter`]).
+    pub fn counter(&self, path: &str) -> Counter {
+        self.registry.counter(path)
+    }
+
+    /// Adds `n` to the counter at `path`.
+    pub fn add(&self, path: &str, n: u64) {
+        self.registry.add(path, n);
+    }
+
+    /// The counter total at `path`.
+    pub fn get(&self, path: &str) -> u64 {
+        self.registry.get(path)
+    }
+
+    /// Opens a scoped span; it records on drop.
+    pub fn span(&self, cat: &str, name: &str) -> Span<'_> {
+        Span::new(self, cat, name)
+    }
+
+    /// Starts building a structured event (call
+    /// [`EventBuilder::emit`] to record it).
+    pub fn event(&self, cat: &str, name: &str) -> EventBuilder<'_> {
+        EventBuilder {
+            obs: self,
+            event: Event {
+                cat: cat.to_string(),
+                name: name.to_string(),
+                args: Vec::new(),
+                stderr_text: None,
+            },
+        }
+    }
+
+    /// Records `event`: appends it to the bounded log, prints its
+    /// stderr text verbatim when present, and forwards the structured
+    /// part to the trace as an instant event.
+    pub fn emit(&self, event: Event) {
+        if let Some(text) = &event.stderr_text {
+            eprintln!("{text}");
+        }
+        self.trace.record(TraceEvent {
+            ph: 'i',
+            cat: event.cat.clone(),
+            name: event.name.clone(),
+            ts_us: self.clock.now_us(),
+            dur_us: None,
+            tid: current_tid(),
+            args: event.args.clone(),
+        });
+        self.log.push(event);
+    }
+
+    /// Exports the trace as JSONL: all recorded events in
+    /// deterministic order, followed by one `ph: "C"` counter event per
+    /// registered counter (final totals, sorted by path).
+    pub fn export_trace_jsonl(&self) -> String {
+        let ts = self.clock.now_us();
+        let counters = self
+            .registry
+            .snapshot()
+            .into_iter()
+            .map(|(path, value)| TraceEvent {
+                ph: 'C',
+                cat: "counter".to_string(),
+                name: path,
+                ts_us: ts,
+                dur_us: None,
+                tid: 0,
+                args: vec![("value".to_string(), ArgValue::U64(value))],
+            });
+        self.trace.export_jsonl(counters)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new(ClockMode::Wall)
+    }
+}
+
+/// Builder returned by [`Obs::event`].
+#[derive(Debug)]
+pub struct EventBuilder<'a> {
+    obs: &'a Obs,
+    event: Event,
+}
+
+impl EventBuilder<'_> {
+    /// Attaches a string argument.
+    pub fn arg(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.event
+            .args
+            .push((key.to_string(), ArgValue::Str(value.into())));
+        self
+    }
+
+    /// Attaches a numeric argument.
+    pub fn arg_u64(mut self, key: &str, value: u64) -> Self {
+        self.event
+            .args
+            .push((key.to_string(), ArgValue::U64(value)));
+        self
+    }
+
+    /// Sets the exact stderr line this event prints when emitted.
+    pub fn stderr(mut self, text: impl Into<String>) -> Self {
+        self.event.stderr_text = Some(text.into());
+        self
+    }
+
+    /// Records the event.
+    pub fn emit(self) {
+        self.obs.emit(self.event);
+    }
+}
+
+/// Writes the trace of an [`Obs`] instance to a file when dropped (or
+/// earlier via [`TraceFileGuard::flush`]) — exactly once either way.
+///
+/// Constructing the guard enables tracing on the instance, so holding
+/// one for the lifetime of a run is the whole `--trace <path>` /
+/// `RIP_TRACE` implementation.
+#[derive(Debug)]
+pub struct TraceFileGuard {
+    obs: Arc<Obs>,
+    path: PathBuf,
+    written: AtomicBool,
+}
+
+impl TraceFileGuard {
+    /// Enables tracing on `obs` and arranges for the trace to be
+    /// written to `path`.
+    pub fn new(obs: Arc<Obs>, path: impl Into<PathBuf>) -> Self {
+        obs.trace().enable();
+        TraceFileGuard {
+            obs,
+            path: path.into(),
+            written: AtomicBool::new(false),
+        }
+    }
+
+    /// Where the trace will be written.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Writes the trace now (idempotent; later calls and the eventual
+    /// drop are no-ops). Reports IO failures on stderr rather than
+    /// panicking — telemetry must never take a run down.
+    pub fn flush(&self) {
+        if self.written.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let jsonl = self.obs.export_trace_jsonl();
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        match std::fs::write(&self.path, jsonl) {
+            Ok(()) => eprintln!("[rip-obs] trace written to {}", self.path.display()),
+            Err(e) => eprintln!("[rip-obs] cannot write trace {}: {e}", self.path.display()),
+        }
+    }
+}
+
+impl Drop for TraceFileGuard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_logs_and_traces() {
+        let obs = Obs::new(ClockMode::Logical);
+        obs.trace().enable();
+        obs.event("exec.cache", "quarantine")
+            .arg("path", "x.bvh")
+            .arg_u64("n", 1)
+            .emit();
+        assert_eq!(obs.log().recent().len(), 1);
+        let events = obs.trace().sorted_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ph, 'i');
+        assert_eq!(events[0].cat, "exec.cache");
+    }
+
+    #[test]
+    fn export_appends_counter_events() {
+        let obs = Obs::new(ClockMode::Logical);
+        obs.trace().enable();
+        obs.add("b.second", 2);
+        obs.add("a.first", 1);
+        let jsonl = obs.export_trace_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"a.first\"") && lines[0].contains("\"ph\":\"C\""));
+        assert!(lines[1].contains("\"b.second\""));
+        assert!(lines[0].contains("\"value\":1"));
+    }
+
+    #[test]
+    fn counters_count_even_with_tracing_disabled() {
+        let obs = Obs::new(ClockMode::Wall);
+        obs.add("quiet.counter", 5);
+        assert_eq!(obs.get("quiet.counter"), 5);
+        assert!(!obs.trace().is_enabled());
+    }
+
+    #[test]
+    fn trace_file_guard_writes_once() {
+        let path = std::env::temp_dir().join(format!("rip-obs-guard-{}.jsonl", std::process::id()));
+        let obs = Arc::new(Obs::new(ClockMode::Logical));
+        let guard = TraceFileGuard::new(Arc::clone(&obs), &path);
+        assert!(obs.trace().is_enabled());
+        obs.event("t", "once").emit();
+        guard.flush();
+        let first = std::fs::read_to_string(&path).unwrap();
+        obs.event("t", "after_flush").emit();
+        drop(guard);
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second, "drop after flush must not rewrite");
+        assert!(first.contains("\"once\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn global_instance_is_shared() {
+        let a = Arc::clone(Obs::global());
+        let b = Arc::clone(Obs::global());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,98 @@
+//! Scoped span timers.
+
+use crate::events::ArgValue;
+use crate::trace::TraceEvent;
+use crate::Obs;
+
+/// A scoped timer: created via [`Obs::span`], it measures until drop
+/// and records one complete (`ph: "X"`) trace event.
+///
+/// Spans are observation-only — dropping one never touches stdout, so
+/// wrapping deterministic output paths in spans cannot perturb them.
+#[must_use = "a span measures until it is dropped"]
+#[derive(Debug)]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    cat: String,
+    name: String,
+    start_us: u64,
+    args: Vec<(String, ArgValue)>,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn new(obs: &'a Obs, cat: &str, name: &str) -> Self {
+        Span {
+            start_us: obs.clock().now_us(),
+            obs,
+            cat: cat.to_string(),
+            name: name.to_string(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches a string argument (must be schedule-independent; see
+    /// the [`events`](crate::events) determinism contract).
+    pub fn arg(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.args
+            .push((key.to_string(), ArgValue::Str(value.into())));
+        self
+    }
+
+    /// Attaches a numeric argument.
+    pub fn arg_u64(mut self, key: &str, value: u64) -> Self {
+        self.args.push((key.to_string(), ArgValue::U64(value)));
+        self
+    }
+
+    /// Adds an argument after creation (for outcomes known only at the
+    /// end of the measured region).
+    pub fn push_arg(&mut self, key: &str, value: impl Into<String>) {
+        self.args
+            .push((key.to_string(), ArgValue::Str(value.into())));
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let end = self.obs.clock().now_us();
+        self.obs.trace().record(TraceEvent {
+            ph: 'X',
+            cat: std::mem::take(&mut self.cat),
+            name: std::mem::take(&mut self.name),
+            ts_us: self.start_us,
+            dur_us: Some(end.saturating_sub(self.start_us)),
+            tid: crate::current_tid(),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ClockMode, Obs};
+
+    #[test]
+    fn span_records_a_complete_event() {
+        let obs = Obs::new(ClockMode::Logical);
+        obs.trace().enable();
+        {
+            let _span = obs.span("test", "unit").arg("case", "SB").arg_u64("n", 2);
+        }
+        let events = obs.trace().sorted_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ph, 'X');
+        assert_eq!(events[0].name, "unit");
+        assert_eq!(events[0].cat, "test");
+        assert!(events[0].dur_us.is_some());
+        assert_eq!(events[0].args.len(), 2);
+    }
+
+    #[test]
+    fn span_without_tracing_is_silent() {
+        let obs = Obs::new(ClockMode::Wall);
+        {
+            let _span = obs.span("test", "unit");
+        }
+        assert!(obs.trace().sorted_events().is_empty());
+    }
+}

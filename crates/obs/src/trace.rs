@@ -1,0 +1,283 @@
+//! chrome://tracing-compatible JSONL trace sink.
+//!
+//! Every recorded [`TraceEvent`] becomes one JSON object per line
+//! (Chrome's "JSON Array Format" minus the surrounding brackets, which
+//! `chrome://tracing` and Perfetto both accept line-by-line). Each line
+//! carries the four keys the viewers require — `name`, `ph`, `ts`,
+//! `pid` — plus `tid`, `cat`, optional `dur`, and an `args` object.
+//!
+//! **Export order is deterministic.** Worker threads record events in
+//! completion order, which varies run to run; the exporter sorts by a
+//! key that excludes every schedule-dependent field (`ts`, `dur`,
+//! `tid`, and `*_ms`/`*_us` args), so two runs of the same workload
+//! yield byte-identical traces once those fields are stripped — the
+//! contract `tests/exec_determinism.rs` enforces across `--jobs`
+//! counts.
+
+use crate::events::ArgValue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default cap on retained trace events.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// Argument keys with this suffix hold wall-clock measurements and are
+/// excluded from deterministic ordering (and stripped by trace
+/// normalization in `rip-testkit`).
+pub fn is_wall_time_key(key: &str) -> bool {
+    key.ends_with("_ms") || key.ends_with("_us")
+}
+
+/// One trace event (`ph` is the Chrome phase: `X` complete, `i`
+/// instant, `C` counter).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Chrome phase character.
+    pub ph: char,
+    /// Event category.
+    pub cat: String,
+    /// Event name.
+    pub name: String,
+    /// Timestamp (microseconds or logical ticks, per the clock mode).
+    pub ts_us: u64,
+    /// Duration for complete (`X`) events.
+    pub dur_us: Option<u64>,
+    /// Small per-thread id (0 = first thread observed).
+    pub tid: u64,
+    /// Structured arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// The schedule-independent ordering key: everything except `ts`,
+    /// `dur`, `tid` and wall-time args.
+    fn sort_key(&self) -> (String, String, char, String) {
+        let mut args = String::new();
+        for (k, v) in &self.args {
+            if is_wall_time_key(k) {
+                continue;
+            }
+            args.push_str(k);
+            args.push('=');
+            args.push_str(&v.to_string());
+            args.push('\u{1f}');
+        }
+        (self.cat.clone(), self.name.clone(), self.ph, args)
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json(&self, pid: u32) -> String {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"name\":");
+        push_json_string(&mut line, &self.name);
+        line.push_str(",\"cat\":");
+        push_json_string(&mut line, &self.cat);
+        line.push_str(&format!(",\"ph\":\"{}\",\"ts\":{}", self.ph, self.ts_us));
+        if let Some(dur) = self.dur_us {
+            line.push_str(&format!(",\"dur\":{dur}"));
+        }
+        line.push_str(&format!(",\"pid\":{pid},\"tid\":{}", self.tid));
+        line.push_str(",\"args\":{");
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_json_string(&mut line, k);
+            line.push(':');
+            match v {
+                ArgValue::U64(n) => line.push_str(&n.to_string()),
+                ArgValue::Str(s) => push_json_string(&mut line, s),
+            }
+        }
+        line.push_str("}}");
+        line
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A bounded collector of trace events, disabled (and nearly free)
+/// until [`TraceSink::enable`] is called.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: AtomicBool,
+    capacity: usize,
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl TraceSink {
+    /// A disabled sink with the default capacity.
+    pub fn new() -> Self {
+        TraceSink::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A disabled sink retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            enabled: AtomicBool::new(false),
+            capacity: capacity.max(1),
+            events: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the sink is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records `event` when enabled; excess events past the capacity
+    /// are counted in [`TraceSink::dropped`] instead of retained.
+    pub fn record(&self, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut events = self.events.lock().unwrap_or_else(|p| p.into_inner());
+        if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(event);
+    }
+
+    /// Events discarded because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The recorded events, sorted by the schedule-independent key.
+    pub fn sorted_events(&self) -> Vec<TraceEvent> {
+        let mut events = self
+            .events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        events.sort_by_key(|a| a.sort_key());
+        events
+    }
+
+    /// Renders every recorded event (plus any `extra` events appended
+    /// after sorting, e.g. final counter values) as JSONL.
+    pub fn export_jsonl(&self, extra: impl IntoIterator<Item = TraceEvent>) -> String {
+        let pid = std::process::id();
+        let mut out = String::new();
+        for event in self.sorted_events().into_iter().chain(extra) {
+            out.push_str(&event.to_json(pid));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, ts: u64, tid: u64) -> TraceEvent {
+        TraceEvent {
+            ph: 'X',
+            cat: "test".into(),
+            name: name.into(),
+            ts_us: ts,
+            dur_us: Some(5),
+            tid,
+            args: vec![
+                ("case".into(), ArgValue::Str("SB".into())),
+                ("built_ms".into(), ArgValue::U64(ts)),
+            ],
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::new();
+        sink.record(event("a", 1, 0));
+        assert!(sink.sorted_events().is_empty());
+    }
+
+    #[test]
+    fn export_order_ignores_timestamps_and_threads() {
+        let run = |order: &[(&str, u64, u64)]| {
+            let sink = TraceSink::new();
+            sink.enable();
+            for &(name, ts, tid) in order {
+                sink.record(event(name, ts, tid));
+            }
+            sink.sorted_events()
+                .into_iter()
+                .map(|e| e.name)
+                .collect::<Vec<_>>()
+        };
+        let a = run(&[("beta", 9, 1), ("alpha", 3, 0)]);
+        let b = run(&[("alpha", 70, 2), ("beta", 1, 5)]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn json_lines_escape_and_carry_required_keys() {
+        let sink = TraceSink::new();
+        sink.enable();
+        sink.record(TraceEvent {
+            ph: 'i',
+            cat: "exec.cache".into(),
+            name: "quote\"and\\slash\n".into(),
+            ts_us: 7,
+            dur_us: None,
+            tid: 0,
+            args: vec![("n".into(), ArgValue::U64(3))],
+        });
+        let line = sink.export_jsonl(None);
+        assert!(line.contains("\\\"and\\\\slash\\n"));
+        for key in ["\"name\":", "\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert!(!line.contains("\"dur\""));
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted_not_grown() {
+        let sink = TraceSink::with_capacity(2);
+        sink.enable();
+        for i in 0..5 {
+            sink.record(event("e", i, 0));
+        }
+        assert_eq!(sink.sorted_events().len(), 2);
+        assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn wall_time_keys_are_recognized() {
+        assert!(is_wall_time_key("built_ms"));
+        assert!(is_wall_time_key("load_us"));
+        assert!(!is_wall_time_key("attempts"));
+        assert!(!is_wall_time_key("msgs"));
+    }
+}

@@ -1,0 +1,32 @@
+//! CI entry point for the trace-schema contract.
+//!
+//! Usage: `trace_check FILE...` — validates each JSONL trace file with
+//! [`rip_testkit::obs::validate_trace`] (every line parses as a JSON
+//! object carrying `name`/`ph`/`ts`/`pid`) and prints the event count.
+//! Exits 1 on the first malformed file, 2 on usage/IO errors.
+
+use rip_testkit::obs::validate_trace;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check FILE...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let jsonl = match std::fs::read_to_string(path) {
+            Ok(jsonl) => jsonl,
+            Err(e) => {
+                eprintln!("trace_check: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match validate_trace(&jsonl) {
+            Ok(count) => println!("ok\t{path}\t{count} events"),
+            Err(e) => {
+                eprintln!("trace_check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

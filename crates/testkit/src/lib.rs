@@ -33,10 +33,16 @@
 //!    (via `RIP_FAULT_INJECT`) and bit-flipped, header-bombed, or
 //!    truncated cache artifacts, proving every degradation path of the
 //!    fault-tolerant executor.
+//! 7. **Observability contract** ([`obs`]) — chrome://tracing schema
+//!    validation for `--trace` output (also exposed to CI as the
+//!    `trace_check` binary), schedule-independent trace normalization,
+//!    and differential checks that the `rip-obs` counter registry is an
+//!    exact mirror of `SimReport` and `PredictionStats`.
 
 pub mod diff;
 pub mod faultinject;
 pub mod gen;
 pub mod invariants;
 pub mod metamorphic;
+pub mod obs;
 pub mod snapshot;

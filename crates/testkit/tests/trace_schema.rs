@@ -1,0 +1,122 @@
+//! The trace-schema half of the observability contract: everything
+//! `rip-obs` exports must be valid chrome://tracing JSONL — every line
+//! a JSON object with `name`, `ph`, `ts` and `pid` — and the
+//! `trace_check` CI binary enforces the same rule on real `--trace`
+//! output.
+
+use rip_obs::{ClockMode, Obs, TraceFileGuard};
+use rip_testkit::obs::{normalize_trace, parse_json_line, validate_trace, JsonValue};
+use std::sync::Arc;
+
+/// Builds a representative trace: spans (ph X), instant events (ph i)
+/// with string/numeric/wall-time args, and counter totals (ph C).
+fn sample_trace() -> String {
+    let obs = Obs::new(ClockMode::Logical);
+    obs.trace().enable();
+    obs.add("exec.cache.memory_hit", 3);
+    obs.add("gpusim.cycles", 123_456);
+    {
+        let _span = obs
+            .span("exec.unit", "fig12_speedup")
+            .arg("runner", "run_all")
+            .arg_u64("attempt", 1);
+    }
+    obs.event("exec.cache", "build")
+        .arg("case", "sb_tiny \"quoted\" \\ and\tcontrol")
+        .arg_u64("built_ms", 42)
+        .emit();
+    obs.export_trace_jsonl()
+}
+
+#[test]
+fn exported_trace_satisfies_the_schema() {
+    let jsonl = sample_trace();
+    let count = validate_trace(&jsonl).expect("exported trace must validate");
+    assert_eq!(count, 4, "span + event + 2 counters:\n{jsonl}");
+}
+
+#[test]
+fn every_phase_carries_its_structural_fields() {
+    let jsonl = sample_trace();
+    let mut phases = Vec::new();
+    for line in jsonl.lines() {
+        let value = parse_json_line(line).unwrap();
+        let JsonValue::Str(ph) = value.get("ph").unwrap() else {
+            panic!("ph is not a string: {line}");
+        };
+        phases.push(ph.clone());
+        match ph.as_str() {
+            "X" => assert!(value.get("dur").is_some(), "span without dur: {line}"),
+            "C" => {
+                let args = value.get("args").unwrap();
+                assert!(args.get("value").is_some(), "counter without value: {line}");
+            }
+            "i" => assert!(value.get("args").is_some(), "event without args: {line}"),
+            other => panic!("unexpected phase {other:?}: {line}"),
+        }
+        assert!(value.get("cat").is_some(), "no cat: {line}");
+        assert!(value.get("tid").is_some(), "no tid: {line}");
+    }
+    phases.sort_unstable();
+    assert_eq!(phases, ["C", "C", "X", "i"]);
+}
+
+#[test]
+fn escaped_strings_survive_a_parse_round_trip() {
+    let jsonl = sample_trace();
+    let build_line = jsonl
+        .lines()
+        .find(|l| l.contains("\"build\""))
+        .expect("build event present");
+    let value = parse_json_line(build_line).unwrap();
+    assert_eq!(
+        value.get("args").unwrap().get("case"),
+        Some(&JsonValue::Str(
+            "sb_tiny \"quoted\" \\ and\tcontrol".to_string()
+        ))
+    );
+}
+
+#[test]
+fn trace_file_guard_output_validates_and_normalizes() {
+    let path = std::env::temp_dir().join(format!("rip-trace-schema-{}.jsonl", std::process::id()));
+    {
+        let obs = Arc::new(Obs::new(ClockMode::Logical));
+        let guard = TraceFileGuard::new(Arc::clone(&obs), &path);
+        obs.add("exec.unit.completed", 2);
+        obs.event("exec.runner", "unit_done")
+            .arg("unit", "table4_energy")
+            .arg_u64("elapsed_ms", 17)
+            .emit();
+        guard.flush();
+    }
+    let jsonl = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(validate_trace(&jsonl).unwrap() >= 2);
+
+    // Normalization drops the wall-time arg but keeps the unit name.
+    let normalized = normalize_trace(&jsonl).unwrap();
+    assert!(normalized.contains("table4_energy"));
+    assert!(!normalized.contains("elapsed_ms"));
+    assert!(!normalized.contains("\"ts\""));
+    assert!(!normalized.contains("\"tid\""));
+}
+
+#[test]
+fn wall_and_logical_clock_traces_normalize_identically() {
+    let run = |mode: ClockMode| {
+        let obs = Obs::new(mode);
+        obs.trace().enable();
+        obs.add("exec.cache.build", 1);
+        let _span = obs.span("exec.cache", "build").arg("case", "sp_tiny");
+        drop(_span);
+        obs.export_trace_jsonl()
+    };
+    let wall = run(ClockMode::Wall);
+    let logical = run(ClockMode::Logical);
+    assert_eq!(
+        normalize_trace(&wall).unwrap(),
+        normalize_trace(&logical).unwrap(),
+        "clock mode must vanish under normalization"
+    );
+}

@@ -4,7 +4,10 @@
 
 use rip_bench::{experiments, Context, SceneSelection};
 use rip_exec::{Case, CaseCache, CaseKey, JobPool};
+use rip_obs::{ClockMode, Obs};
 use rip_scene::{SceneScale, SCENE_IDS};
+use rip_testkit::obs::{normalize_trace, validate_trace};
+use std::sync::Arc;
 
 /// A representative slice of the schedule: a per-scene table, a config
 /// sweep, and a module with skippable rows.
@@ -36,6 +39,62 @@ fn experiment_output_is_identical_at_any_job_count() {
             "{probe}: metrics diverged between --jobs 1 and --jobs 4"
         );
     }
+}
+
+/// Runs the probe experiments under an isolated, tracing-enabled
+/// [`Obs`] and returns the final counter snapshot plus the normalized
+/// trace (ts/dur/tid and wall-time args stripped, lines sorted).
+fn traced_run(jobs: usize) -> (std::collections::BTreeMap<String, u64>, String) {
+    let obs = Arc::new(Obs::new(ClockMode::Logical));
+    obs.trace().enable();
+    let ctx = Context::scoped(
+        SceneScale::Tiny,
+        SceneSelection::Subset(2),
+        jobs,
+        Arc::clone(&obs),
+    );
+    for probe in PROBES {
+        let (_, run) = experiments::ALL
+            .iter()
+            .find(|(name, _)| *name == probe)
+            .expect("probe experiment exists in the schedule");
+        run(&ctx);
+    }
+    let jsonl = obs.export_trace_jsonl();
+    validate_trace(&jsonl).expect("traced run must export schema-valid JSONL");
+    let normalized = normalize_trace(&jsonl).expect("trace must normalize");
+    (obs.registry().snapshot(), normalized)
+}
+
+#[test]
+fn traced_counters_and_traces_are_schedule_independent() {
+    let (counters_serial, trace_serial) = traced_run(1);
+    let (counters_parallel, trace_parallel) = traced_run(4);
+
+    assert!(
+        counters_serial
+            .get("exec.cache.build")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "probe runs should exercise the case cache: {counters_serial:?}"
+    );
+    assert!(
+        counters_serial.keys().any(|k| k.starts_with("gpusim.")),
+        "probe runs should exercise the simulator: {counters_serial:?}"
+    );
+    assert_eq!(
+        counters_serial, counters_parallel,
+        "counter totals diverged between --jobs 1 and --jobs 4"
+    );
+    assert!(
+        !trace_serial.is_empty(),
+        "traced run should record spans and events"
+    );
+    assert_eq!(
+        trace_serial, trace_parallel,
+        "normalized traces diverged between --jobs 1 and --jobs 4"
+    );
 }
 
 #[test]
