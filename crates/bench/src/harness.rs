@@ -292,10 +292,18 @@ impl Context {
     }
 
     /// The counter-registry summary table (every `exec.*`, `gpusim.*`,
-    /// `predictor.*` total recorded so far) — rendered onto stderr by
-    /// `run_all` after the experiment tables.
+    /// `predictor.*` total recorded so far), followed — when tracing is
+    /// enabled and spans were recorded — by per-span latency
+    /// percentiles (p50/p95/p99) aggregated from the trace. Rendered
+    /// onto stderr by `run_all` after the experiment tables.
     pub fn metrics_summary(&self) -> String {
-        self.obs.registry().summary_table()
+        let mut out = self.obs.registry().summary_table();
+        let spans = self.obs.span_latency_summary();
+        if !spans.is_empty() {
+            out.push_str("span latency percentiles:\n");
+            out.push_str(&spans);
+        }
+        out
     }
 
     /// A sharded runner named `name` on this context's pool, reporting

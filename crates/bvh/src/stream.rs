@@ -78,6 +78,17 @@ impl RayBatch {
         self.t_maxes.push(ray.t_max);
     }
 
+    /// Appends every ray of `other`, preserving its stored values bit
+    /// for bit (the coalescing primitive the `rip-serve` front-end uses
+    /// to fuse per-tenant submissions into one stream batch).
+    pub fn append(&mut self, other: &RayBatch) {
+        self.origins.extend_from_slice(&other.origins);
+        self.directions.extend_from_slice(&other.directions);
+        self.inv_directions.extend_from_slice(&other.inv_directions);
+        self.t_mins.extend_from_slice(&other.t_mins);
+        self.t_maxes.extend_from_slice(&other.t_maxes);
+    }
+
     /// Number of rays in the batch.
     pub fn len(&self) -> usize {
         self.origins.len()
@@ -300,6 +311,18 @@ mod tests {
             assert_eq!(batch.inv_direction(i), ray.inv_direction());
         }
         assert_eq!(batch.to_rays(), rays);
+    }
+
+    #[test]
+    fn append_concatenates_bit_exactly() {
+        let (rays, _) = random_rays(48, 7);
+        let (front, back) = rays.split_at(20);
+        let mut batch = RayBatch::from_rays(front);
+        batch.append(&RayBatch::from_rays(back));
+        assert_eq!(batch.len(), rays.len());
+        assert_eq!(batch, RayBatch::from_rays(&rays));
+        batch.append(&RayBatch::default());
+        assert_eq!(batch.len(), rays.len(), "appending empty is a no-op");
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod oracle;
 mod policies;
 mod predicted;
 mod predictor;
+mod shared;
 mod sim;
 mod stats;
 mod table;
@@ -65,9 +66,10 @@ pub use oracle::OracleMode;
 pub use policies::NodeReplacement;
 pub use predicted::Predicted;
 pub use predictor::{Prediction, Predictor};
+pub use shared::{ConcurrentPredictorTable, SharedTable};
 pub use sim::{FunctionalReport, FunctionalSim, SimOptions};
 pub use stats::PredictionStats;
-pub use table::{PredictorTable, TableStats};
+pub use table::{NodeCandidates, PredictorTable, TableStats, INLINE_CANDIDATES};
 pub use traverse::{
     trace_closest, trace_closest_with, trace_occlusion, trace_occlusion_with, PredictedTrace,
     RayOutcome,

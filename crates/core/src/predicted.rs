@@ -59,6 +59,24 @@ impl<'a, K: TraversalKernel> Predicted<'a, K> {
         Predicted::with_predictor(bvh, Predictor::new(config, bvh.bounds()), kernel)
     }
 
+    /// Wraps `kernel` with a predictor that learns into `table`, a
+    /// [`SharedTable`](crate::SharedTable) concurrently driven by other
+    /// predictors — the `rip-serve` shape, where in-flight requests from
+    /// different tenants train one sharded table and benefit from each
+    /// other's ray locality.
+    pub fn with_shared_table(
+        bvh: &'a Bvh,
+        config: PredictorConfig,
+        table: std::sync::Arc<dyn crate::SharedTable>,
+        kernel: K,
+    ) -> Self {
+        Predicted::with_predictor(
+            bvh,
+            Predictor::with_shared_table(config, bvh.bounds(), table),
+            kernel,
+        )
+    }
+
     /// Wraps `kernel` around an existing (possibly pre-trained) predictor.
     pub fn with_predictor(bvh: &'a Bvh, predictor: Predictor, kernel: K) -> Self {
         let mirrored = predictor.stats();

@@ -2,10 +2,13 @@
 
 #[cfg(test)]
 use crate::OracleMode;
-use crate::{PredictionStats, PredictorConfig, PredictorTable, RayHasher};
+use crate::{
+    NodeCandidates, PredictionStats, PredictorConfig, PredictorTable, RayHasher, SharedTable,
+};
 use rip_bvh::{Bvh, NodeId};
 use rip_math::{Aabb, Ray};
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A prediction returned by a table lookup: the ray hash that matched and
 /// the node(s) to verify, in slot order.
@@ -14,7 +17,60 @@ pub struct Prediction {
     /// The full ray hash (also the tag that matched).
     pub hash: u32,
     /// Predicted BVH nodes to start traversal from.
-    pub nodes: Vec<NodeId>,
+    pub nodes: NodeCandidates,
+}
+
+/// The table a predictor drives: its own single-owner [`PredictorTable`]
+/// (the simulator's per-SM shape) or a [`SharedTable`] learned into by
+/// many predictors at once (the service shape).
+#[derive(Clone, Debug)]
+enum TableBackend {
+    Owned(PredictorTable),
+    Shared(Arc<dyn SharedTable>),
+}
+
+impl TableBackend {
+    fn lookup(&mut self, hash: u32) -> Option<NodeCandidates> {
+        match self {
+            TableBackend::Owned(t) => t.lookup(hash),
+            TableBackend::Shared(t) => t.lookup(hash),
+        }
+    }
+
+    fn insert(&mut self, hash: u32, node: NodeId) {
+        match self {
+            TableBackend::Owned(t) => t.insert(hash, node),
+            TableBackend::Shared(t) => t.insert(hash, node),
+        }
+    }
+
+    fn reward(&mut self, hash: u32, node: NodeId) {
+        match self {
+            TableBackend::Owned(t) => t.reward(hash, node),
+            TableBackend::Shared(t) => t.reward(hash, node),
+        }
+    }
+
+    fn stats(&self) -> crate::TableStats {
+        match self {
+            TableBackend::Owned(t) => t.stats(),
+            TableBackend::Shared(t) => t.stats(),
+        }
+    }
+
+    fn stored_nodes(&self) -> Vec<NodeId> {
+        match self {
+            TableBackend::Owned(t) => t.stored_nodes().collect(),
+            TableBackend::Shared(t) => t.stored_nodes(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            TableBackend::Owned(t) => t.clear(),
+            TableBackend::Shared(t) => t.clear(),
+        }
+    }
 }
 
 /// The per-SM ray intersection predictor (§4).
@@ -40,7 +96,7 @@ pub struct Prediction {
 pub struct Predictor {
     config: PredictorConfig,
     hasher: RayHasher,
-    table: PredictorTable,
+    table: TableBackend,
     /// Unbounded training store for the OT/OU oracles.
     unbounded_store: HashSet<NodeId>,
     /// Delayed training updates: `(apply_at_ray, hash, node)`.
@@ -57,11 +113,38 @@ impl Predictor {
     /// Panics when the configuration is invalid.
     pub fn new(config: PredictorConfig, scene_bounds: Aabb) -> Self {
         let hasher = RayHasher::new(config.hash, scene_bounds);
-        let table = PredictorTable::new(config);
+        let table = TableBackend::Owned(PredictorTable::new(config));
         Predictor {
             config,
             hasher,
             table,
+            unbounded_store: HashSet::new(),
+            pending: VecDeque::new(),
+            ray_clock: 0,
+            stats: PredictionStats::default(),
+        }
+    }
+
+    /// Creates a predictor whose table is a [`SharedTable`] learned into
+    /// by many predictors at once (the `rip-serve` shape). Per-ray state
+    /// — the training pipeline, in-flight update delay and outcome
+    /// statistics — stays local to this predictor; only table lookups,
+    /// insertions and rewards route through the shared backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    pub fn with_shared_table(
+        config: PredictorConfig,
+        scene_bounds: Aabb,
+        table: Arc<dyn SharedTable>,
+    ) -> Self {
+        config.validate().expect("invalid predictor configuration");
+        let hasher = RayHasher::new(config.hash, scene_bounds);
+        Predictor {
+            config,
+            hasher,
+            table: TableBackend::Shared(table),
             unbounded_store: HashSet::new(),
             pending: VecDeque::new(),
             ray_clock: 0,
@@ -145,16 +228,16 @@ impl Predictor {
                 .find(|n| self.unbounded_store.contains(n))
                 .map(|&n| Prediction {
                     hash,
-                    nodes: vec![n],
+                    nodes: NodeCandidates::single(n),
                 })
         } else {
-            let stored: HashSet<NodeId> = self.table.stored_nodes().collect();
+            let stored: HashSet<NodeId> = self.table.stored_nodes().into_iter().collect();
             ancestor_chain
                 .iter()
                 .find(|n| stored.contains(n))
                 .map(|&n| Prediction {
                     hash,
-                    nodes: vec![n],
+                    nodes: NodeCandidates::single(n),
                 })
         }
     }

@@ -4,6 +4,139 @@ use crate::policies::SlotUsage;
 use crate::{fold_hash, NodeReplacement, PredictorConfig};
 use rip_bvh::NodeId;
 
+/// Node slots held inline by [`NodeCandidates`] before spilling to the
+/// heap (Table 6 sweeps 1–4 nodes per entry, so the paper's whole
+/// design space stays allocation-free).
+pub const INLINE_CANDIDATES: usize = 4;
+
+#[derive(Clone, Debug)]
+enum CandidateRepr {
+    Inline {
+        buf: [NodeId; INLINE_CANDIDATES],
+        len: u8,
+    },
+    Heap(Vec<NodeId>),
+}
+
+/// The predicted nodes returned by a table lookup, in slot order.
+///
+/// A small-vector: up to [`INLINE_CANDIDATES`] nodes live inline (no
+/// allocation on the lookup hot path), larger entries spill to the
+/// heap. Dereferences to a `[NodeId]` slice.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::NodeId;
+/// use rip_core::NodeCandidates;
+///
+/// let nodes = NodeCandidates::from_slice(&[NodeId::new(4), NodeId::new(9)]);
+/// assert_eq!(nodes.len(), 2);
+/// assert_eq!(&nodes[..], &[NodeId::new(4), NodeId::new(9)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NodeCandidates(CandidateRepr);
+
+impl NodeCandidates {
+    /// Candidates copied from a slice (inline when it fits).
+    pub fn from_slice(nodes: &[NodeId]) -> Self {
+        if nodes.len() <= INLINE_CANDIDATES {
+            let mut buf = [NodeId::ROOT; INLINE_CANDIDATES];
+            buf[..nodes.len()].copy_from_slice(nodes);
+            NodeCandidates(CandidateRepr::Inline {
+                buf,
+                len: nodes.len() as u8,
+            })
+        } else {
+            NodeCandidates(CandidateRepr::Heap(nodes.to_vec()))
+        }
+    }
+
+    /// A single predicted node (the common `nodes_per_entry = 1` case).
+    pub fn single(node: NodeId) -> Self {
+        NodeCandidates::from_slice(std::slice::from_ref(&node))
+    }
+
+    /// The candidates as a slice, in slot order.
+    pub fn as_slice(&self) -> &[NodeId] {
+        match &self.0 {
+            CandidateRepr::Inline { buf, len } => &buf[..*len as usize],
+            CandidateRepr::Heap(v) => v,
+        }
+    }
+
+    /// Consumes the candidates into a `Vec` (allocates only when the
+    /// nodes were inline).
+    pub fn into_vec(self) -> Vec<NodeId> {
+        match self.0 {
+            CandidateRepr::Inline { buf, len } => buf[..len as usize].to_vec(),
+            CandidateRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for NodeCandidates {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<NodeId>> for NodeCandidates {
+    fn from(nodes: Vec<NodeId>) -> Self {
+        if nodes.len() <= INLINE_CANDIDATES {
+            NodeCandidates::from_slice(&nodes)
+        } else {
+            NodeCandidates(CandidateRepr::Heap(nodes))
+        }
+    }
+}
+
+impl FromIterator<NodeId> for NodeCandidates {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        iter.into_iter().collect::<Vec<_>>().into()
+    }
+}
+
+impl PartialEq for NodeCandidates {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for NodeCandidates {}
+
+impl PartialEq<[NodeId]> for NodeCandidates {
+    fn eq(&self, other: &[NodeId]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for NodeCandidates {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeCandidates {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl IntoIterator for NodeCandidates {
+    type Item = NodeId;
+    type IntoIter = std::vec::IntoIter<NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.into_vec().into_iter()
+    }
+}
+
 /// Aggregate counters for table behaviour.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TableStats {
@@ -43,8 +176,8 @@ struct Entry {
 ///
 /// let mut table = PredictorTable::new(PredictorConfig::paper_default());
 /// table.insert(0x1ABC, NodeId::new(42));
-/// assert_eq!(table.lookup(0x1ABC), Some(vec![NodeId::new(42)]));
-/// assert_eq!(table.lookup(0x1ABD), None);
+/// assert_eq!(table.lookup(0x1ABC).as_deref(), Some(&[NodeId::new(42)][..]));
+/// assert!(table.lookup(0x1ABD).is_none());
 /// ```
 #[derive(Clone, Debug)]
 pub struct PredictorTable {
@@ -93,22 +226,52 @@ impl PredictorTable {
         fold_hash(hash, self.config.hash.bits(), self.config.index_bits()) as usize
     }
 
-    /// Looks up the predicted nodes for a ray hash, updating entry LRU on a
-    /// tag match. Returns the entry's nodes in slot order.
-    pub fn lookup(&mut self, hash: u32) -> Option<Vec<NodeId>> {
+    /// The pure read half of a lookup: returns the candidates stored
+    /// under `hash` without touching statistics, the LRU clock, or any
+    /// aging state. Safe to serve through a shared reference — this is
+    /// the path concurrent front-ends take before deciding whether to
+    /// account the access via [`PredictorTable::record_lookup`].
+    pub fn peek(&self, hash: u32) -> Option<NodeCandidates> {
+        let idx = self.set_index(hash);
+        self.sets[idx]
+            .iter()
+            .flatten()
+            .find(|way| way.tag == hash)
+            .map(|way| NodeCandidates::from_slice(&way.nodes))
+    }
+
+    /// The mutation half of a lookup: advances the clock, accounts the
+    /// access, and refreshes entry LRU on a tag match. Returns whether
+    /// the tag matched.
+    pub fn record_lookup(&mut self, hash: u32) -> bool {
         self.stats.lookups += 1;
         self.clock += 1;
         let idx = self.set_index(hash);
         let clock = self.clock;
-        let set = &mut self.sets[idx];
-        for way in set.iter_mut().flatten() {
-            if way.tag == hash {
-                way.last_use = clock;
-                self.stats.tag_hits += 1;
-                return Some(way.nodes.clone());
-            }
+        if let Some(way) = self.sets[idx]
+            .iter_mut()
+            .flatten()
+            .find(|way| way.tag == hash)
+        {
+            way.last_use = clock;
+            self.stats.tag_hits += 1;
+            true
+        } else {
+            false
         }
-        None
+    }
+
+    /// Looks up the predicted nodes for a ray hash, updating entry LRU on a
+    /// tag match. Returns the entry's nodes in slot order. Composed from
+    /// [`PredictorTable::record_lookup`] and [`PredictorTable::peek`] —
+    /// behaviour (stats, aging, results) is identical to the historical
+    /// fused implementation.
+    pub fn lookup(&mut self, hash: u32) -> Option<NodeCandidates> {
+        if self.record_lookup(hash) {
+            self.peek(hash)
+        } else {
+            None
+        }
     }
 
     /// Records that `node` (previously returned by [`lookup`]) verified a
@@ -220,7 +383,7 @@ mod tests {
     fn insert_then_lookup_round_trips() {
         let mut t = PredictorTable::new(PredictorConfig::paper_default());
         t.insert(0x7001, NodeId::new(9));
-        assert_eq!(t.lookup(0x7001), Some(vec![NodeId::new(9)]));
+        assert_eq!(t.lookup(0x7001).as_deref(), Some(&[NodeId::new(9)][..]));
         assert_eq!(t.occupancy(), 1);
         assert_eq!(t.stats().tag_hits, 1);
     }
@@ -242,8 +405,8 @@ mod tests {
         );
         t.insert(base, NodeId::new(1));
         t.insert(h2, NodeId::new(2));
-        assert_eq!(t.lookup(base), Some(vec![NodeId::new(1)]));
-        assert_eq!(t.lookup(h2), Some(vec![NodeId::new(2)]));
+        assert_eq!(t.lookup(base).as_deref(), Some(&[NodeId::new(1)][..]));
+        assert_eq!(t.lookup(h2).as_deref(), Some(&[NodeId::new(2)][..]));
     }
 
     #[test]

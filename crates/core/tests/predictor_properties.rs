@@ -79,7 +79,7 @@ proptest! {
         for (i, &hash) in hashes.iter().enumerate() {
             table.insert(hash, NodeId::new(i as u32));
             let nodes = table.lookup(hash);
-            prop_assert_eq!(nodes, Some(vec![NodeId::new(i as u32)]),
+            prop_assert_eq!(nodes.as_deref(), Some(&[NodeId::new(i as u32)][..]),
                 "freshly inserted entry missing");
         }
     }

@@ -224,6 +224,21 @@ impl CaseCache {
         Arc::clone(case)
     }
 
+    /// Drops the in-process entry for `key`, so the next
+    /// [`CaseCache::get_or_build`] re-resolves it (from the artifact
+    /// store if present, else a fresh build). Returns whether an entry
+    /// was dropped. On-disk artifacts are untouched — they are pure
+    /// derived data and stay valid across epochs.
+    ///
+    /// This is the hook behind `rip-serve`'s epoch-based registry
+    /// reload: the registry invalidates, rebuilds via `get_or_build`,
+    /// and bumps its epoch; requests already holding the old `Arc`'d
+    /// case keep tracing against it unperturbed.
+    pub fn invalidate(&self, key: CaseKey) -> bool {
+        let mut cases = self.cases.lock().unwrap_or_else(|p| p.into_inner());
+        cases.remove(&key).is_some()
+    }
+
     fn load_or_build(&self, key: CaseKey) -> Case {
         match self.try_load(key) {
             Ok(case) => {
@@ -414,6 +429,15 @@ impl CaseCache {
 impl Default for CaseCache {
     fn default() -> Self {
         CaseCache::new()
+    }
+}
+
+impl std::fmt::Debug for CaseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseCache")
+            .field("disk_dir", &self.disk_dir)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
     }
 }
 

@@ -160,7 +160,7 @@ mod tests {
             7,
             Some(Prediction {
                 hash: 7,
-                nodes: vec![rip_bvh::NodeId::ROOT],
+                nodes: vec![rip_bvh::NodeId::ROOT].into(),
             }),
         );
         assert_eq!(p.phase, RayPhase::Predicted);

@@ -1,0 +1,344 @@
+//! Log-bucketed latency histograms with deterministic merge.
+//!
+//! The service layer (`rip-serve`) and the span summary need latency
+//! percentiles without retaining every sample. [`Histogram`] buckets
+//! values on a logarithmic grid — each power-of-two octave is split
+//! into [`SUB_BUCKETS`] linear sub-buckets, HdrHistogram-style — so
+//! relative error is bounded (≤ 1/[`SUB_BUCKETS`] ≈ 12.5%) at any
+//! magnitude while storage stays a fixed 512 counters.
+//!
+//! Two properties the callers rely on:
+//!
+//! * **Deterministic merge**: [`Histogram::merge`] is a bucket-wise
+//!   add, so merging per-worker histograms in any order yields the
+//!   same result — percentile reports are schedule-independent given
+//!   the same samples.
+//! * **Conservative percentiles**: [`Histogram::percentile`] returns
+//!   the *upper bound* of the bucket containing the requested rank, so
+//!   a reported p99 is never below the true p99.
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 8;
+
+/// Number of octaves covered (`u64` values up to `2^64 - 1`).
+const OCTAVES: usize = 64;
+
+/// Total bucket count.
+const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (latencies in
+/// microseconds, queue depths, batch sizes — any non-negative metric).
+///
+/// # Examples
+///
+/// ```
+/// use rip_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100u64, 200, 300, 400, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(50.0) >= 300);
+/// assert!(h.percentile(99.0) >= 1000);
+/// assert_eq!(h.min(), 100);
+/// assert_eq!(h.max(), 1000);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `value`: octave = position of the highest
+    /// set bit, sub-bucket = the next `log2(SUB_BUCKETS)` bits below it.
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            // Small values are exact: one bucket per integer.
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as usize;
+        let sub_bits = SUB_BUCKETS.trailing_zeros() as usize;
+        let sub = ((value >> (octave - sub_bits)) as usize) & (SUB_BUCKETS - 1);
+        octave * SUB_BUCKETS + sub
+    }
+
+    /// The largest value mapping to `bucket` (the conservative
+    /// per-bucket representative used by [`Histogram::percentile`]).
+    fn bucket_upper_bound(bucket: usize) -> u64 {
+        if bucket < SUB_BUCKETS {
+            return bucket as u64;
+        }
+        let octave = bucket / SUB_BUCKETS;
+        let sub = (bucket % SUB_BUCKETS) as u64;
+        let sub_bits = SUB_BUCKETS.trailing_zeros() as usize;
+        let base = 1u64 << octave;
+        let step = 1u64 << (octave - sub_bits);
+        // Upper edge of the sub-bucket, inclusive.
+        (base | (sub.wrapping_mul(step))).saturating_add(step - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `n` occurrences of `value` (bulk accounting).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket-wise addition of `other` into `self`. Associative and
+    /// commutative, so per-worker histograms merge deterministically in
+    /// any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at percentile `p` (0–100): the upper bound of the
+    /// bucket holding the sample of rank `ceil(p/100 · count)`, clamped
+    /// to the recorded maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(Histogram::bucket_upper_bound(Histogram::bucket_of(v)), v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_bounded() {
+        let mut values: Vec<u64> = (0..63)
+            .flat_map(|exp| [0u64, 1, 3].map(|off| (1u64 << exp).saturating_add(off)))
+            .collect();
+        values.sort_unstable();
+        let mut previous = 0usize;
+        for v in values {
+            let b = Histogram::bucket_of(v);
+            assert!(b >= previous, "bucket index regressed at {v}");
+            assert!(b < BUCKETS);
+            let ub = Histogram::bucket_upper_bound(b);
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            // Relative error bound: ub < v · (1 + 2/SUB_BUCKETS).
+            assert!(
+                (ub as f64) < (v as f64) * (1.0 + 2.0 / SUB_BUCKETS as f64) + 1.0,
+                "bucket too wide at {v}: {ub}"
+            );
+            previous = b;
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_conservative() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        let p95 = h.p95();
+        let p99 = h.p99();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 >= 500, "p50 {p50} below true median");
+        assert!(p99 >= 990, "p99 {p99} below true p99");
+        assert!(p99 <= h.max());
+        assert_eq!(h.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples: Vec<u64> = (0..500).map(|i| (i * 7919) % 100_000).collect();
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        // Split across three shards, merge in two different orders.
+        let mut shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &s) in samples.iter().enumerate() {
+            shards[i % 3].record(s);
+        }
+        let mut ab = Histogram::new();
+        ab.merge(&shards[0]);
+        ab.merge(&shards[1]);
+        ab.merge(&shards[2]);
+        let mut ba = Histogram::new();
+        ba.merge(&shards[2]);
+        ba.merge(&shards[0]);
+        ba.merge(&shards[1]);
+        for h in [&ab, &ba] {
+            assert_eq!(h.count(), whole.count());
+            assert_eq!(h.sum(), whole.sum());
+            assert_eq!(h.min(), whole.min());
+            assert_eq!(h.max(), whole.max());
+            for p in [1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9] {
+                assert_eq!(h.percentile(p), whole.percentile(p), "p{p} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        bulk.record_n(4242, 17);
+        let mut repeated = Histogram::new();
+        for _ in 0..17 {
+            repeated.record(4242);
+        }
+        assert_eq!(bulk.count(), repeated.count());
+        assert_eq!(bulk.sum(), repeated.sum());
+        assert_eq!(bulk.p50(), repeated.p50());
+        bulk.record_n(1, 0);
+        assert_eq!(bulk.count(), 17, "record_n(_, 0) must be a no-op");
+    }
+
+    #[test]
+    fn single_sample_percentiles_cover_it() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 123_456);
+        }
+        assert_eq!(h.mean(), 123_456.0);
+    }
+}

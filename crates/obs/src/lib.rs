@@ -50,12 +50,14 @@
 
 pub mod clock;
 pub mod events;
+pub mod hist;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
 pub use clock::{Clock, ClockMode};
 pub use events::{ArgValue, Event, EventLog};
+pub use hist::Histogram;
 pub use registry::{Counter, CounterRegistry};
 pub use span::Span;
 pub use trace::{TraceEvent, TraceSink};
@@ -187,6 +189,54 @@ impl Obs {
             args: event.args.clone(),
         });
         self.log.push(event);
+    }
+
+    /// Per-span latency histograms aggregated from the recorded trace:
+    /// every complete (`ph: 'X'`) span grouped by `cat:name`, sorted by
+    /// that key. Empty until tracing is enabled — spans are only
+    /// retained by the sink.
+    pub fn span_latencies(&self) -> Vec<(String, Histogram)> {
+        let mut groups: std::collections::BTreeMap<String, Histogram> =
+            std::collections::BTreeMap::new();
+        for event in self.trace.sorted_events() {
+            if event.ph != 'X' {
+                continue;
+            }
+            let key = format!("{}:{}", event.cat, event.name);
+            groups
+                .entry(key)
+                .or_default()
+                .record(event.dur_us.unwrap_or(0));
+        }
+        groups.into_iter().collect()
+    }
+
+    /// Renders [`Obs::span_latencies`] as an aligned table of per-span
+    /// latency percentiles (count, p50/p95/p99, max — in the clock's
+    /// microsecond units). Returns an empty string when no spans were
+    /// recorded, so callers can append it to a summary unconditionally.
+    pub fn span_latency_summary(&self) -> String {
+        let groups = self.span_latencies();
+        if groups.is_empty() {
+            return String::new();
+        }
+        let width = groups.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "span", "count", "p50_us", "p95_us", "p99_us", "max_us"
+        ));
+        for (key, hist) in &groups {
+            out.push_str(&format!(
+                "{key:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                hist.count(),
+                hist.p50(),
+                hist.p95(),
+                hist.p99(),
+                hist.max(),
+            ));
+        }
+        out
     }
 
     /// Exports the trace as JSONL: all recorded events in
@@ -365,6 +415,35 @@ mod tests {
         assert_eq!(first, second, "drop after flush must not rewrite");
         assert!(first.contains("\"once\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn span_latency_summary_groups_by_cat_and_name() {
+        let obs = Obs::new(ClockMode::Logical);
+        obs.trace().enable();
+        for _ in 0..3 {
+            let _span = obs.span("exec.pool", "map");
+        }
+        {
+            let _span = obs.span("exec.cache", "build");
+        }
+        obs.event("exec.cache", "artifact_hit").emit(); // not a span
+        let groups = obs.span_latencies();
+        let keys: Vec<&str> = groups.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["exec.cache:build", "exec.pool:map"]);
+        assert_eq!(groups[1].1.count(), 3);
+        let table = obs.span_latency_summary();
+        assert!(table.contains("p99_us"));
+        assert!(table.contains("exec.pool:map"));
+    }
+
+    #[test]
+    fn span_latency_summary_is_empty_without_tracing() {
+        let obs = Obs::new(ClockMode::Wall);
+        {
+            let _span = obs.span("quiet", "span");
+        }
+        assert!(obs.span_latency_summary().is_empty());
     }
 
     #[test]

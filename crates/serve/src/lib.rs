@@ -1,0 +1,42 @@
+//! Ray-tracing-as-a-service over the intersection-predictor stack.
+//!
+//! The paper's predictor (§3–§4) exploits ray locality *across* rays;
+//! a service multiplexing many tenants over one scene multiplies that
+//! locality — every tenant's traffic trains the table every other
+//! tenant predicts from. This crate is the ROADMAP's service-layer
+//! step: the long-lived, concurrent front-end the single-shot CLI
+//! experiments cannot express.
+//!
+//! Four pieces, designed around immutability and bounded queues:
+//!
+//! * [`SceneRegistry`] — epoch-based immutable scene/BVH leases backed
+//!   by the shared `rip-exec` [`CaseCache`](rip_exec::CaseCache);
+//!   reloads publish a new epoch, never mutate in place.
+//! * [`ConcurrentPredictorTable`](rip_core::ConcurrentPredictorTable)
+//!   (from `rip-core`) — the lock-striped shared table behind
+//!   [`SharedTable`](rip_core::SharedTable), driven here by per-chunk
+//!   [`Predicted`](rip_core::Predicted) kernels.
+//! * [`RayService`] — bounded per-tenant queues with [`Backpressure`],
+//!   round-robin fairness, per-class coalescing into Morton-sorted
+//!   [`RayBatch`](rip_bvh::RayBatch) streams, chunked tracing over the
+//!   `rip-exec` [`JobPool`](rip_exec::JobPool), and per-class latency
+//!   [`Histogram`](rip_obs::Histogram)s.
+//! * [`loadgen`] — synthetic multi-tenant *open-loop* load generation
+//!   (absolute schedules, shed-on-full) feeding the `serve_bench`
+//!   binary and `BENCH_serve.json`.
+//!
+//! See DESIGN.md §9 for the architecture rationale and EXPERIMENTS.md
+//! for the `serve_bench` knobs.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod loadgen;
+mod queue;
+mod registry;
+mod service;
+
+pub use loadgen::{ClassReport, LoadGenConfig, LoadReport};
+pub use queue::{Backpressure, Request, RequestClass, TenantQueue};
+pub use registry::{SceneLease, SceneRegistry};
+pub use service::{ClassStats, RayService, RoundReport, ServiceConfig, ServiceStats};

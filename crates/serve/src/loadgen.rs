@@ -1,0 +1,294 @@
+//! Synthetic multi-tenant open-loop load generation.
+//!
+//! Open-loop means submission times come from an absolute schedule
+//! (request *i* of a tenant is due at `start + i / rate`), not from the
+//! service's completion pace — the standard methodology for measuring
+//! tail latency honestly: a slow service falls behind the schedule and
+//! the backlog shows up as queueing latency and shed requests, instead
+//! of the generator politely slowing down (coordinated omission).
+//!
+//! Each tenant thread mixes the three [`RequestClass`]es round-robin
+//! and synthesizes class-appropriate rays from the leased scene:
+//! camera primaries, hemisphere AO probes, and point-light shadow
+//! segments. A dispatcher loop (the calling thread) drains the service
+//! until the schedule ends and the queues are empty.
+
+use crate::queue::RequestClass;
+use crate::service::{ClassStats, RayService};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rip_bvh::RayBatch;
+use rip_exec::Case;
+use rip_math::{Ray, Vec3};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadGenConfig {
+    /// Logical clients submitting concurrently.
+    pub tenants: usize,
+    /// Open-loop request rate per tenant (requests/second).
+    pub rate: f64,
+    /// Rays per request.
+    pub rays_per_request: usize,
+    /// How long tenants keep submitting.
+    pub duration: Duration,
+    /// Base RNG seed (tenant `t` uses `seed + t`).
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            tenants: 2,
+            rate: 50.0,
+            rays_per_request: 256,
+            duration: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Per-class slice of a [`LoadReport`].
+#[derive(Clone, Debug)]
+pub struct ClassReport {
+    /// Which class.
+    pub class: RequestClass,
+    /// Requests completed.
+    pub requests: u64,
+    /// Rays traced.
+    pub rays: u64,
+    /// Rays that hit geometry.
+    pub hits: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+}
+
+impl ClassReport {
+    fn from_stats(class: RequestClass, stats: &ClassStats) -> Self {
+        ClassReport {
+            class,
+            requests: stats.requests,
+            rays: stats.rays,
+            hits: stats.hits,
+            p50_us: stats.latency_us.p50(),
+            p95_us: stats.latency_us.p95(),
+            p99_us: stats.latency_us.p99(),
+            max_us: stats.latency_us.max(),
+            mean_us: stats.latency_us.mean(),
+        }
+    }
+}
+
+/// The outcome of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Wall-clock time from first submission to final drain.
+    pub wall: Duration,
+    /// Requests completed across all classes.
+    pub completed_requests: u64,
+    /// Rays traced across all classes.
+    pub completed_rays: u64,
+    /// Requests shed by backpressure.
+    pub shed_requests: u64,
+    /// Requests the schedule wanted to submit (completed + shed).
+    pub offered_requests: u64,
+    /// Sustained throughput over the wall-clock window.
+    pub rays_per_sec: f64,
+    /// Dispatch rounds the drain loop executed.
+    pub rounds: u64,
+    /// Per-class accounting in [`RequestClass::ALL`] order.
+    pub classes: Vec<ClassReport>,
+}
+
+/// Synthesizes `n` class-appropriate rays for `case`.
+pub fn synthesize_rays(case: &Case, class: RequestClass, n: usize, rng: &mut SmallRng) -> RayBatch {
+    let bounds = case.bvh.bounds();
+    let diag = bounds.diagonal();
+    let span = |rng: &mut SmallRng| {
+        bounds.min
+            + Vec3::new(
+                rng.gen::<f32>() * diag.x,
+                rng.gen::<f32>() * diag.y,
+                rng.gen::<f32>() * diag.z,
+            )
+    };
+    let mut batch = RayBatch::with_capacity(n);
+    match class {
+        RequestClass::Primary => {
+            let camera = &case.scene.camera;
+            for _ in 0..n {
+                let x = rng.gen_range(0..camera.width());
+                let y = rng.gen_range(0..camera.height());
+                batch.push(camera.primary_ray(x, y));
+            }
+        }
+        RequestClass::AmbientOcclusion => {
+            // Hemisphere-style probes: short segments from points inside
+            // the scene, matching the §5.2 AO workload's ray shape.
+            let radius = 0.1 * bounds.diagonal_length();
+            for _ in 0..n {
+                let origin = span(rng);
+                let direction = rip_math::sampling::uniform_sphere(rng.gen(), rng.gen());
+                batch.push(Ray::segment(origin, direction, radius));
+            }
+        }
+        RequestClass::Shadow => {
+            // Point light floating above the scene center.
+            let light = bounds.center() + Vec3::new(0.0, diag.y, 0.0);
+            for _ in 0..n {
+                let origin = span(rng);
+                let to_light = light - origin;
+                let distance = to_light.length().max(1e-4);
+                batch.push(Ray::segment(origin, to_light / distance, distance));
+            }
+        }
+    }
+    batch
+}
+
+/// Runs the open-loop generators against `service` and drains it to
+/// completion, returning the aggregated report.
+///
+/// The calling thread acts as the dispatcher; one thread per tenant
+/// submits on its absolute schedule. Returns after the schedule has
+/// elapsed *and* every queued request has been traced.
+pub fn run(service: &RayService, config: &LoadGenConfig) -> LoadReport {
+    let tenants = config.tenants.min(service.tenants()).max(1);
+    let interval = Duration::from_secs_f64(1.0 / config.rate.max(1e-3));
+    let active = AtomicUsize::new(tenants);
+    let offered = AtomicU64::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for tenant in 0..tenants {
+            let service = &service;
+            let active = &active;
+            let offered = &offered;
+            let config = *config;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(tenant as u64));
+                let mut sequence = 0u64;
+                loop {
+                    let due = start + interval.mul_f64(sequence as f64);
+                    let now = Instant::now();
+                    if now.duration_since(start) >= config.duration {
+                        break;
+                    }
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let class = RequestClass::ALL[(sequence as usize) % RequestClass::ALL.len()];
+                    let rays =
+                        synthesize_rays(service.case(), class, config.rays_per_request, &mut rng);
+                    offered.fetch_add(1, Ordering::Relaxed);
+                    // Backpressure is already counted by the service.
+                    let _ = service.submit(tenant, class, rays);
+                    sequence += 1;
+                }
+                active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+
+        // Dispatcher: drain until the generators stop and queues empty.
+        loop {
+            let round = service.run_round();
+            if round.requests == 0 {
+                if active.load(Ordering::Acquire) == 0 && service.pending() == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    });
+
+    let wall = start.elapsed();
+    let stats = service.stats();
+    let classes = RequestClass::ALL
+        .iter()
+        .map(|&class| ClassReport::from_stats(class, &stats.classes[class.index()]))
+        .collect();
+    LoadReport {
+        wall,
+        completed_requests: stats.completed_requests,
+        completed_rays: stats.completed_rays,
+        shed_requests: stats.shed_requests,
+        offered_requests: offered.load(Ordering::Relaxed),
+        rays_per_sec: stats.completed_rays as f64 / wall.as_secs_f64().max(1e-9),
+        rounds: stats.rounds,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SceneRegistry;
+    use crate::service::ServiceConfig;
+    use rip_exec::{CaseCache, CaseKey};
+    use rip_scene::{SceneId, SceneScale};
+    use std::sync::Arc;
+
+    #[test]
+    fn synthesized_rays_match_request_size_and_class() {
+        let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+        let lease = registry.get(CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16));
+        let mut rng = SmallRng::seed_from_u64(7);
+        for class in RequestClass::ALL {
+            let batch = synthesize_rays(&lease.case, class, 33, &mut rng);
+            assert_eq!(batch.len(), 33, "{}", class.label());
+        }
+        // Shadow rays are bounded segments pointing at the light.
+        let batch = synthesize_rays(&lease.case, RequestClass::Shadow, 4, &mut rng);
+        for ray in batch.iter() {
+            assert!(ray.t_max.is_finite());
+        }
+    }
+
+    #[test]
+    fn short_open_loop_run_completes_and_reports() {
+        let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+        let lease = registry.get(CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16));
+        let service = RayService::new(
+            lease,
+            2,
+            ServiceConfig {
+                chunk_rays: 64,
+                ..ServiceConfig::default()
+            },
+        );
+        let report = run(
+            &service,
+            &LoadGenConfig {
+                tenants: 2,
+                rate: 40.0,
+                rays_per_request: 32,
+                duration: Duration::from_millis(250),
+                seed: 11,
+            },
+        );
+        assert!(report.completed_requests > 0, "no requests completed");
+        assert!(report.rays_per_sec > 0.0);
+        assert_eq!(service.pending(), 0, "drain must finish empty");
+        assert_eq!(
+            report.completed_requests + report.shed_requests,
+            report.offered_requests,
+            "every offered request is either completed or shed"
+        );
+        let with_traffic: Vec<_> = report.classes.iter().filter(|c| c.requests > 0).collect();
+        assert!(!with_traffic.is_empty());
+        for class in with_traffic {
+            assert!(class.p50_us <= class.p95_us && class.p95_us <= class.p99_us);
+            assert!(class.p99_us <= class.max_us);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded per-tenant request queues with backpressure.
+//!
+//! The front-end is *open-loop*: tenants submit on their own schedule,
+//! regardless of how fast the service drains. An unbounded queue would
+//! hide overload as unbounded latency; a bounded queue surfaces it
+//! immediately as [`Backpressure`], which the load generator counts as
+//! a shed request — the honest failure mode for a saturated service.
+
+use rip_bvh::{RayBatch, TraversalKind};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The traffic classes the service distinguishes (each gets its own
+/// latency histogram and coalesced batch per dispatch round).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Camera rays; closest-hit traversal.
+    Primary,
+    /// Ambient-occlusion probe rays; any-hit segments (§5.2 workload).
+    AmbientOcclusion,
+    /// Point-light shadow rays; any-hit segments.
+    Shadow,
+}
+
+impl RequestClass {
+    /// Every class, in stable report order.
+    pub const ALL: [RequestClass; 3] = [
+        RequestClass::Primary,
+        RequestClass::AmbientOcclusion,
+        RequestClass::Shadow,
+    ];
+
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestClass::Primary => "primary",
+            RequestClass::AmbientOcclusion => "ao",
+            RequestClass::Shadow => "shadow",
+        }
+    }
+
+    /// The traversal kind this class requires.
+    pub fn kind(&self) -> TraversalKind {
+        match self {
+            RequestClass::Primary => TraversalKind::ClosestHit,
+            RequestClass::AmbientOcclusion | RequestClass::Shadow => TraversalKind::AnyHit,
+        }
+    }
+
+    /// Stable index into per-class arrays (matches [`RequestClass::ALL`]).
+    pub fn index(&self) -> usize {
+        match self {
+            RequestClass::Primary => 0,
+            RequestClass::AmbientOcclusion => 1,
+            RequestClass::Shadow => 2,
+        }
+    }
+}
+
+/// One submitted request: a batch of rays from one tenant, one class.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Monotone request id assigned at submission.
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: usize,
+    /// Traffic class.
+    pub class: RequestClass,
+    /// The rays to trace.
+    pub rays: RayBatch,
+    /// Submission instant (latency is measured from here to the end of
+    /// the dispatch round that traced the request).
+    pub submitted: Instant,
+}
+
+/// The queue for `tenant` is full: the request was shed, not enqueued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backpressure {
+    /// The tenant whose queue rejected the request.
+    pub tenant: usize,
+    /// The queue's capacity at rejection time.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant {} queue full (capacity {})",
+            self.tenant, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
+/// A bounded FIFO of pending requests for one tenant.
+#[derive(Debug)]
+pub struct TenantQueue {
+    tenant: usize,
+    capacity: usize,
+    pending: Mutex<VecDeque<Request>>,
+}
+
+impl TenantQueue {
+    /// An empty queue for `tenant` holding at most `capacity` requests.
+    pub fn new(tenant: usize, capacity: usize) -> Self {
+        TenantQueue {
+            tenant,
+            capacity: capacity.max(1),
+            pending: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The owning tenant.
+    pub fn tenant(&self) -> usize {
+        self.tenant
+    }
+
+    /// Maximum requests held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a request, or sheds it with [`Backpressure`] when full.
+    pub fn push(&self, request: Request) -> Result<(), Backpressure> {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        if pending.len() >= self.capacity {
+            return Err(Backpressure {
+                tenant: self.tenant,
+                capacity: self.capacity,
+            });
+        }
+        pending.push_back(request);
+        Ok(())
+    }
+
+    /// Dequeues the oldest pending request.
+    pub fn pop(&self) -> Option<Request> {
+        self.pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.pending.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(tenant: usize, id: u64) -> Request {
+        Request {
+            id,
+            tenant,
+            class: RequestClass::Primary,
+            rays: RayBatch::default(),
+            submitted: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn bounded_queue_sheds_when_full() {
+        let q = TenantQueue::new(3, 2);
+        q.push(request(3, 0)).unwrap();
+        q.push(request(3, 1)).unwrap();
+        let err = q.push(request(3, 2)).unwrap_err();
+        assert_eq!(
+            err,
+            Backpressure {
+                tenant: 3,
+                capacity: 2
+            }
+        );
+        // Draining frees capacity again, FIFO order.
+        assert_eq!(q.pop().unwrap().id, 0);
+        q.push(request(3, 2)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn class_metadata_is_stable() {
+        for (i, class) in RequestClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+        assert_eq!(RequestClass::Primary.kind(), TraversalKind::ClosestHit);
+        assert_eq!(RequestClass::Shadow.kind(), TraversalKind::AnyHit);
+        assert_eq!(RequestClass::AmbientOcclusion.label(), "ao");
+    }
+}

@@ -1,0 +1,154 @@
+//! Epoch-based immutable scene/BVH registry.
+//!
+//! A long-lived service cannot rebuild scenes per request, and it cannot
+//! mutate a scene while requests are tracing against it. The registry
+//! resolves both with the standard immutable-epoch shape used by
+//! production ray-tracing services over acceleration structures:
+//!
+//! * every lookup hands out an [`Arc`]'d, fully built
+//!   [`Case`](rip_exec::Case) (scene + BVH) from the shared
+//!   [`CaseCache`] — never a mutable reference;
+//! * a *reload* builds the replacement off to the side (through the
+//!   cache, so the artifact store is still consulted) and then bumps an
+//!   atomic epoch counter. New leases see the new case; requests
+//!   holding the old `Arc` keep tracing against consistent geometry
+//!   until they drop it.
+
+use rip_exec::{Case, CaseCache, CaseKey};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A leased scene: the immutable case plus the registry epoch it was
+/// current at. Requests carry the lease for their whole lifetime, so a
+/// concurrent reload can never swap geometry under a half-traced batch.
+#[derive(Clone, Debug)]
+pub struct SceneLease {
+    /// The immutable scene + BVH.
+    pub case: Arc<Case>,
+    /// Registry epoch at lease time (bumped by every reload).
+    pub epoch: u64,
+}
+
+/// Epoch-based registry of immutable scenes, backed by a shared
+/// [`CaseCache`].
+///
+/// # Examples
+///
+/// ```
+/// use rip_exec::{CaseCache, CaseKey};
+/// use rip_scene::{SceneId, SceneScale};
+/// use rip_serve::SceneRegistry;
+/// use std::sync::Arc;
+///
+/// let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+/// let key = CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16);
+/// let a = registry.get(key);
+/// let b = registry.get(key);
+/// assert!(Arc::ptr_eq(&a.case, &b.case), "same epoch shares one build");
+/// assert_eq!(a.epoch, b.epoch);
+///
+/// let c = registry.reload(key);
+/// assert!(c.epoch > b.epoch, "reload bumps the epoch");
+/// // The old lease keeps its geometry: nothing mutated underneath it.
+/// assert_eq!(a.case.bvh.triangle_count(), c.case.bvh.triangle_count());
+/// ```
+#[derive(Debug)]
+pub struct SceneRegistry {
+    cache: Arc<CaseCache>,
+    /// Monotone reload counter; leases snapshot it.
+    epoch: AtomicU64,
+    /// The epoch each key was last (re)loaded at.
+    key_epochs: Mutex<HashMap<CaseKey, u64>>,
+}
+
+impl SceneRegistry {
+    /// A registry over `cache`. The cache may be shared with the rest of
+    /// the process (e.g. the experiment runner) — the registry only adds
+    /// epoch bookkeeping on top.
+    pub fn new(cache: Arc<CaseCache>) -> Self {
+        SceneRegistry {
+            cache,
+            epoch: AtomicU64::new(0),
+            key_epochs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The current global epoch (number of reloads so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The backing cache.
+    pub fn cache(&self) -> &Arc<CaseCache> {
+        &self.cache
+    }
+
+    /// Leases the current case for `key`, building it at most once per
+    /// process (and consulting the artifact store before building).
+    pub fn get(&self, key: CaseKey) -> SceneLease {
+        let case = self.cache.get_or_build(key);
+        let epoch = *self
+            .key_epochs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(key)
+            .or_insert(0);
+        SceneLease { case, epoch }
+    }
+
+    /// Rebuilds `key` and publishes it under a new epoch. In-flight
+    /// holders of the previous lease are unaffected; new [`get`]s
+    /// observe the rebuilt case.
+    ///
+    /// [`get`]: SceneRegistry::get
+    pub fn reload(&self, key: CaseKey) -> SceneLease {
+        self.cache.invalidate(key);
+        let case = self.cache.get_or_build(key);
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.key_epochs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, epoch);
+        SceneLease { case, epoch }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_scene::{SceneId, SceneScale};
+
+    fn key() -> CaseKey {
+        CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16)
+    }
+
+    #[test]
+    fn reload_swaps_the_arc_and_bumps_epoch() {
+        let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+        let old = registry.get(key());
+        assert_eq!(old.epoch, 0);
+        let fresh = registry.reload(key());
+        assert_eq!(fresh.epoch, 1);
+        assert_eq!(registry.epoch(), 1);
+        assert!(
+            !Arc::ptr_eq(&old.case, &fresh.case),
+            "reload must build a distinct case"
+        );
+        // Subsequent gets serve the reloaded case at the new epoch.
+        let next = registry.get(key());
+        assert!(Arc::ptr_eq(&next.case, &fresh.case));
+        assert_eq!(next.epoch, 1);
+    }
+
+    #[test]
+    fn epochs_are_per_key() {
+        let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+        let a = CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16);
+        let b = CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 18);
+        registry.reload(a);
+        registry.reload(a);
+        assert_eq!(registry.get(a).epoch, 2);
+        assert_eq!(registry.get(b).epoch, 0, "b was never reloaded");
+    }
+}

@@ -1,0 +1,446 @@
+//! The dispatch core: coalescing, fairness, shared prediction, tracing.
+//!
+//! [`RayService`] turns many tenants' small submissions into the shape
+//! the predictor stack is fastest at — large Morton-sorted
+//! [`RayBatch`] streams — while keeping tenants isolated behind bounded
+//! queues:
+//!
+//! 1. **Fairness**: each dispatch round drains tenant queues
+//!    round-robin (one request per tenant per pass, up to a per-tenant
+//!    quota), so a chatty tenant cannot starve a quiet one.
+//! 2. **Coalescing**: drained requests are concatenated per
+//!    [`RequestClass`] into one batch, Morton-sorted over the scene
+//!    bounds (`bvh::stream`), and chunked across the [`JobPool`].
+//! 3. **Shared prediction**: every chunk traces through a
+//!    [`Predicted`] kernel whose table is the service-wide
+//!    [`ConcurrentPredictorTable`], so ray locality discovered by one
+//!    tenant's requests accelerates every other tenant's.
+//! 4. **Accounting**: per-class latency (submission → round
+//!    completion) lands in [`Histogram`]s; predictor and table counters
+//!    aggregate across the whole service lifetime.
+
+use crate::queue::{Backpressure, Request, RequestClass, TenantQueue};
+use crate::registry::SceneLease;
+use rip_bvh::{RayBatch, StacklessKernel, TraversalKernel};
+use rip_core::{ConcurrentPredictorTable, Predicted, PredictorConfig, SharedTable, TableStats};
+use rip_exec::{Case, JobPool};
+use rip_obs::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs for a [`RayService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Predictor configuration shared by every worker (`update_delay` is
+    /// usually 0 here: a service trains as results complete, not on the
+    /// simulator's in-flight delay model).
+    pub predictor: PredictorConfig,
+    /// Lock stripes in the shared table (rounded up to a power of two;
+    /// the entry budget is divided across them).
+    pub shards: usize,
+    /// Per-tenant queue capacity (requests beyond it are shed).
+    pub queue_capacity: usize,
+    /// Max requests drained from one tenant per dispatch round.
+    pub fairness_quota: usize,
+    /// Rays per traced chunk (the unit of `JobPool` parallelism).
+    pub chunk_rays: usize,
+    /// Worker parallelism for tracing.
+    pub jobs: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            predictor: PredictorConfig {
+                update_delay: 0,
+                ..PredictorConfig::paper_default()
+            },
+            shards: 4,
+            queue_capacity: 64,
+            fairness_quota: 4,
+            chunk_rays: 1024,
+            jobs: rip_exec::available_parallelism(),
+        }
+    }
+}
+
+/// Per-class accounting: volume plus the latency distribution.
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Rays traced.
+    pub rays: u64,
+    /// Rays that found a hit.
+    pub hits: u64,
+    /// Request latency in microseconds (submission → round completion).
+    pub latency_us: Histogram,
+}
+
+/// Lifetime counters for a service instance.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Dispatch rounds executed (including empty ones).
+    pub rounds: u64,
+    /// Requests completed across all classes.
+    pub completed_requests: u64,
+    /// Rays traced across all classes.
+    pub completed_rays: u64,
+    /// Requests shed by backpressure at submission.
+    pub shed_requests: u64,
+    /// Per-class accounting, indexed by [`RequestClass::index`].
+    pub classes: [ClassStats; 3],
+}
+
+/// What one dispatch round processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Requests drained and completed this round.
+    pub requests: usize,
+    /// Rays traced this round.
+    pub rays: usize,
+}
+
+/// A multi-tenant ray-tracing service over one immutable scene lease.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::RayBatch;
+/// use rip_exec::{CaseCache, CaseKey};
+/// use rip_math::{Ray, Vec3};
+/// use rip_scene::{SceneId, SceneScale};
+/// use rip_serve::{RayService, RequestClass, SceneRegistry, ServiceConfig};
+/// use std::sync::Arc;
+///
+/// let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+/// let lease = registry.get(CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16));
+/// let service = RayService::new(lease, 2, ServiceConfig::default());
+/// let rays = RayBatch::from_rays(&[Ray::new(Vec3::new(0.5, 0.5, -5.0), Vec3::Z)]);
+/// service.submit(0, RequestClass::Primary, rays).unwrap();
+/// let round = service.run_round();
+/// assert_eq!(round.requests, 1);
+/// assert_eq!(service.stats().completed_rays, 1);
+/// ```
+#[derive(Debug)]
+pub struct RayService {
+    lease: SceneLease,
+    config: ServiceConfig,
+    table: Arc<ConcurrentPredictorTable>,
+    queues: Vec<TenantQueue>,
+    pool: JobPool,
+    stats: Mutex<ServiceStats>,
+    next_id: AtomicU64,
+}
+
+impl RayService {
+    /// A service for `tenants` logical clients over the leased scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the predictor configuration is invalid or its entry
+    /// budget does not divide across the configured shards.
+    pub fn new(lease: SceneLease, tenants: usize, config: ServiceConfig) -> Self {
+        let table = Arc::new(ConcurrentPredictorTable::new(
+            config.predictor,
+            config.shards,
+        ));
+        let queues = (0..tenants.max(1))
+            .map(|t| TenantQueue::new(t, config.queue_capacity))
+            .collect();
+        RayService {
+            lease,
+            config,
+            table,
+            queues,
+            pool: JobPool::new(config.jobs),
+            stats: Mutex::new(ServiceStats::default()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of tenants this service multiplexes.
+    pub fn tenants(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The scene lease requests trace against.
+    pub fn lease(&self) -> &SceneLease {
+        &self.lease
+    }
+
+    /// The immutable case (scene + BVH).
+    pub fn case(&self) -> &Arc<Case> {
+        &self.lease.case
+    }
+
+    /// The shared predictor table all tenants learn into.
+    pub fn table(&self) -> &Arc<ConcurrentPredictorTable> {
+        &self.table
+    }
+
+    /// Aggregate table statistics (lookups, hits, evictions).
+    pub fn table_stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Lifetime service counters (cloned snapshot).
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Requests currently queued across all tenants.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Submits `rays` for `tenant`, returning the request id, or sheds
+    /// the request with [`Backpressure`] when the tenant's queue is
+    /// full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenant` is out of range.
+    pub fn submit(
+        &self,
+        tenant: usize,
+        class: RequestClass,
+        rays: RayBatch,
+    ) -> Result<u64, Backpressure> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let result = self.queues[tenant].push(Request {
+            id,
+            tenant,
+            class,
+            rays,
+            submitted: std::time::Instant::now(),
+        });
+        if let Err(bp) = result {
+            let mut stats = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+            stats.shed_requests += 1;
+            rip_obs::Obs::global().add("serve.shed", 1);
+            return Err(bp);
+        }
+        Ok(id)
+    }
+
+    /// Runs one dispatch round: drains queues fairly, coalesces per
+    /// class, Morton-sorts, traces chunks across the pool through the
+    /// shared predictor table, and records per-request latency.
+    pub fn run_round(&self) -> RoundReport {
+        let drained = self.drain_fair();
+        let mut report = RoundReport::default();
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+            stats.rounds += 1;
+        }
+        if drained.is_empty() {
+            return report;
+        }
+        let obs = rip_obs::Obs::global();
+        let _span = obs
+            .span("serve", "round")
+            .arg_u64("requests", drained.len() as u64);
+        for class in RequestClass::ALL {
+            let requests: Vec<&Request> = drained.iter().filter(|r| r.class == class).collect();
+            if requests.is_empty() {
+                continue;
+            }
+            let (completed, rays) = self.trace_class(class, &requests);
+            report.requests += completed;
+            report.rays += rays;
+        }
+        report
+    }
+
+    /// Round-robin drain: one request per tenant per pass, until every
+    /// queue is empty or each tenant hit its per-round quota.
+    fn drain_fair(&self) -> Vec<Request> {
+        let mut drained = Vec::new();
+        for _pass in 0..self.config.fairness_quota.max(1) {
+            let mut any = false;
+            for queue in &self.queues {
+                if let Some(request) = queue.pop() {
+                    drained.push(request);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        drained
+    }
+
+    /// Coalesces, sorts, chunks and traces one class's requests;
+    /// returns `(requests_completed, rays_traced)`.
+    fn trace_class(&self, class: RequestClass, requests: &[&Request]) -> (usize, usize) {
+        // Coalesce into one batch, remembering each request's range.
+        let mut coalesced = RayBatch::default();
+        let mut ranges = Vec::with_capacity(requests.len());
+        for request in requests {
+            let start = coalesced.len();
+            coalesced.append(&request.rays);
+            ranges.push(start..coalesced.len());
+        }
+        let total = coalesced.len();
+
+        let bvh = &self.lease.case.bvh;
+        let (sorted, perm) = coalesced.morton_sorted(&bvh.bounds());
+        let chunk = self.config.chunk_rays.max(1);
+        let chunks: Vec<std::ops::Range<usize>> = (0..total)
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(total))
+            .collect();
+
+        let kind = class.kind();
+        let table = &self.table;
+        let config = self.config.predictor;
+        let hit_chunks: Vec<Vec<bool>> = self.pool.map(&chunks, |range| {
+            let shared: Arc<dyn SharedTable> = Arc::clone(table) as Arc<dyn SharedTable>;
+            let mut kernel =
+                Predicted::with_shared_table(bvh, config, shared, StacklessKernel::new(bvh));
+            let mut sub = RayBatch::with_capacity(range.len());
+            for i in range.clone() {
+                sub.push(sorted.ray(i));
+            }
+            kernel
+                .trace_batch(&sub, kind)
+                .iter()
+                .map(|r| r.hit.is_some())
+                .collect()
+        });
+        let sorted_hits: Vec<bool> = hit_chunks.into_iter().flatten().collect();
+        let hits = perm.unsort(&sorted_hits);
+
+        // Account per request: latency runs submission → now (round end).
+        let obs = rip_obs::Obs::global();
+        let mut stats = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        let slot = &mut stats.classes[class.index()];
+        for (request, range) in requests.iter().zip(&ranges) {
+            let latency_us = request.submitted.elapsed().as_micros() as u64;
+            slot.requests += 1;
+            slot.rays += range.len() as u64;
+            slot.hits += hits[range.clone()].iter().filter(|&&h| h).count() as u64;
+            slot.latency_us.record(latency_us);
+        }
+        stats.completed_requests += requests.len() as u64;
+        stats.completed_rays += total as u64;
+        obs.add(&format!("serve.rays.{}", class.label()), total as u64);
+        obs.add("serve.requests", requests.len() as u64);
+        (requests.len(), total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SceneRegistry;
+    use rip_exec::{CaseCache, CaseKey};
+    use rip_math::{Ray, Vec3};
+    use rip_scene::{SceneId, SceneScale};
+
+    fn service(tenants: usize) -> RayService {
+        let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+        let lease = registry.get(CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16));
+        RayService::new(
+            lease,
+            tenants,
+            ServiceConfig {
+                chunk_rays: 8,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn down_rays(n: usize, case: &Case) -> RayBatch {
+        let bounds = case.bvh.bounds();
+        let center = bounds.center();
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n.max(1) as f32;
+                let o = Vec3::new(
+                    bounds.min.x + t * (bounds.max.x - bounds.min.x),
+                    bounds.max.y + 1.0,
+                    center.z,
+                );
+                Ray::new(o, -Vec3::Y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_completes_all_drained_requests() {
+        let service = service(3);
+        let rays = down_rays(20, service.case());
+        for tenant in 0..3 {
+            service
+                .submit(tenant, RequestClass::Primary, rays.clone())
+                .unwrap();
+            service
+                .submit(tenant, RequestClass::Shadow, rays.clone())
+                .unwrap();
+        }
+        let round = service.run_round();
+        assert_eq!(round.requests, 6);
+        assert_eq!(round.rays, 120);
+        assert_eq!(service.pending(), 0);
+        let stats = service.stats();
+        assert_eq!(stats.completed_requests, 6);
+        assert_eq!(stats.classes[RequestClass::Primary.index()].requests, 3);
+        assert_eq!(stats.classes[RequestClass::Shadow.index()].requests, 3);
+        assert_eq!(
+            stats.classes[RequestClass::Primary.index()]
+                .latency_us
+                .count(),
+            3
+        );
+        // Down rays over the scene must hit something.
+        assert!(stats.classes[RequestClass::Primary.index()].hits > 0);
+    }
+
+    #[test]
+    fn fairness_quota_bounds_a_chatty_tenant() {
+        let service = service(2);
+        let rays = down_rays(4, service.case());
+        for _ in 0..10 {
+            service
+                .submit(0, RequestClass::AmbientOcclusion, rays.clone())
+                .unwrap();
+        }
+        service
+            .submit(1, RequestClass::AmbientOcclusion, rays.clone())
+            .unwrap();
+        let round = service.run_round();
+        // quota 4 for tenant 0 + the single request of tenant 1.
+        assert_eq!(round.requests, 5);
+        assert_eq!(service.pending(), 6);
+    }
+
+    #[test]
+    fn shared_table_learns_across_rounds_and_tenants() {
+        let service = service(2);
+        let rays = down_rays(64, service.case());
+        service
+            .submit(0, RequestClass::Shadow, rays.clone())
+            .unwrap();
+        service.run_round();
+        let cold = service.table_stats();
+        service.submit(1, RequestClass::Shadow, rays).unwrap();
+        service.run_round();
+        let warm = service.table_stats();
+        assert!(
+            warm.tag_hits > cold.tag_hits,
+            "tenant 1 must hit entries trained by tenant 0 ({} vs {})",
+            warm.tag_hits,
+            cold.tag_hits
+        );
+    }
+
+    #[test]
+    fn empty_round_is_cheap_and_counted() {
+        let service = service(1);
+        assert_eq!(service.run_round(), RoundReport::default());
+        assert_eq!(service.stats().rounds, 1);
+    }
+}
