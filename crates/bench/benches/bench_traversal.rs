@@ -1,25 +1,36 @@
-//! Traversal-kernel throughput microbench (rays/sec per kernel × scene).
+//! Traversal-kernel throughput microbench and perf-gate artifact
+//! (rays/sec per kernel × scene).
 //!
 //! Compares the per-ray steppable baseline (`Bvh::intersect`) against the
 //! batched ray-stream entry points of every [`TraversalKernel`] on the
-//! suite's AO workloads, then writes machine-readable results to
-//! `BENCH_traversal.json` at the repository root. The criterion group
-//! prints the usual console lines; the JSON numbers come from an explicit
-//! median-of-samples timer so they can be post-processed.
+//! suite's AO workloads, then writes machine-readable results:
+//!
+//! * `--mode full` (default) — 15 timed samples per cell, rewrites the
+//!   committed baseline `BENCH_traversal.json` at the repository root.
+//! * `--mode smoke` — identical scenes and workloads but 3 samples,
+//!   written to `BENCH_traversal.smoke.json` so a CI run never dirties
+//!   the committed baseline. The `perf-gate` CI job diffs the smoke
+//!   numbers against the baseline after normalizing each kernel column
+//!   to the in-run `while_while_scalar` throughput, which cancels
+//!   machine-speed differences between the baseline host and the runner.
 //!
 //! Run it with:
 //!
 //! ```text
-//! cargo bench -p rip-bench --bench bench_traversal            # full
-//! cargo bench -p rip-bench --bench bench_traversal -- --quick # CI smoke
+//! cargo bench -p rip-bench --features simd --bench bench_traversal                 # full
+//! cargo bench -p rip-bench --features simd --bench bench_traversal -- --mode smoke
 //! ```
+//!
+//! The committed baseline is generated with `--features simd`; the JSON
+//! records the compiled lane backend so the gate can refuse to compare
+//! mismatched configurations.
 
 use std::time::Instant;
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use rip_bvh::{
-    Bvh, RayBatch, StacklessKernel, TraversalKernel, TraversalKind, WhileWhileKernel, WideBvh,
-    WideKernel,
+    simd, Bvh, RayBatch, StacklessKernel, TraversalKernel, TraversalKind, WhileWhileKernel,
+    WideBvh, WideKernel,
 };
 use rip_math::Triangle;
 use rip_render::{AoConfig, AoWorkload};
@@ -35,15 +46,19 @@ struct Prepared {
 
 /// Timed samples per kernel (median reported).
 const SAMPLES_FULL: usize = 15;
-const SAMPLES_QUICK: usize = 3;
+const SAMPLES_SMOKE: usize = 3;
+/// The workload is identical in both modes so normalized columns are
+/// comparable between a smoke run and the committed full baseline.
+const VIEWPORT: u32 = 48;
+const MAX_RAYS: usize = 4096;
 
-fn prepare(id: SceneId, code: &'static str, viewport: u32, max_rays: usize) -> Prepared {
-    let scene = id.build_with_viewport(SceneScale::Tiny, viewport, viewport);
+fn prepare(id: SceneId, code: &'static str) -> Prepared {
+    let scene = id.build_with_viewport(SceneScale::Tiny, VIEWPORT, VIEWPORT);
     let tris: Vec<Triangle> = scene.mesh.triangles().collect();
     let bvh = Bvh::build(&tris);
     let wide = WideBvh::from_binary(&bvh);
     let rays = AoWorkload::generate(&scene, &bvh, &AoConfig::default()).rays;
-    let batch = RayBatch::from_rays(&rays[..rays.len().min(max_rays)]);
+    let batch = RayBatch::from_rays(&rays[..rays.len().min(MAX_RAYS)]);
     Prepared {
         code,
         bvh,
@@ -68,26 +83,20 @@ fn median_secs(samples: usize, mut trace: impl FnMut() -> usize) -> f64 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (viewport, max_rays, samples) = if quick {
-        (24, 1024, SAMPLES_QUICK)
-    } else {
-        (48, 4096, SAMPLES_FULL)
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--quick")
+        || args.windows(2).any(|w| w[0] == "--mode" && w[1] == "smoke");
+    let samples = if smoke { SAMPLES_SMOKE } else { SAMPLES_FULL };
     // Table-1 order, smallest to largest triangle budget; the last entry
     // is the suite's largest scene and anchors the headline speedup.
-    let scene_list: &[(SceneId, &'static str)] = if quick {
-        &[(SceneId::Sibenik, "SB")]
-    } else {
-        &[
-            (SceneId::Sibenik, "SB"),
-            (SceneId::CrytekSponza, "SP"),
-            (SceneId::LostEmpire, "LE"),
-        ]
-    };
+    let scene_list: &[(SceneId, &'static str)] = &[
+        (SceneId::Sibenik, "SB"),
+        (SceneId::CrytekSponza, "SP"),
+        (SceneId::LostEmpire, "LE"),
+    ];
     let prepared: Vec<Prepared> = scene_list
         .iter()
-        .map(|&(id, code)| prepare(id, code, viewport, max_rays))
+        .map(|&(id, code)| prepare(id, code))
         .collect();
 
     // Criterion console output: any-hit throughput per kernel × scene.
@@ -154,11 +163,14 @@ fn main() {
         let rps = |t: f64| n as f64 / t.max(1e-12);
         let speedup = t_scalar / t_ww.max(1e-12);
         println!(
-            "{}: batched while-while {:.2}x over per-ray baseline ({:.2} vs {:.2} Mrays/s)",
+            "{}: batched while-while {:.2}x over per-ray baseline ({:.2} vs {:.2} Mrays/s); \
+             wide4 {:.2} Mrays/s ({:.2}x over batched while-while)",
             p.code,
             speedup,
             rps(t_ww) / 1e6,
-            rps(t_scalar) / 1e6
+            rps(t_scalar) / 1e6,
+            rps(t_wide) / 1e6,
+            t_ww / t_wide.max(1e-12),
         );
         scene_rows.push(format!(
             "    {{\"scene\": \"{}\", \"triangles\": {}, \"rays\": {}, \
@@ -185,14 +197,21 @@ fn main() {
     let largest = prepared.last().expect("at least one scene");
     let largest_speedup = *speedups.last().expect("one speedup per scene");
     let json = format!(
-        "{{\n  \"bench\": \"bench_traversal\",\n  \"mode\": \"{}\",\n  \"scenes\": [\n{}\n  ],\n  \
+        "{{\n  \"bench\": \"bench_traversal\",\n  \"mode\": \"{}\",\n  \"backend\": \"{}\",\n  \
+         \"scenes\": [\n{}\n  ],\n  \
          \"largest_scene\": \"{}\",\n  \"largest_scene_batched_speedup\": {:.4}\n}}\n",
-        if quick { "quick" } else { "full" },
+        if smoke { "smoke" } else { "full" },
+        simd::backend_name(),
         scene_rows.join(",\n"),
         largest.code,
         largest_speedup
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_traversal.json");
-    std::fs::write(path, &json).expect("write BENCH_traversal.json");
+    let file = if smoke {
+        "BENCH_traversal.smoke.json"
+    } else {
+        "BENCH_traversal.json"
+    };
+    let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write bench artifact");
     println!("wrote {path}");
 }

@@ -12,6 +12,10 @@ use crate::node::NodeId;
 pub const NODE_SIZE: u64 = 64;
 /// Size of one Woop-format triangle record in bytes.
 pub const TRI_SIZE: u64 = 48;
+/// Size of one compressed 4-wide node record in bytes: quantization keeps
+/// four child slabs plus references inside the same 64-byte record one
+/// binary Aila–Laine node occupies, so a wide fetch costs no extra lines.
+pub const WIDE_NODE_SIZE: u64 = 64;
 
 /// Address map for one BVH's buffers.
 ///
@@ -126,5 +130,14 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn node_address_bounds_checked() {
         let _ = MemoryLayout::for_tree(2, 2).node_address(NodeId::new(2));
+    }
+
+    #[test]
+    fn compressed_wide_node_fills_its_record_exactly() {
+        assert_eq!(
+            std::mem::size_of::<crate::node::CompressedWideNode>() as u64,
+            WIDE_NODE_SIZE
+        );
+        assert_eq!(WIDE_NODE_SIZE, NODE_SIZE, "wide fetch costs the same lines");
     }
 }

@@ -40,6 +40,7 @@ pub mod kernel;
 mod layout;
 mod node;
 pub mod serial;
+pub mod simd;
 pub mod sorting;
 mod stack;
 pub mod stackless;
@@ -51,9 +52,9 @@ mod wide;
 pub use builder::{BvhBuilder, SplitMethod};
 pub use bvh::Bvh;
 pub use kernel::{StacklessKernel, SteppableKernel, TraversalKernel, WhileWhileKernel, WideKernel};
-pub use layout::MemoryLayout;
-pub use node::{BvhNode, NodeId, NodeKind};
-pub use stack::TraversalStack;
+pub use layout::{MemoryLayout, NODE_SIZE, TRI_SIZE, WIDE_NODE_SIZE};
+pub use node::{BvhNode, CompressedWideNode, NodeId, NodeKind, QuantFrame, EMPTY_WIDE_CHILD};
+pub use stack::{ShortStack, TraversalStack, HW_STACK_CAPACITY, SHORT_STACK_CAPACITY};
 pub use stats::TraversalStats;
 pub use stream::{RayBatch, StreamPermutation};
 pub use traversal::{Hit, StepEvent, Traversal, TraversalKind, TraversalResult};

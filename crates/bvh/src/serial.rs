@@ -13,6 +13,7 @@
 
 use crate::bvh::Bvh;
 use crate::node::{BvhNode, NodeId, NodeKind};
+use crate::wide::WideBvh;
 use rip_math::{Aabb, Triangle, Vec3};
 
 /// Bumped whenever the encoded layout changes; part of the header *and*
@@ -160,6 +161,177 @@ pub fn decode(bytes: &[u8]) -> Result<Bvh, String> {
     Ok(bvh)
 }
 
+/// Version of the compressed wide-BVH artifact layout.
+pub const WIDE_FORMAT_VERSION: u32 = 1;
+
+const WIDE_MAGIC: [u8; 4] = *b"RWBV";
+/// Bytes per encoded compressed node: origin (12) + exponents (3) +
+/// qlo/qhi (24) + children (16) + counts (8).
+const WIDE_NODE_BYTES: usize = 63;
+/// Bytes per encoded triangle group: 10 lane quads of f32 (160) +
+/// 4 triangle indices (16) + leaf id (4).
+const WIDE_GROUP_BYTES: usize = 180;
+
+/// Encodes a compressed wide BVH into a self-contained byte buffer.
+///
+/// The encoding is a deterministic field-order dump of the node and
+/// triangle-group arrays, so re-encoding a decoded tree is byte-identical
+/// — `rip-testkit` pins that stability with a golden snapshot.
+pub fn encode_wide(wide: &WideBvh) -> Vec<u8> {
+    let (nodes, groups) = wide.raw_parts();
+    let mut out =
+        Vec::with_capacity(16 + nodes.len() * WIDE_NODE_BYTES + groups.len() * WIDE_GROUP_BYTES);
+    out.extend_from_slice(&WIDE_MAGIC);
+    out.extend_from_slice(&WIDE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+    for node in nodes {
+        for o in node.origin {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(&node.exponents);
+        for axis in 0..3 {
+            out.extend_from_slice(&node.qlo[axis]);
+        }
+        for axis in 0..3 {
+            out.extend_from_slice(&node.qhi[axis]);
+        }
+        for child in node.children {
+            out.extend_from_slice(&child.to_le_bytes());
+        }
+        for count in node.counts {
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    for group in groups {
+        for lanes in [
+            &group.ax, &group.ay, &group.az, &group.e1x, &group.e1y, &group.e1z, &group.e2x,
+            &group.e2y, &group.e2z, &group.l12,
+        ] {
+            for v in lanes {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for idx in group.tri_index {
+            out.extend_from_slice(&idx.to_le_bytes());
+        }
+        out.extend_from_slice(&group.leaf.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`encode_wide`], validating child
+/// references so a corrupt artifact is rejected instead of tripping
+/// out-of-bounds indexing during traversal.
+pub fn decode_wide(bytes: &[u8]) -> Result<WideBvh, String> {
+    use crate::node::{CompressedWideNode, EMPTY_WIDE_CHILD};
+    use crate::wide::TriGroup;
+
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(4)? != WIDE_MAGIC {
+        return Err("not a wide-BVH artifact (bad magic)".into());
+    }
+    let version = r.u32()?;
+    if version != WIDE_FORMAT_VERSION {
+        return Err(format!(
+            "wide-BVH artifact version {version}, expected {WIDE_FORMAT_VERSION}"
+        ));
+    }
+    let node_count = r.u32()? as usize;
+    let group_count = r.u32()? as usize;
+    let promised = node_count
+        .saturating_mul(WIDE_NODE_BYTES)
+        .saturating_add(group_count.saturating_mul(WIDE_GROUP_BYTES));
+    if promised > bytes.len().saturating_sub(r.at) {
+        return Err(format!(
+            "truncated wide-BVH artifact: header promises {node_count} nodes and \
+             {group_count} groups but only {} bytes remain",
+            bytes.len() - r.at
+        ));
+    }
+
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let mut node = CompressedWideNode::empty();
+        for axis in 0..3 {
+            node.origin[axis] = r.f32()?;
+        }
+        for axis in 0..3 {
+            node.exponents[axis] = r.u8()?;
+        }
+        for axis in 0..3 {
+            node.qlo[axis] = r.take(4)?.try_into().unwrap();
+        }
+        for axis in 0..3 {
+            node.qhi[axis] = r.take(4)?.try_into().unwrap();
+        }
+        for slot in 0..4 {
+            node.children[slot] = r.u32()?;
+        }
+        for slot in 0..4 {
+            node.counts[slot] = u16::from_le_bytes(r.take(2)?.try_into().unwrap());
+        }
+        nodes.push(node);
+    }
+    let mut groups = Vec::with_capacity(group_count);
+    for _ in 0..group_count {
+        let mut group = TriGroup::padding(0);
+        for lanes in [
+            &mut group.ax,
+            &mut group.ay,
+            &mut group.az,
+            &mut group.e1x,
+            &mut group.e1y,
+            &mut group.e1z,
+            &mut group.e2x,
+            &mut group.e2y,
+            &mut group.e2z,
+            &mut group.l12,
+        ] {
+            for v in lanes.iter_mut() {
+                *v = r.f32()?;
+            }
+        }
+        for idx in group.tri_index.iter_mut() {
+            *idx = r.u32()?;
+        }
+        group.leaf = r.u32()?;
+        groups.push(group);
+    }
+    if r.at != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after wide-BVH artifact",
+            bytes.len() - r.at
+        ));
+    }
+
+    // Structural validation: every child reference must land in range.
+    for (i, node) in nodes.iter().enumerate() {
+        for slot in 0..4 {
+            if node.counts[slot] > 0 {
+                let first = node.children[slot] as usize;
+                let needed = (node.counts[slot] as usize).div_ceil(4);
+                if first.saturating_add(needed) > groups.len() {
+                    return Err(format!(
+                        "wide node {i} slot {slot}: leaf groups {first}..+{needed} out of \
+                         range ({} groups)",
+                        groups.len()
+                    ));
+                }
+            } else if node.children[slot] != EMPTY_WIDE_CHILD
+                && node.children[slot] as usize >= nodes.len()
+            {
+                return Err(format!(
+                    "wide node {i} slot {slot}: interior child {} out of range ({} nodes)",
+                    node.children[slot],
+                    nodes.len()
+                ));
+            }
+        }
+    }
+    Ok(WideBvh::from_raw_parts(nodes, groups))
+}
+
 fn put_vec3(out: &mut Vec<u8>, v: &Vec3) {
     out.extend_from_slice(&v.x.to_le_bytes());
     out.extend_from_slice(&v.y.to_le_bytes());
@@ -278,6 +450,80 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(decode(&trailing).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn wide_roundtrip_preserves_traversal_results() {
+        use crate::{TraversalKind, WideBvh};
+        let bvh = sample_bvh(200);
+        let wide = WideBvh::from_binary(&bvh);
+        let decoded = decode_wide(&encode_wide(&wide)).unwrap();
+        assert_eq!(decoded.node_count(), wide.node_count());
+        assert_eq!(decoded.group_count(), wide.group_count());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let o = Vec3::new(
+                rng.gen_range(-9.0f32..9.0),
+                rng.gen_range(-9.0f32..9.0),
+                -12.0,
+            );
+            let ray = rip_math::Ray::segment(o, Vec3::Z, 30.0);
+            for kind in [TraversalKind::AnyHit, TraversalKind::ClosestHit] {
+                let a = wide.intersect(&bvh, &ray, kind);
+                let b = decoded.intersect(&bvh, &ray, kind);
+                assert_eq!(a, b, "decoded wide tree must traverse identically");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_reencode_is_byte_identical() {
+        let bvh = sample_bvh(150);
+        let wide = crate::WideBvh::from_binary(&bvh);
+        let bytes = encode_wide(&wide);
+        assert_eq!(encode_wide(&decode_wide(&bytes).unwrap()), bytes);
+    }
+
+    #[test]
+    fn wide_rejects_bad_magic_version_truncation_and_references() {
+        let bvh = sample_bvh(60);
+        let wide = crate::WideBvh::from_binary(&bvh);
+        let bytes = encode_wide(&wide);
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(decode_wide(&bad_magic).unwrap_err().contains("magic"));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xEE;
+        assert!(decode_wide(&bad_version).unwrap_err().contains("version"));
+
+        assert!(decode_wide(&bytes[..bytes.len() - 2])
+            .unwrap_err()
+            .contains("truncated"));
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_wide(&trailing).unwrap_err().contains("trailing"));
+
+        // Point the first interior child out of range.
+        let (nodes, groups) = wide.raw_parts();
+        let mut corrupt_nodes = nodes.to_vec();
+        let mut poisoned = false;
+        'outer: for node in corrupt_nodes.iter_mut() {
+            for slot in 0..4 {
+                if node.counts[slot] == 0 && node.children[slot] != crate::node::EMPTY_WIDE_CHILD {
+                    node.children[slot] = u32::MAX - 1;
+                    poisoned = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(poisoned, "tree should have an interior child to poison");
+        let corrupt = crate::WideBvh::from_raw_parts(corrupt_nodes, groups.to_vec());
+        assert!(decode_wide(&encode_wide(&corrupt))
+            .unwrap_err()
+            .contains("out of range"));
     }
 
     #[test]

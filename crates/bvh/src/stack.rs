@@ -91,6 +91,123 @@ impl TraversalStack {
     }
 }
 
+/// Capacity of the fixed-size [`ShortStack`] used by the wide traversal.
+///
+/// A 4-wide node pushes at most three siblings per visit, so 32 entries
+/// cover any plausible tree; pathological descent (quantized child boxes
+/// can overlap heavily) is still *possible*, which is why overflow is a
+/// recoverable signal rather than a panic.
+pub const SHORT_STACK_CAPACITY: usize = 32;
+
+/// A bounded, allocation-free traversal stack of packed `u64` entries
+/// (the `TraversalStack32` idiom of GPU wide-BVH kernels).
+///
+/// Unlike [`TraversalStack`], which spills to a `Vec`, this stack has a
+/// hard capacity: [`ShortStack::push`] returns `false` — and latches
+/// [`ShortStack::overflowed`] — instead of growing or panicking. The wide
+/// traversal treats that as a recoverable restart signal: it abandons the
+/// pass, charges a stack spill, and re-runs the ray on an unbounded stack.
+///
+/// # Examples
+///
+/// ```
+/// use rip_bvh::ShortStack;
+///
+/// let mut stack = ShortStack::with_limit(2);
+/// assert!(stack.push(1));
+/// assert!(stack.push(2));
+/// assert!(!stack.push(3)); // full: rejected, not panicking
+/// assert!(stack.overflowed());
+/// assert_eq!(stack.pop(), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShortStack {
+    entries: [u64; SHORT_STACK_CAPACITY],
+    len: usize,
+    limit: usize,
+    overflowed: bool,
+    max_depth: usize,
+}
+
+impl Default for ShortStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShortStack {
+    /// An empty stack with the full [`SHORT_STACK_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_limit(SHORT_STACK_CAPACITY)
+    }
+
+    /// An empty stack refusing pushes beyond `limit` entries (clamped to
+    /// [`SHORT_STACK_CAPACITY`]); tests use tiny limits to exercise the
+    /// overflow-restart path.
+    pub fn with_limit(limit: usize) -> Self {
+        ShortStack {
+            entries: [0; SHORT_STACK_CAPACITY],
+            len: 0,
+            limit: limit.min(SHORT_STACK_CAPACITY),
+            overflowed: false,
+            max_depth: 0,
+        }
+    }
+
+    /// Pushes an entry; returns `false` (and latches the overflow flag)
+    /// when the stack is full.
+    #[inline]
+    #[must_use = "a rejected push means the traversal must restart"]
+    pub fn push(&mut self, entry: u64) -> bool {
+        if self.len >= self.limit {
+            self.overflowed = true;
+            return false;
+        }
+        self.entries[self.len] = entry;
+        self.len += 1;
+        self.max_depth = self.max_depth.max(self.len);
+        true
+    }
+
+    /// Pops the most recent entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            None
+        } else {
+            self.len -= 1;
+            Some(self.entries[self.len])
+        }
+    }
+
+    /// Current depth.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stack is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether any push has ever been rejected.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Deepest the stack has been.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Removes everything (the overflow flag and max-depth are preserved).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +252,40 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.spills(), 1);
         assert_eq!(s.max_depth(), 2);
+    }
+
+    #[test]
+    fn short_stack_is_lifo_within_capacity() {
+        let mut s = ShortStack::new();
+        for v in 0..SHORT_STACK_CAPACITY as u64 {
+            assert!(s.push(v));
+        }
+        assert!(!s.overflowed());
+        for v in (0..SHORT_STACK_CAPACITY as u64).rev() {
+            assert_eq!(s.pop(), Some(v));
+        }
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.max_depth(), SHORT_STACK_CAPACITY);
+    }
+
+    #[test]
+    fn short_stack_overflow_is_rejected_not_panicking() {
+        let mut s = ShortStack::with_limit(3);
+        assert!(s.push(10) && s.push(11) && s.push(12));
+        assert!(!s.push(13));
+        assert!(s.overflowed());
+        // Contents are intact: the rejected entry was simply not stored.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pop(), Some(12));
+        // The latch survives clear(), like the spill counters above.
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.overflowed());
+    }
+
+    #[test]
+    fn short_stack_limit_clamps_to_capacity() {
+        let s = ShortStack::with_limit(10_000);
+        assert_eq!(s.limit, SHORT_STACK_CAPACITY);
     }
 }

@@ -41,6 +41,16 @@ fn snapshot_directory_covers_every_experiment() {
             dir.display()
         );
     }
+    // Digest snapshots owned by the SIMD differential suite (see
+    // tests/wide_simd.rs) share the directory but are not experiments.
+    let digests = ["wide_simd_hits.snap", "wide_bvh_serial.snap"];
+    for name in digests {
+        assert!(
+            dir.join(name).is_file(),
+            "missing committed digest snapshot {name} in {}",
+            dir.display()
+        );
+    }
     let committed = std::fs::read_dir(&dir)
         .expect("snapshot dir must exist")
         .filter_map(|e| e.ok())
@@ -48,7 +58,7 @@ fn snapshot_directory_covers_every_experiment() {
         .count();
     assert_eq!(
         committed,
-        experiments::ALL.len(),
+        experiments::ALL.len() + digests.len(),
         "stray or missing .snap files under {}",
         dir.display()
     );

@@ -1,0 +1,180 @@
+//! Property suite for the compressed wide-node quantization frame.
+//!
+//! The 4-wide node stores child slabs as 8-bit offsets from a per-node
+//! [`QuantFrame`]; traversal correctness rests on one promise: decoding an
+//! encoded box yields a **superset** of the original (conservative
+//! rounding), so a quantized slab test can produce false positives but
+//! never a false negative. These properties pin that promise — and its
+//! ray-level corollary — over adversarial extents: degenerate points, flat
+//! boxes, mixed huge/tiny spans, and denormal-sized extents.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rip_bvh::QuantFrame;
+use rip_math::{sampling, Aabb, Ray, Vec3};
+
+/// The adversarial box families the frame must survive.
+#[derive(Clone, Copy, Debug)]
+enum BoxShape {
+    /// Ordinary finite box with independent extents.
+    Plain,
+    /// Zero extent on one axis (flat quads, grid leaves).
+    Flat,
+    /// Zero extent on every axis (a point).
+    Point,
+    /// One axis spanning ~1e30 alongside a unit axis.
+    Huge,
+    /// Extents down at the denormal/underflow edge of `f32`.
+    Denormal,
+}
+
+const SHAPES: [BoxShape; 5] = [
+    BoxShape::Plain,
+    BoxShape::Flat,
+    BoxShape::Point,
+    BoxShape::Huge,
+    BoxShape::Denormal,
+];
+
+fn shaped_box(shape: BoxShape, seed: u64) -> Aabb {
+    let mut r = SmallRng::seed_from_u64(seed ^ 0xB0C5);
+    let center = Vec3::new(
+        r.gen_range(-1.0e3..1.0e3),
+        r.gen_range(-1.0e3..1.0e3),
+        r.gen_range(-1.0e3..1.0e3),
+    );
+    let mut half = Vec3::new(
+        r.gen_range(1e-3..50.0),
+        r.gen_range(1e-3..50.0),
+        r.gen_range(1e-3..50.0),
+    );
+    match shape {
+        BoxShape::Plain => {}
+        BoxShape::Flat => {
+            let axis = r.gen_range(0..3usize);
+            match axis {
+                0 => half.x = 0.0,
+                1 => half.y = 0.0,
+                _ => half.z = 0.0,
+            }
+        }
+        BoxShape::Point => half = Vec3::ZERO,
+        BoxShape::Huge => half.x = r.gen_range(1.0e28..1.0e30),
+        BoxShape::Denormal => {
+            half = Vec3::splat(f32::from_bits(r.gen_range(1..1 << 20)));
+        }
+    }
+    Aabb::new(center - half, center + half)
+}
+
+/// A child box nested somewhere inside `parent`, sharing faces sometimes
+/// (the collapse encodes children against the slot union's frame).
+fn nested_box(parent: &Aabb, seed: u64) -> Aabb {
+    let mut r = SmallRng::seed_from_u64(seed ^ 0x11E57);
+    let d = parent.diagonal();
+    let pick = |lo: f32, span: f32, r: &mut SmallRng| {
+        let a = lo + span * r.gen_range(0.0..0.6);
+        let b = lo + span * r.gen_range(0.4..1.0f32);
+        (a.min(b), a.max(b))
+    };
+    let (x0, x1) = pick(parent.min.x, d.x, &mut r);
+    let (y0, y1) = pick(parent.min.y, d.y, &mut r);
+    let (z0, z1) = pick(parent.min.z, d.z, &mut r);
+    Aabb::new(Vec3::new(x0, y0, z0), Vec3::new(x1, y1, z1))
+}
+
+fn decode_roundtrip(frame: &QuantFrame, b: &Aabb) -> Aabb {
+    let (qlo, qhi) = frame.encode_box(b);
+    frame.decode_box(qlo, qhi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(b)) ⊇ b for every shape, both when the frame is
+    /// fitted to the box itself and when it is fitted to a larger union
+    /// (the situation inside a real wide node).
+    #[test]
+    fn quantized_boxes_conservatively_contain_sources(
+        seed in 0u64..20_000,
+        shape_ix in 0usize..SHAPES.len(),
+    ) {
+        let shape = SHAPES[shape_ix];
+        let outer = shaped_box(shape, seed);
+        let inner = nested_box(&outer, seed);
+        for (frame_src, b) in [(&outer, &outer), (&outer, &inner), (&inner, &inner)] {
+            let frame = QuantFrame::for_bounds(frame_src);
+            let decoded = decode_roundtrip(&frame, b);
+            prop_assert!(
+                decoded.contains_box(b),
+                "{shape:?}: decoded {decoded:?} does not contain source {b:?} \
+                 (frame over {frame_src:?})"
+            );
+        }
+    }
+
+    /// Empty boxes round-trip to the inverted sentinel and come back empty
+    /// rather than materializing as a spurious slab.
+    #[test]
+    fn empty_boxes_stay_empty(seed in 0u64..20_000) {
+        let frame = QuantFrame::for_bounds(&shaped_box(BoxShape::Plain, seed));
+        let decoded = decode_roundtrip(&frame, &Aabb::empty());
+        prop_assert!(decoded.is_empty(), "empty box decoded to {decoded:?}");
+    }
+
+    /// Ray-level corollary: any ray that hits the exact box also hits its
+    /// quantized superset — quantization can only widen, never lose, a
+    /// traversal candidate.
+    #[test]
+    fn rays_hitting_exact_box_hit_quantized_box(
+        seed in 0u64..20_000,
+        shape_ix in 0usize..SHAPES.len(),
+    ) {
+        let shape = SHAPES[shape_ix];
+        let outer = shaped_box(shape, seed);
+        let inner = nested_box(&outer, seed);
+        let frame = QuantFrame::for_bounds(&outer);
+        let decoded = decode_roundtrip(&frame, &inner);
+        let mut r = SmallRng::seed_from_u64(seed ^ 0x7A75);
+        let pad = inner.diagonal_length().max(1.0);
+        for _ in 0..16 {
+            let dir = sampling::uniform_sphere(r.gen(), r.gen());
+            let target = inner.center()
+                + inner.diagonal() * Vec3::new(
+                    r.gen_range(-0.5..0.5),
+                    r.gen_range(-0.5..0.5),
+                    r.gen_range(-0.5..0.5),
+                );
+            let ray = Ray::new(target - dir * r.gen_range(0.5..3.0) * pad, dir);
+            if inner.intersect(&ray).is_some() {
+                prop_assert!(
+                    decoded.intersect(&ray).is_some(),
+                    "{shape:?}: ray {ray:?} hits exact {inner:?} but misses \
+                     quantized {decoded:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The frame's per-axis scale is always a normal power of two, so
+/// dequantization is an exact multiply-add with no rounding surprises.
+#[test]
+fn frame_scales_are_powers_of_two() {
+    for seed in 0..200u64 {
+        for shape in SHAPES {
+            let b = shaped_box(shape, seed);
+            let frame = QuantFrame::for_bounds(&b);
+            for axis in 0..3 {
+                let s = frame.scale(axis);
+                assert!(s.is_normal() && s > 0.0, "scale {s} not normal");
+                assert_eq!(
+                    s.to_bits() & 0x007F_FFFF,
+                    0,
+                    "scale {s} has mantissa bits set — not a power of two"
+                );
+            }
+        }
+    }
+}
