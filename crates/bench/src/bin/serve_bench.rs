@@ -4,9 +4,11 @@
 //!
 //! Spins up a [`rip_serve::RayService`] over one cached scene, drives it
 //! with `--tenants` open-loop generators for `--duration` seconds, and
-//! writes sustained throughput plus p50/p95/p99 latency per request
-//! class to `BENCH_serve.json` (or `--out`). Timing-based by nature —
-//! the JSON is a recorded baseline, not a deterministic snapshot.
+//! writes sustained throughput, p50/p95/p99 latency per request class,
+//! and the SLO accounting (availability, deadline misses, typed faults,
+//! mode history) to `BENCH_serve.json` (or `--out`). Timing-based by
+//! nature — the JSON is a recorded baseline, not a deterministic
+//! snapshot.
 //!
 //! Options:
 //!
@@ -15,14 +17,17 @@
 //! - `--duration SECS`    submission window (default 2.0)
 //! - `--duration-short`   CI smoke preset (0.3 s window)
 //! - `--rays N`           rays per request (default 256)
+//! - `--deadline-us N`    relative deadline per request, microseconds
+//!   (default 0 = no deadlines)
 //! - `--shards N`         predictor table lock stripes
 //!   (default: `RIP_SERVE_SHARDS` env, else 4)
 //! - `--seed N`           load-generator RNG seed (default 0x5EED)
 //! - `--out PATH`         report path (default `BENCH_serve.json` at the
 //!   repository root)
 //!
-//! Exit status: 0 on a healthy run, 1 when no rays completed or a class
-//! with traffic reports degenerate percentiles.
+//! Exit status: 0 on a healthy run, 1 when no rays completed, a class
+//! with traffic reports degenerate percentiles, or any request failed
+//! (this bench runs with injection off — failures here are real bugs).
 
 use rip_exec::{CaseCache, CaseKey};
 use rip_scene::{SceneId, SceneScale};
@@ -31,7 +36,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "serve_bench [--tenants N] [--rate R] [--duration SECS] \
-                     [--duration-short] [--rays N] [--shards N] [--seed N] [--out PATH]";
+                     [--duration-short] [--rays N] [--deadline-us N] [--shards N] \
+                     [--seed N] [--out PATH]";
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
     value
@@ -44,6 +50,7 @@ fn main() {
     let mut rate = 50.0f64;
     let mut duration = 2.0f64;
     let mut rays = 256usize;
+    let mut deadline_us = 0u64;
     let mut seed = 0x5EEDu64;
     let mut shards: usize = std::env::var("RIP_SERVE_SHARDS")
         .ok()
@@ -59,6 +66,7 @@ fn main() {
             "--duration" => duration = parse(&arg, args.next()),
             "--duration-short" => duration = 0.3,
             "--rays" => rays = parse(&arg, args.next()),
+            "--deadline-us" => deadline_us = parse(&arg, args.next()),
             "--shards" => shards = parse(&arg, args.next()),
             "--seed" => seed = parse(&arg, args.next()),
             "--out" => out = parse(&arg, args.next()),
@@ -89,13 +97,15 @@ fn main() {
         rate,
         rays_per_request: rays,
         duration: Duration::from_secs_f64(duration),
+        deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
         seed,
     };
     eprintln!(
         "[serve_bench] {} tenant(s) x {rate} req/s x {rays} rays, {duration} s window, \
-         {} shard(s), scene {}",
+         {} shard(s), deadline {} us, scene {}",
         tenants,
         service.table().shard_count(),
+        deadline_us,
         key.label(),
     );
     let report = rip_serve::loadgen::run(&service, &config);
@@ -108,6 +118,16 @@ fn main() {
         report.shed_requests,
         report.completed_rays,
         report.rays_per_sec,
+    );
+    println!(
+        "  slo: {:.4} availability, {} deadline miss, {} expired, {} failed, \
+         {} mode transition(s), final mode {}",
+        report.availability,
+        report.deadline_miss_requests,
+        report.expired_requests,
+        report.failed_requests,
+        report.mode_transitions,
+        report.final_mode.label(),
     );
     for class in &report.classes {
         println!(
@@ -132,83 +152,33 @@ fn main() {
         table.insertions,
     );
 
-    let json = render_json(&report, &config, shards, &key.label(), &table);
+    let json = rip_bench::serve_report_json(
+        "serve",
+        &report,
+        &config,
+        shards,
+        &key.label(),
+        Some(&table),
+        &[],
+    );
     std::fs::write(&out, &json).expect("write serve report");
     eprintln!("[serve_bench] report written to {out}");
 
     if !healthy(&report) {
-        eprintln!("[serve_bench] FAILED: zero throughput or degenerate percentiles");
+        eprintln!("[serve_bench] FAILED: zero throughput, degenerate percentiles, or failures");
         std::process::exit(1);
     }
 }
 
-/// A run is healthy when rays completed and every class that saw
-/// traffic has ordered, non-degenerate percentiles.
+/// A run is healthy when rays completed, nothing failed, and every
+/// class that saw traffic has ordered, non-degenerate percentiles.
 fn healthy(report: &LoadReport) -> bool {
     report.completed_rays > 0
         && report.rays_per_sec > 0.0
+        && report.failed_requests == 0
         && report
             .classes
             .iter()
             .filter(|c| c.requests > 0)
             .all(|c| c.p50_us <= c.p95_us && c.p95_us <= c.p99_us && c.p99_us <= c.max_us)
-}
-
-fn render_json(
-    report: &LoadReport,
-    config: &LoadGenConfig,
-    shards: usize,
-    scene: &str,
-    table: &rip_core::TableStats,
-) -> String {
-    let classes = report
-        .classes
-        .iter()
-        .map(|c| {
-            format!(
-                "    {{\"class\": \"{}\", \"requests\": {}, \"rays\": {}, \"hits\": {}, \
-                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
-                 \"mean_us\": {:.1}}}",
-                c.class.label(),
-                c.requests,
-                c.rays,
-                c.hits,
-                c.p50_us,
-                c.p95_us,
-                c.p99_us,
-                c.max_us,
-                c.mean_us,
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let hit_rate = if table.lookups > 0 {
-        table.tag_hits as f64 / table.lookups as f64
-    } else {
-        0.0
-    };
-    format!(
-        "{{\n  \"bench\": \"serve\",\n  \"scene\": \"{scene}\",\n  \"tenants\": {},\n  \
-         \"shards\": {shards},\n  \"rate_per_tenant\": {},\n  \"rays_per_request\": {},\n  \
-         \"duration_s\": {},\n  \"wall_s\": {:.3},\n  \"offered_requests\": {},\n  \
-         \"completed_requests\": {},\n  \"shed_requests\": {},\n  \"completed_rays\": {},\n  \
-         \"rays_per_sec\": {:.0},\n  \"rounds\": {},\n  \"table\": {{\"lookups\": {}, \
-         \"tag_hits\": {}, \"insertions\": {}, \"hit_rate\": {:.4}}},\n  \"classes\": [\n{}\n  ]\n}}\n",
-        config.tenants,
-        config.rate,
-        config.rays_per_request,
-        config.duration.as_secs_f64(),
-        report.wall.as_secs_f64(),
-        report.offered_requests,
-        report.completed_requests,
-        report.shed_requests,
-        report.completed_rays,
-        report.rays_per_sec,
-        report.rounds,
-        table.lookups,
-        table.tag_hits,
-        table.insertions,
-        hit_rate,
-        classes,
-    )
 }

@@ -1,0 +1,176 @@
+//! Shared JSON rendering for the serve-layer benchmarks
+//! (`serve_bench`, `chaos_bench`).
+//!
+//! Hand-rolled formatting (no serde in the workspace): every field is
+//! written explicitly so the baseline files diff cleanly and the schema
+//! is visible in one place.
+
+use rip_core::TableStats;
+use rip_exec::FaultKind;
+use rip_serve::{LoadGenConfig, LoadReport, ServiceMode};
+
+/// Renders one load-generation run as the `BENCH_serve.json` /
+/// `BENCH_chaos.json` schema. `extras` are extra top-level entries
+/// (key, raw JSON value) spliced in after the standard fields — the
+/// chaos bench records its injection plan there.
+pub fn serve_report_json(
+    bench: &str,
+    report: &LoadReport,
+    config: &LoadGenConfig,
+    shards: usize,
+    scene: &str,
+    table: Option<&TableStats>,
+    extras: &[(&str, String)],
+) -> String {
+    let classes = report
+        .classes
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"class\": \"{}\", \"requests\": {}, \"rays\": {}, \"hits\": {}, \
+                 \"deadline_miss\": {}, \"expired\": {}, \"failed\": {}, \"shed\": {}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+                 \"mean_us\": {:.1}}}",
+                c.class.label(),
+                c.requests,
+                c.rays,
+                c.hits,
+                c.deadline_miss,
+                c.expired,
+                c.failed,
+                c.shed,
+                c.p50_us,
+                c.p95_us,
+                c.p99_us,
+                c.max_us,
+                c.mean_us,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let faults = FaultKind::ALL
+        .iter()
+        .map(|kind| {
+            format!(
+                "\"{}\": {}",
+                kind.slug(),
+                report.faults_by_kind[kind.index()]
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let modes = ServiceMode::ALL
+        .iter()
+        .map(|mode| format!("\"{}\": {}", mode.label(), report.mode_rounds[mode.index()]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let table_json = match table {
+        Some(t) => {
+            let hit_rate = if t.lookups > 0 {
+                t.tag_hits as f64 / t.lookups as f64
+            } else {
+                0.0
+            };
+            format!(
+                "{{\"lookups\": {}, \"tag_hits\": {}, \"insertions\": {}, \"hit_rate\": {:.4}}}",
+                t.lookups, t.tag_hits, t.insertions, hit_rate,
+            )
+        }
+        None => "null".to_string(),
+    };
+    let extras_json = extras
+        .iter()
+        .map(|(key, value)| format!(",\n  \"{key}\": {value}"))
+        .collect::<String>();
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"scene\": \"{scene}\",\n  \"tenants\": {},\n  \
+         \"shards\": {shards},\n  \"rate_per_tenant\": {},\n  \"rays_per_request\": {},\n  \
+         \"duration_s\": {},\n  \"deadline_us\": {},\n  \"wall_s\": {:.3},\n  \
+         \"offered_requests\": {},\n  \"completed_requests\": {},\n  \"shed_requests\": {},\n  \
+         \"rate_limited\": {},\n  \"rejected_unmeetable\": {},\n  \"expired_requests\": {},\n  \
+         \"failed_requests\": {},\n  \"deadline_miss_requests\": {},\n  \
+         \"availability\": {:.4},\n  \"retried_chunks\": {},\n  \"mode_transitions\": {},\n  \
+         \"mode_rounds\": {{{modes}}},\n  \"final_mode\": \"{}\",\n  \
+         \"faults_by_kind\": {{{faults}}},\n  \"completed_rays\": {},\n  \
+         \"rays_per_sec\": {:.0},\n  \"rounds\": {},\n  \"table\": {table_json}{extras_json},\n  \
+         \"classes\": [\n{classes}\n  ]\n}}\n",
+        config.tenants,
+        config.rate,
+        config.rays_per_request,
+        config.duration.as_secs_f64(),
+        config.deadline.map_or(0, |d| d.as_micros() as u64),
+        report.wall.as_secs_f64(),
+        report.offered_requests,
+        report.completed_requests,
+        report.shed_requests,
+        report.rate_limited,
+        report.rejected_unmeetable,
+        report.expired_requests,
+        report.failed_requests,
+        report.deadline_miss_requests,
+        report.availability,
+        report.retried_chunks,
+        report.mode_transitions,
+        report.final_mode.label(),
+        report.completed_rays,
+        report.rays_per_sec,
+        report.rounds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn schema_contains_every_slo_field() {
+        let report = LoadReport {
+            wall: Duration::from_millis(100),
+            completed_requests: 10,
+            completed_rays: 1000,
+            shed_requests: 1,
+            rate_limited: 2,
+            rejected_unmeetable: 3,
+            expired_requests: 4,
+            failed_requests: 5,
+            deadline_miss_requests: 6,
+            offered_requests: 31,
+            availability: 0.5,
+            retried_chunks: 7,
+            mode_transitions: 2,
+            mode_rounds: [8, 1, 0],
+            final_mode: ServiceMode::NoPredict,
+            faults_by_kind: [5, 0, 0, 0, 0, 4],
+            rays_per_sec: 10_000.0,
+            rounds: 9,
+            classes: Vec::new(),
+        };
+        let config = LoadGenConfig {
+            deadline: Some(Duration::from_micros(2500)),
+            ..LoadGenConfig::default()
+        };
+        let json = serve_report_json(
+            "chaos",
+            &report,
+            &config,
+            4,
+            "sb_tiny_64x64",
+            None,
+            &[("panic_rate", "0.1".to_string())],
+        );
+        for needle in [
+            "\"bench\": \"chaos\"",
+            "\"deadline_us\": 2500",
+            "\"availability\": 0.5000",
+            "\"deadline_miss_requests\": 6",
+            "\"final_mode\": \"no_predict\"",
+            "\"deadline_exceeded\": 4",
+            "\"mode_rounds\": {\"full\": 8, \"no_predict\": 1, \"survival\": 0}",
+            "\"table\": null",
+            "\"panic_rate\": 0.1",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+}

@@ -239,6 +239,26 @@ impl CaseCache {
         cases.remove(&key).is_some()
     }
 
+    /// The already-built case for `key`, if any — a pure read: never
+    /// builds, never touches hit counters. Service layers use this to
+    /// snapshot the current epoch before attempting a risky rebuild.
+    pub fn peek(&self, key: CaseKey) -> Option<Arc<Case>> {
+        let cases = self.cases.lock().unwrap_or_else(|p| p.into_inner());
+        cases.get(&key).and_then(|cell| cell.get().cloned())
+    }
+
+    /// Re-registers `case` as the in-process entry for `key`, replacing
+    /// whatever is there. This is the reload circuit breaker's undo
+    /// path: when a rebuild fails after [`CaseCache::invalidate`], the
+    /// previous case goes back so readers keep being served the last
+    /// good epoch instead of re-attempting the failing build.
+    pub fn restore(&self, key: CaseKey, case: Arc<Case>) {
+        let cell = OnceLock::new();
+        let _ = cell.set(case);
+        let mut cases = self.cases.lock().unwrap_or_else(|p| p.into_inner());
+        cases.insert(key, Arc::new(cell));
+    }
+
     fn load_or_build(&self, key: CaseKey) -> Case {
         match self.try_load(key) {
             Ok(case) => {

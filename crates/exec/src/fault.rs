@@ -31,9 +31,24 @@ pub enum FaultKind {
     Io,
     /// A transient failure worth retrying (cache read race, flaky IO).
     Retryable,
+    /// The work's deadline passed before (or while) it ran; the result
+    /// would be dead on arrival. Service layers use this to attribute
+    /// requests expired in a queue or completed too late.
+    DeadlineExceeded,
 }
 
 impl FaultKind {
+    /// Every kind, in stable report order (indexable by
+    /// [`FaultKind::index`]).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Panic,
+        FaultKind::Timeout,
+        FaultKind::CacheCorrupt,
+        FaultKind::Io,
+        FaultKind::Retryable,
+        FaultKind::DeadlineExceeded,
+    ];
+
     /// Stable label used in failure reports and telemetry.
     pub fn label(self) -> &'static str {
         match self {
@@ -42,6 +57,31 @@ impl FaultKind {
             FaultKind::CacheCorrupt => "CacheCorrupt",
             FaultKind::Io => "Io",
             FaultKind::Retryable => "Retryable",
+            FaultKind::DeadlineExceeded => "DeadlineExceeded",
+        }
+    }
+
+    /// Stable snake_case slug for counter paths and JSON keys.
+    pub fn slug(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Timeout => "timeout",
+            FaultKind::CacheCorrupt => "cache_corrupt",
+            FaultKind::Io => "io",
+            FaultKind::Retryable => "retryable",
+            FaultKind::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+
+    /// Stable index into per-kind arrays (matches [`FaultKind::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::Panic => 0,
+            FaultKind::Timeout => 1,
+            FaultKind::CacheCorrupt => 2,
+            FaultKind::Io => 3,
+            FaultKind::Retryable => 4,
+            FaultKind::DeadlineExceeded => 5,
         }
     }
 }
@@ -96,6 +136,11 @@ impl Fault {
     /// A transient failure eligible for retry.
     pub fn retryable(message: impl Into<String>) -> Self {
         Fault::new(FaultKind::Retryable, message)
+    }
+
+    /// Work whose deadline passed before it could (usefully) run.
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Fault::new(FaultKind::DeadlineExceeded, message)
     }
 
     /// Whether the retry machinery should re-attempt this fault.
@@ -369,9 +414,18 @@ mod tests {
             Fault::timeout(Duration::from_secs(1)),
             Fault::cache_corrupt("x"),
             Fault::io("x"),
+            Fault::deadline_exceeded("x"),
         ] {
             assert!(!fault.is_retryable(), "{fault} must not retry");
         }
+    }
+
+    #[test]
+    fn kind_indices_match_all_order() {
+        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        assert_eq!(FaultKind::DeadlineExceeded.label(), "DeadlineExceeded");
     }
 
     #[test]

@@ -123,6 +123,14 @@ impl Obs {
         &self.clock
     }
 
+    /// The clock's current reading (see [`Clock::now_us`]) — the one
+    /// timestamp source layers above should use for latency and
+    /// deadline arithmetic, so `RIP_TRACE_CLOCK=logical` runs make
+    /// those decisions deterministically.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
     /// The counter registry.
     pub fn registry(&self) -> &CounterRegistry {
         &self.registry

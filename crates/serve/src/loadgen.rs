@@ -10,10 +10,14 @@
 //! Each tenant thread mixes the three [`RequestClass`]es round-robin
 //! and synthesizes class-appropriate rays from the leased scene:
 //! camera primaries, hemisphere AO probes, and point-light shadow
-//! segments. A dispatcher loop (the calling thread) drains the service
-//! until the schedule ends and the queues are empty.
+//! segments. When [`LoadGenConfig::deadline`] is set, every request
+//! carries an absolute service-clock deadline and the report's
+//! [`LoadReport::availability`] is the SLO the chaos harness gates on.
+//! A dispatcher loop (the calling thread) drains the service until the
+//! schedule ends and the queues are empty.
 
-use crate::queue::RequestClass;
+use crate::mode::ServiceMode;
+use crate::queue::{Rejection, RequestClass};
 use crate::service::{ClassStats, RayService};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +38,9 @@ pub struct LoadGenConfig {
     pub rays_per_request: usize,
     /// How long tenants keep submitting.
     pub duration: Duration,
+    /// Relative deadline attached to every request (`None` = no
+    /// deadlines, the pre-robustness behaviour).
+    pub deadline: Option<Duration>,
     /// Base RNG seed (tenant `t` uses `seed + t`).
     pub seed: u64,
 }
@@ -45,6 +52,7 @@ impl Default for LoadGenConfig {
             rate: 50.0,
             rays_per_request: 256,
             duration: Duration::from_secs(2),
+            deadline: None,
             seed: 0x5EED,
         }
     }
@@ -61,6 +69,14 @@ pub struct ClassReport {
     pub rays: u64,
     /// Rays that hit geometry.
     pub hits: u64,
+    /// Completed requests that finished past their deadline.
+    pub deadline_miss: u64,
+    /// Requests dropped at dispatch with an expired deadline.
+    pub expired: u64,
+    /// Requests failed by an unrecovered chunk fault.
+    pub failed: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
     /// Median latency, microseconds.
     pub p50_us: u64,
     /// 95th-percentile latency, microseconds.
@@ -80,6 +96,10 @@ impl ClassReport {
             requests: stats.requests,
             rays: stats.rays,
             hits: stats.hits,
+            deadline_miss: stats.deadline_miss,
+            expired: stats.expired,
+            failed: stats.failed,
+            shed: stats.shed,
             p50_us: stats.latency_us.p50(),
             p95_us: stats.latency_us.p95(),
             p99_us: stats.latency_us.p99(),
@@ -94,14 +114,39 @@ impl ClassReport {
 pub struct LoadReport {
     /// Wall-clock time from first submission to final drain.
     pub wall: Duration,
-    /// Requests completed across all classes.
+    /// Requests completed across all classes (on time or not).
     pub completed_requests: u64,
     /// Rays traced across all classes.
     pub completed_rays: u64,
     /// Requests shed by backpressure.
     pub shed_requests: u64,
-    /// Requests the schedule wanted to submit (completed + shed).
+    /// Requests refused by the admission token bucket.
+    pub rate_limited: u64,
+    /// Requests refused with an unmeetable deadline at admission.
+    pub rejected_unmeetable: u64,
+    /// Queued requests dropped at dispatch with an expired deadline.
+    pub expired_requests: u64,
+    /// Requests failed by an unrecovered chunk fault.
+    pub failed_requests: u64,
+    /// Completed requests that finished past their deadline.
+    pub deadline_miss_requests: u64,
+    /// Requests the schedule wanted to submit (admitted + every
+    /// rejection).
     pub offered_requests: u64,
+    /// The SLO: requests completed within deadline over offered
+    /// requests (1.0 when nothing was offered).
+    pub availability: f64,
+    /// Chunk attempts that were retries.
+    pub retried_chunks: u64,
+    /// Mode-ladder transitions taken during the run.
+    pub mode_transitions: u64,
+    /// Rounds spent in each mode, [`ServiceMode::ALL`] order.
+    pub mode_rounds: [u64; 3],
+    /// The mode the service ended the run in.
+    pub final_mode: ServiceMode,
+    /// Request failures by fault kind,
+    /// [`FaultKind::ALL`](rip_exec::FaultKind::ALL) order.
+    pub faults_by_kind: [u64; 6],
     /// Sustained throughput over the wall-clock window.
     pub rays_per_sec: f64,
     /// Dispatch rounds the drain loop executed.
@@ -190,9 +235,13 @@ pub fn run(service: &RayService, config: &LoadGenConfig) -> LoadReport {
                     let class = RequestClass::ALL[(sequence as usize) % RequestClass::ALL.len()];
                     let rays =
                         synthesize_rays(service.case(), class, config.rays_per_request, &mut rng);
+                    let deadline_us = config
+                        .deadline
+                        .map(|d| service.now_us().saturating_add(d.as_micros() as u64));
                     offered.fetch_add(1, Ordering::Relaxed);
-                    // Backpressure is already counted by the service.
-                    let _ = service.submit(tenant, class, rays);
+                    // Every rejection is already counted by the service.
+                    let _: Result<u64, Rejection> =
+                        service.submit_with_deadline(tenant, class, rays, deadline_us);
                     sequence += 1;
                 }
                 active.fetch_sub(1, Ordering::AcqRel);
@@ -202,7 +251,7 @@ pub fn run(service: &RayService, config: &LoadGenConfig) -> LoadReport {
         // Dispatcher: drain until the generators stop and queues empty.
         loop {
             let round = service.run_round();
-            if round.requests == 0 {
+            if round.requests + round.expired + round.failed == 0 {
                 if active.load(Ordering::Acquire) == 0 && service.pending() == 0 {
                     break;
                 }
@@ -217,12 +266,31 @@ pub fn run(service: &RayService, config: &LoadGenConfig) -> LoadReport {
         .iter()
         .map(|&class| ClassReport::from_stats(class, &stats.classes[class.index()]))
         .collect();
+    let offered = offered.load(Ordering::Relaxed);
+    let on_time = stats
+        .completed_requests
+        .saturating_sub(stats.deadline_miss_requests);
     LoadReport {
         wall,
         completed_requests: stats.completed_requests,
         completed_rays: stats.completed_rays,
         shed_requests: stats.shed_requests,
-        offered_requests: offered.load(Ordering::Relaxed),
+        rate_limited: stats.rate_limited,
+        rejected_unmeetable: stats.rejected_unmeetable,
+        expired_requests: stats.expired_requests,
+        failed_requests: stats.failed_requests,
+        deadline_miss_requests: stats.deadline_miss_requests,
+        offered_requests: offered,
+        availability: if offered == 0 {
+            1.0
+        } else {
+            on_time as f64 / offered as f64
+        },
+        retried_chunks: stats.retried_chunks,
+        mode_transitions: stats.mode_transitions,
+        mode_rounds: stats.mode_rounds,
+        final_mode: service.mode(),
+        faults_by_kind: stats.faults_by_kind,
         rays_per_sec: stats.completed_rays as f64 / wall.as_secs_f64().max(1e-9),
         rounds: stats.rounds,
         classes,
@@ -273,6 +341,7 @@ mod tests {
                 rate: 40.0,
                 rays_per_request: 32,
                 duration: Duration::from_millis(250),
+                deadline: None,
                 seed: 11,
             },
         );
@@ -280,15 +349,55 @@ mod tests {
         assert!(report.rays_per_sec > 0.0);
         assert_eq!(service.pending(), 0, "drain must finish empty");
         assert_eq!(
-            report.completed_requests + report.shed_requests,
+            report.completed_requests
+                + report.shed_requests
+                + report.rate_limited
+                + report.rejected_unmeetable
+                + report.expired_requests
+                + report.failed_requests,
             report.offered_requests,
-            "every offered request is either completed or shed"
+            "every offered request reaches exactly one typed outcome"
         );
+        assert_eq!(report.availability, 1.0, "no deadlines, no faults");
+        assert_eq!(report.final_mode, ServiceMode::Full);
         let with_traffic: Vec<_> = report.classes.iter().filter(|c| c.requests > 0).collect();
         assert!(!with_traffic.is_empty());
         for class in with_traffic {
             assert!(class.p50_us <= class.p95_us && class.p95_us <= class.p99_us);
             assert!(class.p99_us <= class.max_us);
         }
+    }
+
+    #[test]
+    fn deadlined_run_reports_availability() {
+        let registry = SceneRegistry::new(Arc::new(CaseCache::in_memory_only()));
+        let lease = registry.get(CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16));
+        let service = RayService::new(
+            lease,
+            1,
+            ServiceConfig {
+                chunk_rays: 64,
+                ..ServiceConfig::default()
+            },
+        );
+        let report = run(
+            &service,
+            &LoadGenConfig {
+                tenants: 1,
+                rate: 30.0,
+                rays_per_request: 16,
+                duration: Duration::from_millis(200),
+                // Generous deadline: a healthy tiny-scene service meets it.
+                deadline: Some(Duration::from_secs(5)),
+                seed: 3,
+            },
+        );
+        assert!(report.offered_requests > 0);
+        assert!(
+            report.availability > 0.9,
+            "availability {} with a 5 s deadline",
+            report.availability
+        );
+        assert_eq!(report.failed_requests, 0);
     }
 }

@@ -1,0 +1,362 @@
+//! The graceful-degradation ladder: `Full → NoPredict → Survival`.
+//!
+//! The paper's predictor is a *transparent* accelerator — §4's
+//! contract (machine-checked by `rip-testkit`) is that predicted and
+//! unpredicted traversal return bit-identical hits. That is exactly the
+//! property an overloaded service should spend: dropping prediction
+//! sheds the shared-table traffic and the predictor bookkeeping without
+//! changing a single result. The ladder:
+//!
+//! * [`ServiceMode::Full`] — shared predictor on, configured chunk size
+//!   and fairness quota.
+//! * [`ServiceMode::NoPredict`] — the shared table is bypassed; chunks
+//!   trace through the raw kernel. Results are bit-identical (the
+//!   transparency contract), only the acceleration is gone.
+//! * [`ServiceMode::Survival`] — additionally shrinks `chunk_rays` and
+//!   the fairness quota, trading throughput for small, predictable
+//!   dispatch rounds (and letting bounded queues shed the excess).
+//!
+//! Transitions are driven by a sliding window of per-round health
+//! (deadline misses + expiries + faulted requests over requests seen).
+//! Escalation and recovery both move one rung at a time with a cooldown
+//! between moves, so a single bad round cannot flap the service.
+
+use std::collections::VecDeque;
+
+/// The service's operating mode (see module docs for the ladder).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ServiceMode {
+    /// Shared prediction on, full batch sizes — the happy path.
+    #[default]
+    Full,
+    /// Prediction disabled; results bit-identical, table traffic gone.
+    NoPredict,
+    /// Prediction disabled, shrunken chunks and fairness quota.
+    Survival,
+}
+
+impl ServiceMode {
+    /// Every mode, in escalation order.
+    pub const ALL: [ServiceMode; 3] = [
+        ServiceMode::Full,
+        ServiceMode::NoPredict,
+        ServiceMode::Survival,
+    ];
+
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceMode::Full => "full",
+            ServiceMode::NoPredict => "no_predict",
+            ServiceMode::Survival => "survival",
+        }
+    }
+
+    /// Stable index into per-mode arrays (matches [`ServiceMode::ALL`]).
+    pub fn index(&self) -> usize {
+        match self {
+            ServiceMode::Full => 0,
+            ServiceMode::NoPredict => 1,
+            ServiceMode::Survival => 2,
+        }
+    }
+
+    /// Whether the shared predictor table is consulted in this mode.
+    pub fn predicts(&self) -> bool {
+        matches!(self, ServiceMode::Full)
+    }
+
+    /// One rung worse (saturating at [`ServiceMode::Survival`]).
+    pub fn degraded(&self) -> ServiceMode {
+        match self {
+            ServiceMode::Full => ServiceMode::NoPredict,
+            ServiceMode::NoPredict | ServiceMode::Survival => ServiceMode::Survival,
+        }
+    }
+
+    /// One rung better (saturating at [`ServiceMode::Full`]).
+    pub fn recovered(&self) -> ServiceMode {
+        match self {
+            ServiceMode::Survival => ServiceMode::NoPredict,
+            ServiceMode::NoPredict | ServiceMode::Full => ServiceMode::Full,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Ladder tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradeConfig {
+    /// Rounds of health kept in the sliding window.
+    pub window_rounds: usize,
+    /// Bad-request ratio at or above which the service degrades a rung.
+    pub degrade_ratio: f64,
+    /// Bad-request ratio at or below which the service recovers a rung.
+    pub recover_ratio: f64,
+    /// Minimum rounds between two transitions (anti-flap).
+    pub cooldown_rounds: u64,
+    /// `chunk_rays` override while in [`ServiceMode::Survival`].
+    pub survival_chunk_rays: usize,
+    /// Fairness quota override while in [`ServiceMode::Survival`].
+    pub survival_quota: usize,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            window_rounds: 16,
+            degrade_ratio: 0.05,
+            recover_ratio: 0.01,
+            cooldown_rounds: 8,
+            survival_chunk_rays: 128,
+            survival_quota: 1,
+        }
+    }
+}
+
+/// One round's health sample.
+#[derive(Clone, Copy, Debug, Default)]
+struct RoundHealth {
+    /// Requests that reached an outcome this round (completed, expired,
+    /// or failed).
+    requests: u64,
+    /// The bad subset: expired, failed, or completed past deadline.
+    bad: u64,
+}
+
+/// A recorded mode change.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModeTransition {
+    /// The mode the service left.
+    pub from: ServiceMode,
+    /// The mode the service entered.
+    pub to: ServiceMode,
+    /// The windowed bad-request ratio that triggered the move.
+    pub bad_ratio: f64,
+}
+
+impl PartialEq<(ServiceMode, ServiceMode)> for ModeTransition {
+    fn eq(&self, other: &(ServiceMode, ServiceMode)) -> bool {
+        (self.from, self.to) == *other
+    }
+}
+
+/// Sliding-window mode controller (one per service, behind its stats
+/// mutex).
+#[derive(Debug)]
+pub struct ModeController {
+    config: DegradeConfig,
+    mode: ServiceMode,
+    window: VecDeque<RoundHealth>,
+    rounds_since_transition: u64,
+    transitions: u64,
+}
+
+impl ModeController {
+    /// A controller starting in [`ServiceMode::Full`].
+    pub fn new(config: DegradeConfig) -> Self {
+        ModeController {
+            config,
+            mode: ServiceMode::Full,
+            window: VecDeque::with_capacity(config.window_rounds.max(1)),
+            rounds_since_transition: 0,
+            transitions: 0,
+        }
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> ServiceMode {
+        self.mode
+    }
+
+    /// Transitions taken so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Forces the controller to `mode` (harness hook: chaos and A/B
+    /// benchmarks pin a rung to compare against). Clears the health
+    /// window so the forced mode is judged only on fresh rounds; the
+    /// move is recorded as a transition when it changes the mode.
+    pub fn force(&mut self, mode: ServiceMode) -> Option<ModeTransition> {
+        if mode == self.mode {
+            return None;
+        }
+        let from = std::mem::replace(&mut self.mode, mode);
+        self.window.clear();
+        self.rounds_since_transition = 0;
+        self.transitions += 1;
+        Some(ModeTransition {
+            from,
+            to: mode,
+            bad_ratio: 0.0,
+        })
+    }
+
+    /// The windowed bad-request ratio (0 when the window saw no
+    /// requests — idle is healthy).
+    pub fn bad_ratio(&self) -> f64 {
+        let (requests, bad) = self
+            .window
+            .iter()
+            .fold((0u64, 0u64), |(r, b), h| (r + h.requests, b + h.bad));
+        if requests == 0 {
+            0.0
+        } else {
+            bad as f64 / requests as f64
+        }
+    }
+
+    /// Feeds one round's health (`requests` outcomes, `bad` of them
+    /// degraded) and returns the transition it caused, if any.
+    ///
+    /// Escalation requires a *full* window — a single bad round right
+    /// after startup must not panic the service into `Survival` — while
+    /// recovery only requires the cooldown, so a drained service climbs
+    /// back as soon as the bad window ages out.
+    pub fn observe_round(&mut self, requests: u64, bad: u64) -> Option<ModeTransition> {
+        let capacity = self.config.window_rounds.max(1);
+        if self.window.len() == capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(RoundHealth { requests, bad });
+        self.rounds_since_transition += 1;
+        if self.rounds_since_transition < self.config.cooldown_rounds.max(1) {
+            return None;
+        }
+        let ratio = self.bad_ratio();
+        let next = if ratio >= self.config.degrade_ratio && self.window.len() == capacity {
+            self.mode.degraded()
+        } else if ratio <= self.config.recover_ratio {
+            self.mode.recovered()
+        } else {
+            self.mode
+        };
+        if next == self.mode {
+            return None;
+        }
+        let from = std::mem::replace(&mut self.mode, next);
+        // Fresh start: the rounds that justified this move must not be
+        // double-counted toward the next one.
+        self.window.clear();
+        self.rounds_since_transition = 0;
+        self.transitions += 1;
+        Some(ModeTransition {
+            from,
+            to: next,
+            bad_ratio: ratio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DegradeConfig {
+        DegradeConfig {
+            window_rounds: 4,
+            degrade_ratio: 0.5,
+            recover_ratio: 0.1,
+            cooldown_rounds: 2,
+            ..DegradeConfig::default()
+        }
+    }
+
+    #[test]
+    fn mode_metadata_is_stable() {
+        for (i, mode) in ServiceMode::ALL.iter().enumerate() {
+            assert_eq!(mode.index(), i);
+        }
+        assert!(ServiceMode::Full.predicts());
+        assert!(!ServiceMode::NoPredict.predicts());
+        assert_eq!(ServiceMode::Survival.degraded(), ServiceMode::Survival);
+        assert_eq!(ServiceMode::Full.recovered(), ServiceMode::Full);
+        assert_eq!(ServiceMode::NoPredict.label(), "no_predict");
+    }
+
+    #[test]
+    fn ladder_descends_one_rung_at_a_time_with_cooldown() {
+        let mut c = ModeController::new(config());
+        let mut transitions = Vec::new();
+        for _ in 0..16 {
+            if let Some(t) = c.observe_round(10, 10) {
+                transitions.push((t.from, t.to));
+            }
+        }
+        assert_eq!(
+            transitions,
+            vec![
+                (ServiceMode::Full, ServiceMode::NoPredict),
+                (ServiceMode::NoPredict, ServiceMode::Survival),
+            ]
+        );
+        assert_eq!(c.mode(), ServiceMode::Survival);
+        assert_eq!(c.transitions(), 2);
+    }
+
+    #[test]
+    fn healthy_rounds_climb_back_to_full() {
+        let mut c = ModeController::new(config());
+        for _ in 0..16 {
+            c.observe_round(10, 10);
+        }
+        assert_eq!(c.mode(), ServiceMode::Survival);
+        let mut recovered = Vec::new();
+        for _ in 0..16 {
+            if let Some(t) = c.observe_round(10, 0) {
+                recovered.push((t.from, t.to));
+            }
+        }
+        assert_eq!(
+            recovered,
+            vec![
+                (ServiceMode::Survival, ServiceMode::NoPredict),
+                (ServiceMode::NoPredict, ServiceMode::Full),
+            ]
+        );
+        assert_eq!(c.transitions(), 4);
+    }
+
+    #[test]
+    fn idle_rounds_count_as_healthy() {
+        let mut c = ModeController::new(config());
+        for _ in 0..8 {
+            c.observe_round(10, 10);
+        }
+        assert_ne!(c.mode(), ServiceMode::Full);
+        for _ in 0..8 {
+            c.observe_round(0, 0);
+        }
+        assert_eq!(c.mode(), ServiceMode::Full, "an idle service recovers");
+    }
+
+    #[test]
+    fn escalation_needs_a_full_window() {
+        let mut c = ModeController::new(DegradeConfig {
+            window_rounds: 8,
+            cooldown_rounds: 1,
+            ..config()
+        });
+        // Three catastrophic rounds, but the window is not full yet.
+        for _ in 0..3 {
+            assert_eq!(c.observe_round(10, 10), None);
+        }
+        assert_eq!(c.mode(), ServiceMode::Full);
+    }
+
+    #[test]
+    fn force_pins_and_counts() {
+        let mut c = ModeController::new(config());
+        let t = c.force(ServiceMode::Survival).unwrap();
+        assert_eq!(t, (ServiceMode::Full, ServiceMode::Survival));
+        assert_eq!(c.force(ServiceMode::Survival), None);
+        assert_eq!(c.mode(), ServiceMode::Survival);
+        assert_eq!(c.transitions(), 1);
+    }
+}

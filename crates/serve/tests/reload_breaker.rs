@@ -1,0 +1,98 @@
+//! The reload circuit breaker, driven through `RIP_FAULT_INJECT`.
+//!
+//! This binary holds exactly one test because it mutates the
+//! process-wide `RIP_FAULT_INJECT` environment variable; cargo runs
+//! test *binaries* in separate processes, so the mutation cannot race
+//! another test's injection plan.
+
+use rip_exec::{CaseCache, CaseKey, FaultKind};
+use rip_scene::{SceneId, SceneScale};
+use rip_serve::{BreakerConfig, ReloadError, SceneRegistry};
+use std::sync::Arc;
+
+#[test]
+fn failed_reloads_keep_the_old_epoch_and_trip_the_breaker() {
+    let registry = SceneRegistry::with_breaker(
+        Arc::new(CaseCache::in_memory_only()),
+        BreakerConfig {
+            failure_threshold: 2,
+            probe_after: 2,
+        },
+    );
+    let key = CaseKey::square(SceneId::Sibenik, SceneScale::Tiny, 16);
+    let before = registry.get(key);
+    assert_eq!(before.epoch, 0);
+
+    // Every rebuild attempt panics from here on.
+    std::env::set_var("RIP_FAULT_INJECT", "panic:serve_reload");
+
+    // Failure 1: typed fault, old case still served, epoch unchanged.
+    match registry.try_reload(key) {
+        Err(ReloadError::BuildFailed(fault)) => assert_eq!(fault.kind, FaultKind::Panic),
+        other => panic!("expected BuildFailed, got {other:?}"),
+    }
+    let lease = registry.get(key);
+    assert!(
+        Arc::ptr_eq(&lease.case, &before.case),
+        "a failed rebuild must keep serving the last good case"
+    );
+    assert_eq!(lease.epoch, 0);
+    assert!(!registry.breaker_open(), "one failure is below threshold");
+
+    // Failure 2 opens the breaker.
+    assert!(matches!(
+        registry.try_reload(key),
+        Err(ReloadError::BuildFailed(_))
+    ));
+    assert!(registry.breaker_open());
+
+    // While open: refusals without a rebuild attempt (the injected
+    // panic would fire if the build ran).
+    match registry.try_reload(key) {
+        Err(ReloadError::BreakerOpen {
+            failures,
+            until_probe,
+        }) => {
+            assert_eq!(failures, 2);
+            assert_eq!(until_probe, 1);
+        }
+        other => panic!("expected BreakerOpen, got {other:?}"),
+    }
+    assert!(matches!(
+        registry.try_reload(key),
+        Err(ReloadError::BreakerOpen { until_probe: 0, .. })
+    ));
+
+    // The next call is the half-open probe — still failing, so the
+    // breaker stays open.
+    assert!(matches!(
+        registry.try_reload(key),
+        Err(ReloadError::BuildFailed(_))
+    ));
+    assert!(registry.breaker_open());
+
+    // Burn this cycle's refusals, then fix the build; the next probe
+    // closes the breaker and finally publishes a new epoch.
+    for _ in 0..2 {
+        assert!(matches!(
+            registry.try_reload(key),
+            Err(ReloadError::BreakerOpen { .. })
+        ));
+    }
+    std::env::remove_var("RIP_FAULT_INJECT");
+    let fresh = registry.try_reload(key).expect("probe should succeed");
+    assert_eq!(fresh.epoch, 1);
+    assert!(!registry.breaker_open());
+    assert!(
+        !Arc::ptr_eq(&fresh.case, &before.case),
+        "the successful reload must publish a rebuilt case"
+    );
+
+    let (ok, failed, refused) = registry.reload_counts();
+    assert_eq!(ok, 1);
+    assert_eq!(failed, 3);
+    assert_eq!(refused, 4);
+
+    // And with the breaker closed, reloads behave normally again.
+    assert_eq!(registry.try_reload(key).unwrap().epoch, 2);
+}
