@@ -1,0 +1,216 @@
+//! Cold-start artifact load microbench (decode-vs-map) and its JSON
+//! artifact.
+//!
+//! Measures what a fresh process pays to get a traced-against case off
+//! disk, per bench scene:
+//!
+//! * **v1 decode** — the legacy element-wise codec (`decode_v1` in
+//!   `rip_scene::serial` / `rip_bvh::serial`): read the whole file,
+//!   parse every element, then run the full float-heavy
+//!   `Bvh::validate`. This is the pre-RIPA cold-start cost and the
+//!   baseline the ≥3x acceptance bar is measured against.
+//! * **v2 mapped load** — [`MappedArtifact::open`] (owned read or
+//!   `mmap(2)` under `--features mmap`) followed by `decode_shared`,
+//!   which validates the container checksums plus integer structure
+//!   and *borrows* every bulk buffer from the mapped bytes instead of
+//!   re-materializing vectors.
+//!
+//! Results land in machine-readable JSON at the repository root:
+//!
+//! * `--mode full` (default) — 15 samples per cell, rewrites the
+//!   committed `BENCH_artifact.json`.
+//! * `--mode smoke` — 3 samples, written to
+//!   `BENCH_artifact.smoke.json` so CI never dirties the committed
+//!   baseline (the `artifact-smoke` job asserts sanity and the
+//!   largest-scene speedup floor).
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo bench -p rip-bench --bench artifact_bench                 # full
+//! cargo bench -p rip-bench --bench artifact_bench -- --mode smoke
+//! cargo bench -p rip-bench --features mmap --bench artifact_bench
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rip_bvh::Bvh;
+use rip_exec::MappedArtifact;
+use rip_math::Triangle;
+use rip_scene::{Scene, SceneId, SceneScale};
+
+/// Timed samples per cell (median reported).
+const SAMPLES_FULL: usize = 15;
+const SAMPLES_SMOKE: usize = 3;
+/// Scale: Quick (~1/16 paper budget) keeps per-load work well above
+/// timer noise while the bench stays runnable in CI smoke mode.
+const SCALE: SceneScale = SceneScale::Quick;
+const VIEWPORT: u32 = 32;
+
+/// One prepared scene: v1 and v2 artifact files on disk.
+struct Prepared {
+    scene_v1: PathBuf,
+    scene_v2: PathBuf,
+    bvh_v1: PathBuf,
+    bvh_v2: PathBuf,
+    /// Total v2 bytes (scene + bvh), for bytes/s.
+    v2_bytes: u64,
+    /// Total v1 bytes (scene + bvh).
+    v1_bytes: u64,
+}
+
+fn backend_name() -> &'static str {
+    if cfg!(feature = "mmap") {
+        "mmap"
+    } else {
+        "owned"
+    }
+}
+
+fn prepare(dir: &Path, id: SceneId, code: &'static str) -> Prepared {
+    let scene = id.build_with_viewport(SCALE, VIEWPORT, VIEWPORT);
+    let tris: Vec<Triangle> = scene.mesh.triangles().collect();
+    let bvh = Bvh::build(&tris);
+
+    let write = |name: &str, bytes: &[u8]| -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).expect("write bench artifact");
+        path
+    };
+    let scene_v1_bytes = rip_scene::serial::encode_v1(&scene);
+    let scene_v2_bytes = rip_scene::serial::encode(&scene);
+    let bvh_v1_bytes = rip_bvh::serial::encode_v1(&bvh);
+    let bvh_v2_bytes = rip_bvh::serial::encode(&bvh);
+    Prepared {
+        v1_bytes: (scene_v1_bytes.len() + bvh_v1_bytes.len()) as u64,
+        v2_bytes: (scene_v2_bytes.len() + bvh_v2_bytes.len()) as u64,
+        scene_v1: write(&format!("{code}.scene.v1"), &scene_v1_bytes),
+        scene_v2: write(&format!("{code}.scene.v2"), &scene_v2_bytes),
+        bvh_v1: write(&format!("{code}.bvh.v1"), &bvh_v1_bytes),
+        bvh_v2: write(&format!("{code}.bvh.v2"), &bvh_v2_bytes),
+    }
+}
+
+/// The legacy cold start: read both files, decode element-wise (the v1
+/// BVH decoder runs the full float validation, as the old cache did).
+fn load_v1(p: &Prepared) -> (Scene, Bvh) {
+    let scene_bytes = std::fs::read(&p.scene_v1).expect("read v1 scene");
+    let bvh_bytes = std::fs::read(&p.bvh_v1).expect("read v1 bvh");
+    let scene = rip_scene::serial::decode_v1(&scene_bytes).expect("decode v1 scene");
+    let bvh = rip_bvh::serial::decode_v1(&bvh_bytes).expect("decode v1 bvh");
+    (scene, bvh)
+}
+
+/// The RIPA v2 cold start: map both files, decode in place over the
+/// mapped bytes (checksums + integer structural validation only).
+fn load_v2(p: &Prepared) -> (Scene, Bvh) {
+    let scene_map = MappedArtifact::open(&p.scene_v2).expect("map v2 scene");
+    let bvh_map = MappedArtifact::open(&p.bvh_v2).expect("map v2 bvh");
+    let scene = rip_scene::serial::decode_shared(scene_map.bytes()).expect("decode v2 scene");
+    let bvh = rip_bvh::serial::decode_shared(bvh_map.bytes()).expect("decode v2 bvh");
+    (scene, bvh)
+}
+
+/// Median wall-clock seconds for one cold load.
+fn median_secs(samples: usize, mut load: impl FnMut() -> usize) -> f64 {
+    assert!(load() > 0, "benchmark load produced an empty case");
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(load());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--quick")
+        || args.windows(2).any(|w| w[0] == "--mode" && w[1] == "smoke");
+    let samples = if smoke { SAMPLES_SMOKE } else { SAMPLES_FULL };
+
+    let dir = std::env::temp_dir().join(format!("rip-artifact-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    // Table-1 order, smallest to largest triangle budget; the last entry
+    // is the largest bench scene and anchors the ≥3x acceptance bar.
+    let scene_list: &[(SceneId, &'static str)] = &[
+        (SceneId::Sibenik, "SB"),
+        (SceneId::CrytekSponza, "SP"),
+        (SceneId::LostEmpire, "LE"),
+    ];
+
+    let mut scene_rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &(id, code) in scene_list {
+        let p = prepare(&dir, id, code);
+
+        // Equivalence first: both paths must produce the same geometry
+        // before either is worth timing.
+        let (s1, b1) = load_v1(&p);
+        let (s2, b2) = load_v2(&p);
+        assert_eq!(
+            rip_scene::serial::encode(&s1),
+            rip_scene::serial::encode(&s2),
+            "{code}: v1 and v2 scenes diverged"
+        );
+        assert_eq!(
+            rip_bvh::serial::encode(&b1),
+            rip_bvh::serial::encode(&b2),
+            "{code}: v1 and v2 BVHs diverged"
+        );
+
+        let t_v1 = median_secs(samples, || load_v1(&p).1.node_count());
+        let t_v2 = median_secs(samples, || load_v2(&p).1.node_count());
+        let speedup = t_v1 / t_v2.max(1e-12);
+        let bps = |bytes: u64, t: f64| bytes as f64 / t.max(1e-12);
+        println!(
+            "{code}: v1 decode {:.3} ms ({:.1} MB/s) vs v2 {} load {:.3} ms ({:.1} MB/s) — {:.2}x",
+            t_v1 * 1e3,
+            bps(p.v1_bytes, t_v1) / 1e6,
+            backend_name(),
+            t_v2 * 1e3,
+            bps(p.v2_bytes, t_v2) / 1e6,
+            speedup
+        );
+        scene_rows.push(format!(
+            "    {{\"scene\": \"{code}\", \
+             \"v1_bytes\": {}, \"v2_bytes\": {}, \
+             \"decode_v1_ms\": {:.4}, \"mapped_load_ms\": {:.4}, \
+             \"decode_v1_bytes_per_sec\": {:.0}, \"mapped_bytes_per_sec\": {:.0}, \
+             \"mapped_over_v1_speedup\": {:.4}}}",
+            p.v1_bytes,
+            p.v2_bytes,
+            t_v1 * 1e3,
+            t_v2 * 1e3,
+            bps(p.v1_bytes, t_v1),
+            bps(p.v2_bytes, t_v2),
+            speedup
+        ));
+        speedups.push((code, speedup));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let &(largest_code, largest_speedup) = speedups.last().expect("at least one scene");
+    let json = format!(
+        "{{\n  \"bench\": \"artifact_bench\",\n  \"mode\": \"{}\",\n  \"backend\": \"{}\",\n  \
+         \"scale\": \"quick\",\n  \"scenes\": [\n{}\n  ],\n  \
+         \"largest_scene\": \"{largest_code}\",\n  \
+         \"largest_scene_mapped_speedup\": {largest_speedup:.4}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        backend_name(),
+        scene_rows.join(",\n"),
+    );
+    let file = if smoke {
+        "BENCH_artifact.smoke.json"
+    } else {
+        "BENCH_artifact.json"
+    };
+    let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+}

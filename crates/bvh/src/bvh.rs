@@ -4,6 +4,7 @@ use crate::node::{BvhNode, NodeId, NodeKind};
 use crate::traversal::{Traversal, TraversalKind, TraversalResult};
 use crate::{BvhBuilder, MemoryLayout};
 use rip_math::{Aabb, Ray, Triangle};
+use rip_pod::PodBuf;
 
 /// A built bounding volume hierarchy.
 ///
@@ -28,8 +29,10 @@ use rip_math::{Aabb, Ray, Triangle};
 #[derive(Clone, Debug)]
 pub struct Bvh {
     nodes: Vec<BvhNode>,
-    tri_order: Vec<u32>,
-    triangles: Vec<Triangle>,
+    // The flat pod buffers may borrow shared artifact memory (RIPA v2
+    // zero-copy load); every mutation path detaches a private copy.
+    tri_order: PodBuf<u32>,
+    triangles: PodBuf<Triangle>,
     depth: u32,
     layout: MemoryLayout,
 }
@@ -44,12 +47,15 @@ impl Bvh {
         BvhBuilder::new().build(triangles)
     }
 
-    /// Assembles a BVH from builder output (crate-internal).
+    /// Assembles a BVH from builder output (crate-internal). The pod
+    /// buffers may be owned or borrow shared artifact memory.
     pub(crate) fn from_parts(
         nodes: Vec<BvhNode>,
-        tri_order: Vec<u32>,
-        triangles: Vec<Triangle>,
+        tri_order: impl Into<PodBuf<u32>>,
+        triangles: impl Into<PodBuf<Triangle>>,
     ) -> Self {
+        let tri_order = tri_order.into();
+        let triangles = triangles.into();
         let depth = nodes.iter().map(|n| n.depth).max().unwrap_or(0);
         let layout = MemoryLayout::for_tree(nodes.len(), triangles.len());
         Bvh {
@@ -59,6 +65,11 @@ impl Bvh {
             depth,
             layout,
         }
+    }
+
+    /// Whether any buffer borrows shared artifact memory (diagnostics).
+    pub fn is_shared(&self) -> bool {
+        self.tri_order.is_shared() || self.triangles.is_shared()
     }
 
     /// Raw node/order/triangle buffers for serialization (crate-internal).
@@ -242,8 +253,9 @@ impl Bvh {
                 new_triangles.len()
             ));
         }
-        self.triangles.clear();
-        self.triangles.extend_from_slice(new_triangles);
+        let triangles = self.triangles.to_mut();
+        triangles.clear();
+        triangles.extend_from_slice(new_triangles);
         // Nodes were allocated parent-before-child (the builder reserves a
         // slot, then pushes children), so a reverse index sweep visits
         // children before parents.

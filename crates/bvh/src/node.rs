@@ -314,6 +314,11 @@ pub struct CompressedWideNode {
     pub counts: [u16; 4],
 }
 
+// One wide node is exactly one 64-byte record with no implicit padding
+// (the `pad` byte is explicit), so the RIPA v2 artifact stores the node
+// array verbatim and casts it back in place.
+rip_pod::impl_pod!(CompressedWideNode, size = 64, align = 4);
+
 impl CompressedWideNode {
     /// A node with four empty slots.
     pub fn empty() -> Self {

@@ -35,6 +35,7 @@ use crate::simd::F32x4;
 use crate::stack::{ShortStack, SHORT_STACK_CAPACITY};
 use crate::{Bvh, Hit, TraversalKind, TraversalStats};
 use rip_math::{Ray, Vec3};
+use rip_pod::PodBuf;
 
 /// Maximum children per wide node.
 pub const WIDE_ARITY: usize = 4;
@@ -47,7 +48,8 @@ pub const WIDE_ARITY: usize = 4;
 ///
 /// Padding lanes carry `tri_index == u32::MAX` and all-zero geometry,
 /// whose zero scale fails the degeneracy test in every backend.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
 pub(crate) struct TriGroup {
     pub(crate) ax: [f32; 4],
     pub(crate) ay: [f32; 4],
@@ -62,6 +64,10 @@ pub(crate) struct TriGroup {
     pub(crate) tri_index: [u32; 4],
     pub(crate) leaf: u32,
 }
+
+// 40 f32 lanes + 4 indices + the leaf id: 180 packed bytes, stored
+// verbatim in the wide artifact's group section.
+rip_pod::impl_pod!(TriGroup, size = 180, align = 4);
 
 impl TriGroup {
     pub(crate) fn padding(leaf: u32) -> Self {
@@ -131,8 +137,8 @@ pub struct WideResult {
 /// ```
 #[derive(Clone, Debug)]
 pub struct WideBvh {
-    nodes: Vec<CompressedWideNode>,
-    groups: Vec<TriGroup>,
+    nodes: PodBuf<CompressedWideNode>,
+    groups: PodBuf<TriGroup>,
 }
 
 /// A packed traversal-stack entry: child reference in the low half,
@@ -344,8 +350,8 @@ impl WideBvh {
     /// the binary leaf ids reported in hits) are preserved exactly.
     pub fn from_binary(bvh: &Bvh) -> Self {
         let mut wide = WideBvh {
-            nodes: vec![CompressedWideNode::empty()],
-            groups: Vec::new(),
+            nodes: PodBuf::from(vec![CompressedWideNode::empty()]),
+            groups: PodBuf::default(),
         };
         wide.build_node(bvh, NodeId::ROOT, 0);
         wide
@@ -367,8 +373,21 @@ impl WideBvh {
     }
 
     /// Reassembles a tree from decoded parts (serialization support).
-    pub(crate) fn from_raw_parts(nodes: Vec<CompressedWideNode>, groups: Vec<TriGroup>) -> Self {
-        WideBvh { nodes, groups }
+    /// The buffers may be owned or borrow shared artifact memory —
+    /// traversal reads slices either way.
+    pub(crate) fn from_raw_parts(
+        nodes: impl Into<PodBuf<CompressedWideNode>>,
+        groups: impl Into<PodBuf<TriGroup>>,
+    ) -> Self {
+        WideBvh {
+            nodes: nodes.into(),
+            groups: groups.into(),
+        }
+    }
+
+    /// Whether any buffer borrows shared artifact memory (diagnostics).
+    pub fn is_shared(&self) -> bool {
+        self.nodes.is_shared() || self.groups.is_shared()
     }
 
     fn build_node(&mut self, bvh: &Bvh, binary: NodeId, slot: usize) {
@@ -419,13 +438,13 @@ impl WideBvh {
                 }
                 NodeKind::Interior { .. } => {
                     let idx = self.nodes.len() as u32;
-                    self.nodes.push(CompressedWideNode::empty());
+                    self.nodes.to_mut().push(CompressedWideNode::empty());
                     node.children[i] = idx;
                     recurse.push((member, idx));
                 }
             }
         }
-        self.nodes[slot] = node;
+        self.nodes.to_mut()[slot] = node;
         for (member, idx) in recurse {
             self.build_node(bvh, member, idx as usize);
         }
@@ -447,7 +466,7 @@ impl WideBvh {
                 group.set_lane(lane, tri_index, bvh.triangle(tri_index));
                 slot += 1;
             }
-            self.groups.push(group);
+            self.groups.to_mut().push(group);
         }
         start
     }
@@ -741,7 +760,7 @@ mod tests {
         let binary = Bvh::build(&soup(300, 21));
         let wide = WideBvh::from_binary(&binary);
         let mut leaf_slots = 0;
-        for node in &wide.nodes {
+        for node in wide.nodes.as_slice() {
             for i in 0..WIDE_ARITY {
                 if node.counts[i] == 0 {
                     continue;

@@ -2,12 +2,19 @@
 //! reproduces the tree and re-encodes byte-identically, and damaged
 //! buffers always come back as `Err`, never a panic.
 //!
+//! Since format v2 the artifact is a RIPA container, so bit integrity
+//! is enforced by the container checksums and these tests focus on the
+//! *structural* layer: tree invariants a checksummed-but-hostile
+//! artifact could still violate.
+//!
 //! The empty-tree case is deliberately absent: `Bvh::build` requires at
 //! least one triangle, so an empty artifact can only describe a scene
 //! (covered by `rip-scene`'s round-trip suite).
 
 use rip_bvh::{serial, Bvh};
 use rip_math::{Triangle, Vec3};
+use rip_pod::ripa::{RipaFile, RipaWriter};
+use rip_pod::Bytes;
 
 /// A small deterministic soup with enough spread to force a multi-level
 /// tree (interior + leaf nodes, non-trivial triangle reorder).
@@ -70,28 +77,30 @@ fn trailing_garbage_is_rejected() {
 }
 
 #[test]
-fn single_byte_flips_never_panic() {
-    // Every single-byte corruption must either fail decoding or decode to
-    // a tree that still passes validation (flips inside float payloads can
-    // be structurally harmless) — but never panic. Structural fields are
-    // additionally guarded by `Bvh::validate` inside `decode`.
+fn single_byte_flips_are_always_detected() {
+    // Stronger than the v1 guarantee: the RIPA container checksums the
+    // header, section table, and every payload, so *any* single-byte
+    // corruption — float payloads included — must fail decoding. No
+    // silently-accepted damage, and of course no panics.
     let bytes = serial::encode(&Bvh::build(&soup(12)));
     for at in 0..bytes.len() {
         let mut bad = bytes.clone();
         bad[at] ^= 0x40;
-        if let Ok(bvh) = serial::decode(&bad) {
-            bvh.validate().unwrap();
-        }
+        assert!(
+            serial::decode(&bad).is_err(),
+            "flip at byte {at} went undetected"
+        );
     }
 }
 
 #[test]
 fn header_bomb_is_rejected_before_allocation() {
     let mut bytes = serial::encode(&Bvh::build(&soup(5)));
-    // node_count lives at bytes 8..12; promise ~4 billion nodes.
-    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    // The section count lives at bytes 8..12; promise ~4 billion
+    // sections. The parser must refuse before allocating for them.
+    bytes[8..12].copy_from_slice(&u32::MAX.to_ne_bytes());
     let err = serial::decode(&bytes).unwrap_err();
-    assert!(err.contains("truncated"), "got: {err}");
+    assert!(err.contains("section count"), "got: {err}");
 }
 
 #[test]
@@ -103,7 +112,7 @@ fn wrong_magic_and_version_are_rejected() {
     assert!(serial::decode(&bad_magic).unwrap_err().contains("magic"));
 
     let mut bad_version = good;
-    bad_version[4..8].copy_from_slice(&(serial::FORMAT_VERSION + 7).to_le_bytes());
+    bad_version[4..8].copy_from_slice(&(rip_pod::ripa::CONTAINER_VERSION + 7).to_ne_bytes());
     assert!(serial::decode(&bad_version)
         .unwrap_err()
         .contains("version"));
@@ -111,16 +120,26 @@ fn wrong_magic_and_version_are_rejected() {
 
 #[test]
 fn out_of_range_triangle_slot_is_rejected() {
+    // A hostile artifact with intact checksums but a leaf-order slot
+    // pointing past the triangle section. Rebuild the container from
+    // the parsed sections of a good artifact so all checksums are
+    // recomputed over the poisoned payload.
     let bvh = Bvh::build(&soup(3));
-    let mut bytes = serial::encode(&bvh);
-    // Node records are variable-size, so locate tri_order from the back:
-    // triangles occupy the last tri_count * 36 bytes, tri_order the
-    // order_count * 4 bytes before them.
-    let order_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-    let tri_count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
-    assert_eq!(order_count, tri_count);
-    let order_at = bytes.len() - tri_count * 36 - order_count * 4;
-    bytes[order_at..order_at + 4].copy_from_slice(&(tri_count as u32).to_le_bytes());
-    let err = serial::decode(&bytes).unwrap_err();
+    let bytes = serial::encode(&bvh);
+    let file = RipaFile::parse(Bytes::copy_from_slice(&bytes), serial::KIND_BVH).unwrap();
+
+    let meta = file.section(1).unwrap();
+    let nodes = file.section(2).unwrap();
+    let mut order = file.pod_section::<u32>(3).unwrap().to_vec();
+    let tris = file.section(4).unwrap();
+    let tri_count = tris.len() / std::mem::size_of::<Triangle>();
+    order[0] = tri_count as u32;
+
+    let mut w = RipaWriter::new(serial::KIND_BVH);
+    w.raw_section(1, 4, meta.as_slice())
+        .raw_section(2, 4, nodes.as_slice())
+        .section(3, &order)
+        .raw_section(4, 4, tris.as_slice());
+    let err = serial::decode(&w.finish()).unwrap_err();
     assert!(err.contains("out of range"), "got: {err}");
 }

@@ -5,11 +5,14 @@
 //! 1. **In-process**: a `(scene, scale, viewport) → Arc<Case>` map shared
 //!    by every experiment in the run. Concurrent requests for the same
 //!    key block on one build (via `OnceLock`) instead of duplicating it.
-//! 2. **On-disk**: serialized scene and BVH artifacts (see
+//! 2. **On-disk**: RIPA v2 scene and BVH artifacts (see
 //!    `rip_scene::serial` / `rip_bvh::serial`), so *subsequent processes*
 //!    skip procedural synthesis and BVH construction entirely. Artifacts
-//!    are keyed by scene/scale/viewport and both format versions; stale
-//!    or corrupt files fail decoding and fall back to a rebuild.
+//!    are mapped through [`MappedArtifact`] and decoded **in place** —
+//!    the buffer sections are borrowed out of the mapping, not copied —
+//!    and are keyed by scene/scale/viewport and both format versions;
+//!    stale or corrupt files fail decoding and fall back to a rebuild
+//!    (v1 artifacts are simply invisible under the v2 key).
 //!
 //! The store lives in `$RIP_CACHE_DIR` when set (an **empty** value
 //! disables the disk tier), else `<system temp dir>/rip-artifacts`.
@@ -30,6 +33,7 @@
 //! and mirrors into the `exec.cache.*` counters of the attached
 //! [`Obs`] instance ([`CaseCache::with_obs`]).
 
+use crate::artifact::MappedArtifact;
 use crate::case::{Case, CaseKey};
 use crate::fault::Fault;
 use rip_obs::Obs;
@@ -323,21 +327,34 @@ impl CaseCache {
 
     /// Attempts to serve `key` from the artifact store, classifying every
     /// failure so the caller can log, quarantine, and rebuild.
+    ///
+    /// Artifacts are RIPA v2 containers decoded **in place** through
+    /// [`MappedArtifact`]: the mesh and BVH buffer sections stay borrowed
+    /// from the mapping (owned aligned buffer by default, a page mapping
+    /// under the `mmap` feature) for the case's whole lifetime, so a disk
+    /// hit validates checksums and structure but copies almost nothing.
     fn try_load(&self, key: CaseKey) -> Result<Case, CacheError> {
         let Some((scene_path, bvh_path)) = self.artifact_paths(key) else {
             return Err(CacheError::Disabled);
         };
-        let scene_bytes = read_artifact(&scene_path)?;
-        let bvh_bytes = read_artifact(&bvh_path)?;
+        let scene_map = MappedArtifact::open(&scene_path)?;
+        let bvh_map = MappedArtifact::open(&bvh_path)?;
+        let backend = scene_map.backend();
+        if backend == "mmap" {
+            self.obs.add("exec.cache.mmap_load", 1);
+        }
         let start = Instant::now();
-        let scene = rip_scene::serial::decode(&scene_bytes).map_err(|e| CacheError::Corrupt {
-            path: scene_path.clone(),
-            detail: e,
+        let scene = rip_scene::serial::decode_shared(scene_map.bytes()).map_err(|e| {
+            CacheError::Corrupt {
+                path: scene_path.clone(),
+                detail: e,
+            }
         })?;
-        let bvh = rip_bvh::serial::decode(&bvh_bytes).map_err(|e| CacheError::Corrupt {
-            path: bvh_path.clone(),
-            detail: e,
-        })?;
+        let bvh =
+            rip_bvh::serial::decode_shared(bvh_map.bytes()).map_err(|e| CacheError::Corrupt {
+                path: bvh_path.clone(),
+                detail: e,
+            })?;
         if scene.id != key.id
             || scene.camera.width() != key.width
             || scene.camera.height() != key.height
@@ -349,9 +366,10 @@ impl CaseCache {
         self.obs
             .event("exec.cache", "artifact_hit")
             .arg("case", key.label())
+            .arg("backend", backend)
             .arg_u64("load_ms", load_ms)
             .stderr(format!(
-                "[rip-exec] artifact cache hit: {} (scene+BVH loaded in {load_ms} ms, 0 rebuilds)",
+                "[rip-exec] artifact cache hit: {} (scene+BVH loaded in {load_ms} ms via {backend}, 0 rebuilds)",
                 key.label(),
             ))
             .emit();
@@ -459,22 +477,6 @@ impl std::fmt::Debug for CaseCache {
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
-}
-
-/// Reads an artifact file, classifying the failure: absent file = a plain
-/// [`CacheError::Miss`]; anything else is a typed IO error (never a
-/// panic — cache IO must degrade, not abort).
-fn read_artifact(path: &Path) -> Result<Vec<u8>, CacheError> {
-    std::fs::read(path).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::NotFound {
-            CacheError::Miss
-        } else {
-            CacheError::Io {
-                path: path.to_path_buf(),
-                detail: e.to_string(),
-            }
-        }
-    })
 }
 
 /// Writes via a temp file + atomic rename so a killed process (or a

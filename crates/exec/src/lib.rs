@@ -29,6 +29,7 @@
 //! [`Obs`](rip_obs::Obs) via their `with_obs` builders; everything else
 //! uses the process-wide instance.
 
+pub mod artifact;
 pub mod cache;
 pub mod case;
 pub mod fault;
@@ -36,6 +37,7 @@ pub mod journal;
 pub mod pool;
 pub mod runner;
 
+pub use artifact::MappedArtifact;
 pub use cache::{CacheError, CacheStats, CaseCache};
 pub use case::{Case, CaseKey};
 pub use fault::{

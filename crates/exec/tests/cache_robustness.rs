@@ -125,21 +125,17 @@ fn artifact_for_a_different_key_triggers_rebuild() {
 fn header_bomb_artifacts_fail_fast_without_allocation() {
     // Headers promising astronomically more data than the file holds must
     // be rejected by the capacity guards — decoding returns Err instead of
-    // attempting a multi-gigabyte allocation, and the cache rebuilds.
+    // attempting a multi-gigabyte allocation, and the cache rebuilds. In
+    // the RIPA v2 container the attacker-controlled count is the section
+    // count at bytes 8..12; it is bounds-checked against the real file
+    // length before the section table is even read.
     let dir = temp_store("bomb");
     let (scene_path, bvh_path) = populate(&dir);
-    let scene_bytes = std::fs::read(&scene_path).unwrap();
-    // Keep the full count header (magic, version, id, counts) so the
-    // capacity guard — not mere end-of-buffer — does the rejecting.
-    let mut bomb = scene_bytes[..20].to_vec();
-    // position_count (bytes 12..16) claims u32::MAX entries.
-    bomb[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
-    std::fs::write(&scene_path, &bomb).unwrap();
-    let bvh_bytes = std::fs::read(&bvh_path).unwrap();
-    let mut bomb = bvh_bytes[..20].to_vec();
-    // node_count (bytes 8..12) claims u32::MAX entries.
-    bomb[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
-    std::fs::write(&bvh_path, &bomb).unwrap();
+    for path in [&scene_path, &bvh_path] {
+        let mut bomb = std::fs::read(path).unwrap();
+        bomb[8..12].copy_from_slice(&u32::MAX.to_ne_bytes());
+        std::fs::write(path, &bomb).unwrap();
+    }
     assert_rebuilds(&dir, "header-bomb artifacts");
     let _ = std::fs::remove_dir_all(&dir);
 }

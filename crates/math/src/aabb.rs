@@ -22,12 +22,15 @@ use crate::{Ray, Vec3};
 /// assert!((b.surface_area() - 6.0).abs() < 1e-6);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
 pub struct Aabb {
     /// Minimum corner.
     pub min: Vec3,
     /// Maximum corner.
     pub max: Vec3,
 }
+
+rip_pod::impl_pod!(Aabb, size = 24, align = 4);
 
 impl Default for Aabb {
     fn default() -> Self {

@@ -24,6 +24,7 @@ use crate::{Aabb, Ray, Vec3};
 /// assert!((hit.t - 1.0).abs() < 1e-5);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
 pub struct Triangle {
     /// First vertex.
     pub a: Vec3,
@@ -32,6 +33,9 @@ pub struct Triangle {
     /// Third vertex.
     pub c: Vec3,
 }
+
+// Triangles are stored verbatim in the BVH artifact's TRIS section.
+rip_pod::impl_pod!(Triangle, size = 36, align = 4);
 
 /// Result of a successful ray/triangle intersection.
 #[derive(Clone, Copy, Debug, PartialEq)]

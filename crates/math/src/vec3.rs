@@ -21,6 +21,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, 
 /// assert_eq!(a.dot(b), 12.0);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Vec3 {
     /// X component.
     pub x: f32,
@@ -29,6 +30,10 @@ pub struct Vec3 {
     /// Z component.
     pub z: f32,
 }
+
+// Three f32 fields, no padding: Vec3 arrays are cast in place out of
+// RIPA artifact sections.
+rip_pod::impl_pod!(Vec3, size = 12, align = 4);
 
 impl Vec3 {
     /// The zero vector.

@@ -1,6 +1,10 @@
 //! Round-trip guarantees for the scene artifact format: decode(encode(s))
 //! reproduces the scene and re-encodes byte-identically, and damaged
 //! buffers always come back as `Err`, never a panic.
+//!
+//! Since format v2 the artifact is a RIPA container, so bit integrity
+//! is enforced by the container checksums; structural attacks need a
+//! rebuilt container with intact checksums (see the in-crate tests).
 
 use rip_math::Vec3;
 use rip_scene::{serial, Camera, Scene, SceneId, SceneScale, TriangleMesh, SCENE_IDS};
@@ -90,10 +94,11 @@ fn trailing_garbage_is_rejected() {
 fn header_bomb_is_rejected_before_allocation() {
     let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 12, 12);
     let mut bytes = serial::encode(&scene);
-    // position_count lives at bytes 12..16; promise ~4 billion vertices.
-    bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    // The section count lives at bytes 8..12; promise ~4 billion
+    // sections. The parser must refuse before allocating for them.
+    bytes[8..12].copy_from_slice(&u32::MAX.to_ne_bytes());
     let err = serial::decode(&bytes).unwrap_err();
-    assert!(err.contains("truncated"), "got: {err}");
+    assert!(err.contains("section count"), "got: {err}");
 }
 
 #[test]
@@ -106,24 +111,22 @@ fn wrong_magic_and_version_are_rejected() {
     assert!(serial::decode(&bad_magic).unwrap_err().contains("magic"));
 
     let mut bad_version = good;
-    bad_version[4..8].copy_from_slice(&(serial::FORMAT_VERSION + 1).to_le_bytes());
+    bad_version[4..8].copy_from_slice(&(rip_pod::ripa::CONTAINER_VERSION + 1).to_ne_bytes());
     assert!(serial::decode(&bad_version)
         .unwrap_err()
         .contains("version"));
 }
 
 #[test]
-fn out_of_range_indices_fail_mesh_validation() {
-    let mesh =
-        TriangleMesh::from_buffers(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]).unwrap();
-    let scene = Scene {
-        id: SceneId::Sibenik,
-        mesh,
-        camera: camera(8, 8),
-    };
-    let mut bytes = serial::encode(&scene);
-    // The first index triple sits right after the 3 vertices
-    // (20-byte header + 3 × 12 bytes); point it past the vertex buffer.
-    bytes[56..60].copy_from_slice(&99u32.to_le_bytes());
-    assert!(serial::decode(&bytes).is_err());
+fn single_byte_flips_are_always_detected() {
+    let scene = SceneId::Sibenik.build_with_viewport(SceneScale::Tiny, 12, 12);
+    let bytes = serial::encode(&scene);
+    for at in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x01;
+        assert!(
+            serial::decode(&bad).is_err(),
+            "flip at byte {at} went undetected"
+        );
+    }
 }

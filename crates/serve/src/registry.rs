@@ -25,6 +25,15 @@
 //! probe through. `RIP_FAULT_INJECT` directives labelled `serve_reload`
 //! are honoured at the top of each attempt, which is how tests and CI
 //! drive this path.
+//!
+//! **Leases wrap mapped artifacts.** When the backing cache has a disk
+//! store, a reload that finds a valid RIPA v2 artifact swaps the lease's
+//! `Arc` onto buffers decoded *in place* over the mapped file bytes
+//! (`MappedArtifact` in `rip-exec`) — no mesh or node vectors are
+//! re-copied. The artifact bytes are reference-counted through the
+//! case, so an old lease held across a reload keeps its mapping alive
+//! until the last request drops it; with the `mmap` feature forwarded
+//! from `rip-exec` the kernel shares those pages across epochs.
 
 use crate::chaos::RELOAD_INJECT_LABEL;
 use rip_exec::{Case, CaseCache, CaseKey, Fault};

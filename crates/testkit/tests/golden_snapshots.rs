@@ -42,8 +42,14 @@ fn snapshot_directory_covers_every_experiment() {
         );
     }
     // Digest snapshots owned by the SIMD differential suite (see
-    // tests/wide_simd.rs) share the directory but are not experiments.
-    let digests = ["wide_simd_hits.snap", "wide_bvh_serial.snap"];
+    // tests/wide_simd.rs) and the artifact-format suite (see
+    // tests/artifact_format.rs) share the directory but are not
+    // experiments.
+    let digests = [
+        "wide_simd_hits.snap",
+        "wide_bvh_serial.snap",
+        "artifact_case.snap",
+    ];
     for name in digests {
         assert!(
             dir.join(name).is_file(),
