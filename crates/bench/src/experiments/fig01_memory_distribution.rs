@@ -19,7 +19,7 @@ pub fn run(ctx: &Context) -> Report {
     ]);
     let mut repeated_fracs = Vec::new();
     let left_results = ctx.map_cases("fig01_left", |case| {
-        let workload = case.ao_workload();
+        let batch = case.ao_batch();
         let sim = FunctionalSim::new(
             PredictorConfig::paper_default(),
             SimOptions {
@@ -27,7 +27,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run_batch(&case.bvh, &workload.batch());
+        let r = ctx.run_functional(&sim, case, &batch);
         let total = (r.first_touch_node_fetches
             + r.repeated_node_fetches
             + r.first_touch_tri_fetches
@@ -78,7 +78,9 @@ pub fn run(ctx: &Context) -> Report {
             .map(|&kb| {
                 let mut cfg = ctx.gpu_baseline();
                 cfg.l1 = cfg.l1.with_size(kb * 1024);
-                ctx.simulator(cfg).run_batch(&case.bvh, &batch).cycles as f64
+                ctx.simulator_for(cfg, &case, &batch)
+                    .run_batch(&case.bvh, &batch)
+                    .cycles as f64
             })
             .collect();
         let base = cycles[sizes_kb

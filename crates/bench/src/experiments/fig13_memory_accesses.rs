@@ -31,7 +31,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run_batch(&case.bvh, &batch);
+        let r = ctx.run_functional(&sim, case, &batch);
         (
             r.memory_savings(),
             r.node_savings(),

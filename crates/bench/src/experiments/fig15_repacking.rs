@@ -18,14 +18,14 @@ pub fn run(ctx: &Context) -> Report {
     let results = ctx.map_cases("fig15_repacking", |case| {
         let batch = case.ao_batch();
         let baseline = ctx
-            .simulator(ctx.gpu_baseline())
+            .simulator_for(ctx.gpu_baseline(), case, &batch)
             .run_batch(&case.bvh, &batch);
         modes
             .iter()
             .map(|(_, mode)| {
                 let mut cfg = ctx.gpu_predictor();
                 cfg.repack = *mode;
-                ctx.simulator(cfg)
+                ctx.simulator_for(cfg, case, &batch)
                     .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })

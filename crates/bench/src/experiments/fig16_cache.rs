@@ -36,7 +36,9 @@ pub fn run(ctx: &Context) -> Report {
                 line_bytes: 128,
                 ways: usize::MAX,
             });
-            let r = ctx.simulator(cfg).run_batch(&case.bvh, &batch);
+            let r = ctx
+                .simulator_for(cfg, &case, &batch)
+                .run_batch(&case.bvh, &batch);
             if configs[i].0.contains("base") {
                 base_cycles = Some(r.cycles as f64);
             }

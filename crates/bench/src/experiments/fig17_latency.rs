@@ -30,20 +30,24 @@ pub fn run(ctx: &Context) -> Report {
                 base.latency.intersection = lat;
                 let mut pred = ctx.gpu_predictor();
                 pred.latency.intersection = lat;
-                let b = ctx.simulator(base).run_batch(&case.bvh, &batch);
-                let p = ctx.simulator(pred).run_batch(&case.bvh, &batch);
+                let b = ctx
+                    .simulator_for(base, &case, &batch)
+                    .run_batch(&case.bvh, &batch);
+                let p = ctx
+                    .simulator_for(pred, &case, &batch)
+                    .run_batch(&case.bvh, &batch);
                 p.speedup_over(&b)
             })
             .collect();
         let baseline = ctx
-            .simulator(ctx.gpu_baseline())
+            .simulator_for(ctx.gpu_baseline(), &case, &batch)
             .run_batch(&case.bvh, &batch);
         let lat: Vec<f64> = pred_latencies
             .iter()
             .map(|&lat| {
                 let mut pred = ctx.gpu_predictor();
                 pred.predictor_unit.access_latency = lat;
-                ctx.simulator(pred)
+                ctx.simulator_for(pred, &case, &batch)
                     .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })
@@ -53,7 +57,7 @@ pub fn run(ctx: &Context) -> Report {
             .map(|&ports| {
                 let mut pred = ctx.gpu_predictor();
                 pred.predictor_unit.ports = ports;
-                ctx.simulator(pred)
+                ctx.simulator_for(pred, &case, &batch)
                     .run_batch(&case.bvh, &batch)
                     .speedup_over(&baseline)
             })

@@ -139,12 +139,14 @@ pub fn sweep_fingerprint(ctx: &Context) -> String {
     let scenes: Vec<&str> = ctx.scene_ids().iter().map(|id| id.code()).collect();
     let schedule: Vec<&str> = ALL.iter().map(|(name, _)| *name).collect();
     format!(
-        "run_all scale={:?} scenes={} schedule={} formats=s{}b{}",
+        "run_all scale={:?} scenes={} schedule={} formats=s{}b{}t{} trace={:?}",
         ctx.scale,
         scenes.join(","),
         schedule.join(","),
         rip_scene::serial::FORMAT_VERSION,
         rip_bvh::serial::FORMAT_VERSION,
+        rip_bvh::ript::FORMAT_VERSION,
+        ctx.trace_mode(),
     )
 }
 

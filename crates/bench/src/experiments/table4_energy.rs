@@ -15,10 +15,10 @@ pub fn run(ctx: &Context) -> Report {
     let results = ctx.map_cases("table4_energy", |case| {
         let batch = case.ao_batch();
         let base = ctx
-            .simulator(ctx.gpu_baseline())
+            .simulator_for(ctx.gpu_baseline(), case, &batch)
             .run_batch(&case.bvh, &batch);
         let pred = ctx
-            .simulator(ctx.gpu_predictor())
+            .simulator_for(ctx.gpu_predictor(), case, &batch)
             .run_batch(&case.bvh, &batch);
         (model.breakdown(&base), model.breakdown(&pred))
     });

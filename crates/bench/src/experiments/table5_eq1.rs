@@ -26,7 +26,7 @@ pub fn run(ctx: &Context) -> Report {
                 ..SimOptions::default()
             },
         );
-        let r = sim.run_batch(&case.bvh, &batch);
+        let r = ctx.run_functional(&sim, case, &batch);
         (r.eq1_model(), r.actual_nodes_skipped_per_ray())
     });
     for (id, (model, actual)) in ctx.scene_ids().into_iter().zip(results) {

@@ -18,7 +18,7 @@ pub fn run(ctx: &Context) -> Report {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let batch = case.ao_batch();
         let baseline = ctx
-            .simulator(ctx.gpu_baseline())
+            .simulator_for(ctx.gpu_baseline(), &case, &batch)
             .run_batch(&case.bvh, &batch);
         entry_counts
             .iter()
@@ -32,7 +32,7 @@ pub fn run(ctx: &Context) -> Report {
                             nodes_per_entry: nodes,
                             ..PredictorConfig::paper_default()
                         });
-                        ctx.simulator(cfg)
+                        ctx.simulator_for(cfg, &case, &batch)
                             .run_batch(&case.bvh, &batch)
                             .speedup_over(&baseline)
                     })

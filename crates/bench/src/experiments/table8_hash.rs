@@ -16,7 +16,7 @@ pub fn run(ctx: &Context) -> Report {
         let case = ctx.build_case_with_viewport(id, ctx.sweep_viewport());
         let batch = case.ao_batch();
         let baseline = ctx
-            .simulator(ctx.gpu_baseline())
+            .simulator_for(ctx.gpu_baseline(), &case, &batch)
             .run_batch(&case.bvh, &batch);
         (case, batch, baseline)
     });
@@ -29,7 +29,9 @@ pub fn run(ctx: &Context) -> Report {
                 hash,
                 ..PredictorConfig::paper_default()
             });
-            let r = ctx.simulator(cfg).run_batch(&case.bvh, batch);
+            let r = ctx
+                .simulator_for(cfg, case, batch)
+                .run_batch(&case.bvh, batch);
             speedups.push(r.speedup_over(baseline));
         }
         super::geomean_or_one(speedups)

@@ -8,14 +8,40 @@
 //! for later runs. Parallel runs collect results in input order, so
 //! experiment output is byte-identical at any `--jobs` count.
 
-use rip_exec::{CaseCache, CaseKey, JobPool, ShardedRunner};
+use rip_bvh::ript::RayTraceSet;
+use rip_bvh::{RayBatch, TraversalKind};
+use rip_core::{FunctionalReport, FunctionalSim};
+use rip_exec::{CaseCache, CaseKey, JobPool, ShardedRunner, TraceStore};
 use rip_gpusim::{GpuConfig, Simulator};
 use rip_obs::{Obs, TraceFileGuard};
 use rip_scene::{SceneId, SceneScale, SCENE_IDS};
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 pub use rip_exec::Case;
+
+/// How experiments interact with recorded RIPT ray traces.
+///
+/// `Capture` runs every experiment live but records each workload's
+/// traversal trace into the [`TraceStore`] (memory tier plus
+/// `$RIP_TRACE_DIR` disk tier). `Replay` resolves the trace — capturing
+/// on a miss — and feeds it back through the replay entry points
+/// (`FunctionalSim::run_batch_replay`, `Simulator::with_trace`), so a
+/// parameter sweep pays for one functional traversal per workload
+/// instead of one per configuration. Replayed results are byte-identical
+/// to live runs; `rip-testkit`'s differential suite holds both paths to
+/// that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No trace interaction (the default).
+    #[default]
+    Off,
+    /// Run live, recording traces for later replay.
+    Capture,
+    /// Replay recorded traces, capturing any that are missing.
+    Replay,
+}
 
 /// Which benchmark scenes an experiment covers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,7 +69,18 @@ pub struct Context {
     /// `--trace PATH` seen during parsing, installed by
     /// [`Context::from_arg_slice`].
     trace_request: Option<PathBuf>,
+    trace_mode: TraceMode,
+    trace_store: Arc<TraceStore>,
+    /// Memoized per-workload ray-hash streams, keyed by (batch content
+    /// digest, hasher fingerprint). The spherical hash pays real
+    /// trigonometry per ray and is a pure function of that key, so a
+    /// parameter sweep (or a capture-then-replay pass) hashes each
+    /// workload once instead of once per configuration.
+    hash_memo: Arc<HashMemo>,
 }
+
+/// Bounded map behind [`Context`]'s per-workload hash-stream memo.
+type HashMemo = Mutex<HashMap<(u64, u64), Arc<Vec<u32>>>>;
 
 impl std::fmt::Debug for Context {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -79,6 +116,7 @@ impl Context {
             jobs,
             Arc::clone(Obs::global()),
             CaseCache::new(),
+            TraceStore::new(),
         )
     }
 
@@ -91,7 +129,14 @@ impl Context {
         jobs: usize,
         obs: Arc<Obs>,
     ) -> Self {
-        Context::assemble(scale, selection, jobs, obs, CaseCache::in_memory_only())
+        Context::assemble(
+            scale,
+            selection,
+            jobs,
+            obs,
+            CaseCache::in_memory_only(),
+            TraceStore::in_memory_only(),
+        )
     }
 
     fn assemble(
@@ -100,6 +145,7 @@ impl Context {
         jobs: usize,
         obs: Arc<Obs>,
         cache: CaseCache,
+        trace_store: TraceStore,
     ) -> Self {
         let jobs = jobs.max(1);
         Context {
@@ -108,9 +154,16 @@ impl Context {
             jobs,
             pool: JobPool::new(jobs),
             cache: Arc::new(cache.with_obs(Arc::clone(&obs))),
+            trace_store: Arc::new(trace_store.with_obs(Arc::clone(&obs)).with_parallelism(
+                // More capture threads than hardware threads is pure
+                // scheduling overhead; byte-identity holds regardless.
+                jobs.min(std::thread::available_parallelism().map_or(1, |n| n.get())),
+            )),
             obs,
             trace: None,
             trace_request: None,
+            trace_mode: TraceMode::Off,
+            hash_memo: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -124,6 +177,9 @@ impl Context {
          \x20 --jobs N                  worker threads (default: RIP_JOBS env, else\n\
          \x20                           available parallelism; 1 = serial)\n\
          \x20 --trace PATH              write a chrome://tracing JSONL trace to PATH\n\
+         \x20 --capture-trace           run live, recording RIPT ray traces for replay\n\
+         \x20 --replay                  replay recorded ray traces (capture on miss);\n\
+         \x20                           results are byte-identical to live runs\n\
          \x20 --help                    print this help\n\
          \n\
          ENVIRONMENT:\n\
@@ -132,6 +188,9 @@ impl Context {
          \x20                  default: <system temp dir>/rip-artifacts)\n\
          \x20 RIP_TRACE        default trace path for --trace (set empty to disable)\n\
          \x20 RIP_TRACE_CLOCK  trace timestamp source: wall (default) or logical\n\
+         \x20 RIP_TRACE_DIR    RIPT ray-trace store for --capture-trace/--replay (set\n\
+         \x20                  empty to disable the disk tier; default: <system temp\n\
+         \x20                  dir>/rip-traces)\n\
          \n\
          Output at a given scale is byte-identical for every --jobs value;\n\
          with tracing enabled, counter totals and normalized traces are too."
@@ -149,6 +208,7 @@ impl Context {
         let mut selection = SceneSelection::All;
         let mut jobs = None;
         let mut trace_request: Option<PathBuf> = None;
+        let mut trace_mode = TraceMode::Off;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -188,6 +248,8 @@ impl Context {
                     }
                     trace_request = Some(PathBuf::from(v));
                 }
+                "--capture-trace" => trace_mode = TraceMode::Capture,
+                "--replay" => trace_mode = TraceMode::Replay,
                 other => {
                     eprintln!("warning: ignoring unknown argument '{other}' (see --help)");
                 }
@@ -195,6 +257,7 @@ impl Context {
         }
         let mut ctx = Context::with_jobs(scale, selection, jobs.unwrap_or_else(jobs_from_env));
         ctx.trace_request = trace_request;
+        ctx.trace_mode = trace_mode;
         Ok(ParsedArgs::Run(ctx))
     }
 
@@ -317,6 +380,123 @@ impl Context {
     /// through here so scoped contexts observe their own runs.
     pub fn simulator(&self, config: GpuConfig) -> Simulator {
         Simulator::new(config).with_obs(Arc::clone(&self.obs))
+    }
+
+    /// The trace mode selected by `--capture-trace`/`--replay` (default
+    /// [`TraceMode::Off`]).
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace_mode
+    }
+
+    /// Overrides the trace mode — for tests and drivers (`replay_bench`)
+    /// that flip one context between live and replay runs.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace_mode = mode;
+    }
+
+    /// The shared store of recorded RIPT ray traces.
+    pub fn trace_store(&self) -> &Arc<TraceStore> {
+        &self.trace_store
+    }
+
+    /// Resolves the recorded trace for `batch` against `case` under the
+    /// current [`TraceMode`]: `None` when off, and under `Capture` too
+    /// (the trace is recorded as a side effect but the experiment still
+    /// runs live); `Some` only under `Replay`. Traces are keyed by the
+    /// case label (scene, scale, viewport) plus a workload `tag`
+    /// (`"ao"`, `"shadow"`, …) so the same workload is captured once per
+    /// process no matter how many configurations sweep over it.
+    pub fn workload_trace(
+        &self,
+        case: &Case,
+        tag: &str,
+        batch: &RayBatch,
+        kind: TraversalKind,
+    ) -> Option<Arc<RayTraceSet>> {
+        if self.trace_mode == TraceMode::Off {
+            return None;
+        }
+        let label = format!("{}_{tag}", self.trace_label(case));
+        let set = self
+            .trace_store
+            .get_or_capture(&label, &case.bvh, batch, kind);
+        match self.trace_mode {
+            TraceMode::Off => unreachable!("handled above"),
+            TraceMode::Capture => None,
+            TraceMode::Replay => Some(set),
+        }
+    }
+
+    /// A timing simulator for `config` with the recorded any-hit AO
+    /// trace for `batch` attached when this context is replaying.
+    /// Experiments that sweep gpusim configurations over a case's AO
+    /// workload construct their simulators through here.
+    pub fn simulator_for(&self, config: GpuConfig, case: &Case, batch: &RayBatch) -> Simulator {
+        let sim = self.simulator(config);
+        match self.workload_trace(case, "ao", batch, TraversalKind::AnyHit) {
+            Some(set) => sim.with_trace(set),
+            None => sim,
+        }
+    }
+
+    /// Runs `sim` over a case's any-hit AO `batch`, replaying the
+    /// recorded trace when this context is replaying (live otherwise,
+    /// with the trace recorded as a side effect under `Capture`). A
+    /// trace the functional simulator rejects — unreachable through
+    /// [`TraceStore`]'s validation, but defended anyway — falls back to
+    /// the live run and bumps `bench.trace.replay_fallback`.
+    pub fn run_functional(
+        &self,
+        sim: &FunctionalSim,
+        case: &Case,
+        batch: &RayBatch,
+    ) -> FunctionalReport {
+        let hashes = self.workload_hashes(sim, case, batch);
+        match self.workload_trace(case, "ao", batch, TraversalKind::AnyHit) {
+            Some(set) => sim
+                .run_batch_replay_hashed(&case.bvh, batch, &set, &hashes)
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "warning: replay rejected for {}: {e}; running live",
+                        case.id.code()
+                    );
+                    self.obs.add("bench.trace.replay_fallback", 1);
+                    sim.run_batch_hashed(&case.bvh, batch, &hashes)
+                }),
+            None => sim.run_batch_hashed(&case.bvh, batch, &hashes),
+        }
+    }
+
+    /// The memoized ray-hash stream for `batch` under `sim`'s hasher.
+    /// Reports are byte-identical with or without the memo — it only
+    /// hoists a pure per-ray computation out of repeated runs.
+    fn workload_hashes(&self, sim: &FunctionalSim, case: &Case, batch: &RayBatch) -> Arc<Vec<u32>> {
+        let key = (batch.content_digest(), sim.hasher(&case.bvh).fingerprint());
+        let mut memo = self.hash_memo.lock().expect("hash memo poisoned");
+        if let Some(hashes) = memo.get(&key) {
+            return Arc::clone(hashes);
+        }
+        // Hash-function sweeps at paper scale could otherwise pin one
+        // multi-MB stream per (workload, hasher) for the whole process.
+        if memo.len() >= 16 {
+            memo.clear();
+        }
+        let hashes = Arc::new(sim.hash_batch(&case.bvh, batch));
+        memo.insert(key, Arc::clone(&hashes));
+        hashes
+    }
+
+    /// The stable store label for `case`'s workload: the case-key label
+    /// (scene, scale, viewport), which pins everything that determines
+    /// the AO ray set.
+    fn trace_label(&self, case: &Case) -> String {
+        CaseKey {
+            id: case.id,
+            scale: self.scale,
+            width: case.scene.camera.width(),
+            height: case.scene.camera.height(),
+        }
+        .label()
     }
 
     /// Fans `f` over this context's scenes (each given its built case),
@@ -508,6 +688,96 @@ mod tests {
             panic!("expected a context")
         };
         assert_eq!(ctx.selection, SceneSelection::Subset(7));
+    }
+
+    fn scoped_ctx(mode: TraceMode) -> Context {
+        let obs = Arc::new(Obs::new(rip_obs::ClockMode::Logical));
+        let mut ctx = Context::scoped(SceneScale::Tiny, SceneSelection::Subset(1), 1, obs);
+        ctx.set_trace_mode(mode);
+        ctx
+    }
+
+    #[test]
+    fn parse_args_accepts_trace_modes() {
+        let ParsedArgs::Run(ctx) = Context::parse_args(&args(&["--capture-trace"])).unwrap() else {
+            panic!("expected a context")
+        };
+        assert_eq!(ctx.trace_mode(), TraceMode::Capture);
+        let ParsedArgs::Run(ctx) = Context::parse_args(&args(&["--replay"])).unwrap() else {
+            panic!("expected a context")
+        };
+        assert_eq!(ctx.trace_mode(), TraceMode::Replay);
+        let ParsedArgs::Run(ctx) = Context::parse_args(&args(&[])).unwrap() else {
+            panic!("expected a context")
+        };
+        assert_eq!(ctx.trace_mode(), TraceMode::Off);
+    }
+
+    #[test]
+    fn workload_trace_respects_mode() {
+        let ctx = scoped_ctx(TraceMode::Off);
+        let case = ctx.build_case_with_viewport(SceneId::Sibenik, 16);
+        let batch = case.ao_batch();
+        assert!(ctx
+            .workload_trace(&case, "ao", &batch, TraversalKind::AnyHit)
+            .is_none());
+        assert_eq!(ctx.trace_store().stats().captures, 0, "Off never captures");
+
+        let ctx = scoped_ctx(TraceMode::Capture);
+        let case = ctx.build_case_with_viewport(SceneId::Sibenik, 16);
+        let batch = case.ao_batch();
+        assert!(ctx
+            .workload_trace(&case, "ao", &batch, TraversalKind::AnyHit)
+            .is_none());
+        assert_eq!(ctx.trace_store().stats().captures, 1, "Capture records");
+
+        let ctx = scoped_ctx(TraceMode::Replay);
+        let case = ctx.build_case_with_viewport(SceneId::Sibenik, 16);
+        let batch = case.ao_batch();
+        let a = ctx
+            .workload_trace(&case, "ao", &batch, TraversalKind::AnyHit)
+            .expect("replay resolves a trace");
+        let b = ctx
+            .workload_trace(&case, "ao", &batch, TraversalKind::AnyHit)
+            .expect("second lookup hits the memory tier");
+        assert!(Arc::ptr_eq(&a, &b), "one capture serves every sweep config");
+        assert_eq!(ctx.trace_store().stats().captures, 1);
+    }
+
+    #[test]
+    fn run_functional_replay_is_byte_identical_to_live() {
+        use rip_core::{PredictorConfig, SimOptions};
+        let live_ctx = scoped_ctx(TraceMode::Off);
+        let replay_ctx = scoped_ctx(TraceMode::Replay);
+        let sim = FunctionalSim::new(PredictorConfig::paper_default(), SimOptions::default());
+        let case = live_ctx.build_case_with_viewport(SceneId::Sibenik, 16);
+        let batch = case.ao_batch();
+        let live = live_ctx.run_functional(&sim, &case, &batch);
+        let case2 = replay_ctx.build_case_with_viewport(SceneId::Sibenik, 16);
+        let replayed = replay_ctx.run_functional(&sim, &case2, &batch);
+        assert_eq!(format!("{live:?}"), format!("{replayed:?}"));
+        assert_eq!(
+            replay_ctx.obs().get("bench.trace.replay_fallback"),
+            0,
+            "the validated trace must replay, not fall back"
+        );
+    }
+
+    #[test]
+    fn simulator_for_replay_matches_live_run() {
+        let live_ctx = scoped_ctx(TraceMode::Off);
+        let replay_ctx = scoped_ctx(TraceMode::Replay);
+        let case = live_ctx.build_case_with_viewport(SceneId::Sibenik, 16);
+        let batch = case.ao_batch();
+        let live = live_ctx
+            .simulator_for(live_ctx.gpu_predictor(), &case, &batch)
+            .run_batch(&case.bvh, &batch);
+        let case2 = replay_ctx.build_case_with_viewport(SceneId::Sibenik, 16);
+        let replayed = replay_ctx
+            .simulator_for(replay_ctx.gpu_predictor(), &case2, &batch)
+            .run_batch(&case2.bvh, &batch);
+        assert_eq!(format!("{live:?}"), format!("{replayed:?}"));
+        assert_eq!(replay_ctx.obs().get("gpusim.trace.rejected"), 0);
     }
 
     #[test]

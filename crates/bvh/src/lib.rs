@@ -39,6 +39,7 @@ mod bvh;
 pub mod kernel;
 mod layout;
 mod node;
+pub mod ript;
 pub mod serial;
 pub mod simd;
 pub mod sorting;
@@ -57,5 +58,5 @@ pub use node::{BvhNode, CompressedWideNode, NodeId, NodeKind, QuantFrame, EMPTY_
 pub use stack::{ShortStack, TraversalStack, HW_STACK_CAPACITY, SHORT_STACK_CAPACITY};
 pub use stats::TraversalStats;
 pub use stream::{RayBatch, StreamPermutation};
-pub use traversal::{Hit, StepEvent, Traversal, TraversalKind, TraversalResult};
+pub use traversal::{Hit, LeanStep, StepEvent, Traversal, TraversalKind, TraversalResult};
 pub use wide::{WideBvh, WideResult, WIDE_ARITY};

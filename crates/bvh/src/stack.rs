@@ -19,16 +19,32 @@ use crate::node::NodeId;
 /// assert_eq!(stack.pop(), Some(NodeId::new(3)));
 /// assert_eq!(stack.pop(), None);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct TraversalStack {
-    entries: Vec<NodeId>,
+    /// Entries up to [`INLINE_STACK_CAPACITY`] live in this array — a
+    /// fresh stack performs no heap allocation, which matters because
+    /// every traversal (predicted probes included) constructs one.
+    inline: [NodeId; INLINE_STACK_CAPACITY],
+    inline_len: usize,
+    /// Entries beyond the inline capacity (deep trees only).
+    overflow: Vec<NodeId>,
     hw_capacity: usize,
     spills: u64,
     max_depth: usize,
 }
 
+impl Default for TraversalStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Hardware stack entries per ray in the baseline RT unit (§5.1.2).
 pub const HW_STACK_CAPACITY: usize = 8;
+
+/// Inline (allocation-free) entries of a [`TraversalStack`]; deeper
+/// stacks spill to the heap without losing entries.
+pub const INLINE_STACK_CAPACITY: usize = 32;
 
 impl TraversalStack {
     /// Creates an empty stack with the baseline 8-entry hardware capacity.
@@ -39,7 +55,9 @@ impl TraversalStack {
     /// Creates an empty stack with a custom hardware capacity.
     pub fn with_hw_capacity(hw_capacity: usize) -> Self {
         TraversalStack {
-            entries: Vec::new(),
+            inline: [NodeId::ROOT; INLINE_STACK_CAPACITY],
+            inline_len: 0,
+            overflow: Vec::new(),
             hw_capacity,
             spills: 0,
             max_depth: 0,
@@ -50,29 +68,43 @@ impl TraversalStack {
     /// capacity.
     #[inline]
     pub fn push(&mut self, id: NodeId) {
-        self.entries.push(id);
-        if self.entries.len() > self.hw_capacity {
+        if self.inline_len < INLINE_STACK_CAPACITY {
+            self.inline[self.inline_len] = id;
+            self.inline_len += 1;
+        } else {
+            self.overflow.push(id);
+        }
+        let depth = self.inline_len + self.overflow.len();
+        if depth > self.hw_capacity {
             self.spills += 1;
         }
-        self.max_depth = self.max_depth.max(self.entries.len());
+        self.max_depth = self.max_depth.max(depth);
     }
 
     /// Pops the most recent node.
     #[inline]
     pub fn pop(&mut self) -> Option<NodeId> {
-        self.entries.pop()
+        if let Some(id) = self.overflow.pop() {
+            return Some(id);
+        }
+        if self.inline_len == 0 {
+            None
+        } else {
+            self.inline_len -= 1;
+            Some(self.inline[self.inline_len])
+        }
     }
 
     /// Current depth.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.inline_len + self.overflow.len()
     }
 
     /// Whether the stack is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Pushes beyond hardware capacity observed so far.
@@ -87,7 +119,8 @@ impl TraversalStack {
 
     /// Removes everything (spill/max-depth counters are preserved).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.inline_len = 0;
+        self.overflow.clear();
     }
 }
 
@@ -241,6 +274,26 @@ mod tests {
         assert_eq!(s.spills(), 0);
         s.push(NodeId::new(8));
         assert_eq!(s.spills(), 1);
+    }
+
+    #[test]
+    fn lifo_order_across_the_inline_overflow_boundary() {
+        let mut s = TraversalStack::new();
+        let n = INLINE_STACK_CAPACITY + 5;
+        for i in 0..n {
+            s.push(NodeId::new(i as u32));
+        }
+        assert_eq!(s.len(), n);
+        assert_eq!(s.max_depth(), n);
+        for i in (0..n).rev() {
+            assert_eq!(s.pop(), Some(NodeId::new(i as u32)));
+        }
+        assert_eq!(s.pop(), None);
+        assert_eq!(
+            s.spills(),
+            (n - HW_STACK_CAPACITY) as u64,
+            "spill accounting is against the hardware capacity, not the inline one"
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! call — the `rip-testkit` differential oracles enforce this.
 
 use crate::sorting;
+use std::sync::OnceLock;
+
 use rip_math::{Aabb, Ray, Vec3};
 
 /// A structure-of-arrays batch of rays.
@@ -38,13 +40,28 @@ use rip_math::{Aabb, Ray, Vec3};
 /// assert_eq!(batch.ray(1), rays[1]);
 /// assert_eq!(batch.inv_direction(0), rays[0].inv_direction());
 /// ```
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct RayBatch {
     origins: Vec<Vec3>,
     directions: Vec<Vec3>,
     inv_directions: Vec<Vec3>,
     t_mins: Vec<f32>,
     t_maxes: Vec<f32>,
+    /// Lazily computed [`RayBatch::content_digest`]; any mutation resets
+    /// it.
+    digest: OnceLock<u64>,
+}
+
+/// Equality is over ray content alone — the cached digest is derived
+/// state.
+impl PartialEq for RayBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.origins == other.origins
+            && self.directions == other.directions
+            && self.inv_directions == other.inv_directions
+            && self.t_mins == other.t_mins
+            && self.t_maxes == other.t_maxes
+    }
 }
 
 impl RayBatch {
@@ -56,6 +73,7 @@ impl RayBatch {
             inv_directions: Vec::with_capacity(n),
             t_mins: Vec::with_capacity(n),
             t_maxes: Vec::with_capacity(n),
+            digest: OnceLock::new(),
         }
     }
 
@@ -71,6 +89,7 @@ impl RayBatch {
 
     /// Appends one ray.
     pub fn push(&mut self, ray: Ray) {
+        self.digest = OnceLock::new();
         self.origins.push(ray.origin);
         self.directions.push(ray.direction);
         self.inv_directions.push(ray.inv_direction());
@@ -82,11 +101,41 @@ impl RayBatch {
     /// for bit (the coalescing primitive the `rip-serve` front-end uses
     /// to fuse per-tenant submissions into one stream batch).
     pub fn append(&mut self, other: &RayBatch) {
+        self.digest = OnceLock::new();
         self.origins.extend_from_slice(&other.origins);
         self.directions.extend_from_slice(&other.directions);
         self.inv_directions.extend_from_slice(&other.inv_directions);
         self.t_mins.extend_from_slice(&other.t_mins);
         self.t_maxes.extend_from_slice(&other.t_maxes);
+    }
+
+    /// FNV-1a digest over the ray stream (origin, direction, `t_min`,
+    /// `t_max` bit patterns in batch order, folded one 32-bit word at a
+    /// time) — the workload identity RIPT traces are bound to. Computed
+    /// on first use and cached, so repeated trace attachments over one
+    /// batch pay for a single pass.
+    pub fn content_digest(&self) -> u64 {
+        *self.digest.get_or_init(|| {
+            const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut fold = |v: f32| h = (h ^ u64::from(v.to_bits())).wrapping_mul(FNV_PRIME);
+            for i in 0..self.origins.len() {
+                let (o, d) = (self.origins[i], self.directions[i]);
+                for v in [
+                    o.x,
+                    o.y,
+                    o.z,
+                    d.x,
+                    d.y,
+                    d.z,
+                    self.t_mins[i],
+                    self.t_maxes[i],
+                ] {
+                    fold(v);
+                }
+            }
+            h
+        })
     }
 
     /// Number of rays in the batch.

@@ -11,7 +11,7 @@ use crate::node::{NodeId, NodeKind};
 use crate::stack::TraversalStack;
 use crate::stats::TraversalStats;
 use crate::Bvh;
-use rip_math::Ray;
+use rip_math::{Ray, Vec3};
 
 /// Whether traversal stops at the first intersection (occlusion rays,
 /// §2.3) or finds the nearest one.
@@ -84,6 +84,35 @@ pub enum StepEvent {
     Finished,
 }
 
+/// What one [`Traversal::step_lean`] did — the allocation-free sibling of
+/// [`StepEvent`], reporting only *how many* triangles a leaf tested
+/// instead of materializing their indices. Callers that need the count
+/// (RIPT trace capture) or nothing at all ([`Traversal::run`]) use this;
+/// callers that need the tested indices (cycle-level first-touch
+/// classification) pay for [`Traversal::step`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LeanStep {
+    /// Fetched an interior node and ray-box-tested both children.
+    Interior {
+        /// The fetched node.
+        node: NodeId,
+        /// How many of the two children the ray's interval overlaps (0–2).
+        child_hits: u8,
+    },
+    /// Fetched a leaf node and tested triangles until a hit (any-hit) or
+    /// exhaustion.
+    Leaf {
+        /// The fetched node.
+        node: NodeId,
+        /// How many triangles were fetched and tested.
+        tris_tested: u32,
+        /// Intersection found in this leaf, if any.
+        found: Option<Hit>,
+    },
+    /// The traversal had already finished; no work was done.
+    Finished,
+}
+
 /// Steppable BVH traversal state for one ray.
 ///
 /// # Examples
@@ -107,6 +136,11 @@ pub struct Traversal {
     current: Option<NodeId>,
     best: Option<Hit>,
     stats: TraversalStats,
+    /// The ray's reciprocal direction, computed on the first step and
+    /// reused after that: a traversal serves exactly one ray, and `t_max`
+    /// trimming never changes the direction, so one reciprocal (three
+    /// divides) serves every box test.
+    inv_dir: Option<Vec3>,
 }
 
 impl Traversal {
@@ -118,6 +152,7 @@ impl Traversal {
             current: Some(NodeId::ROOT),
             best: None,
             stats: TraversalStats::default(),
+            inv_dir: None,
         }
     }
 
@@ -136,6 +171,7 @@ impl Traversal {
             current,
             best: None,
             stats: TraversalStats::default(),
+            inv_dir: None,
         }
     }
 
@@ -168,11 +204,35 @@ impl Traversal {
     /// Processes the current node (its record is assumed to have arrived
     /// from memory) and advances to the next one.
     pub fn step(&mut self, bvh: &Bvh, ray: &Ray) -> StepEvent {
+        let mut tris_tested = Vec::new();
+        match self.advance(bvh, ray, Some(&mut tris_tested)) {
+            LeanStep::Interior { node, child_hits } => StepEvent::Interior { node, child_hits },
+            LeanStep::Leaf { node, found, .. } => StepEvent::Leaf {
+                node,
+                tris_tested,
+                found,
+            },
+            LeanStep::Finished => StepEvent::Finished,
+        }
+    }
+
+    /// [`Traversal::step`] without materializing the tested-triangle
+    /// indices — identical state transitions, stats and hits, but the leaf
+    /// arm reports only a count and the hot loop stays allocation-free.
+    #[inline]
+    pub fn step_lean(&mut self, bvh: &Bvh, ray: &Ray) -> LeanStep {
+        self.advance(bvh, ray, None)
+    }
+
+    /// The shared step body behind [`Traversal::step`] and
+    /// [`Traversal::step_lean`]: `tested`, when present, records every
+    /// triangle index the leaf arm fetches.
+    fn advance(&mut self, bvh: &Bvh, ray: &Ray, tested: Option<&mut Vec<u32>>) -> LeanStep {
         let Some(node_id) = self.current.take() else {
-            return StepEvent::Finished;
+            return LeanStep::Finished;
         };
         let ray_eff = kernel::effective_ray(ray, self.kind, self.best);
-        let inv_dir = ray_eff.inv_direction();
+        let inv_dir = *self.inv_dir.get_or_insert_with(|| ray.inv_direction());
         let node = bvh.node(node_id);
         match node.kind {
             NodeKind::Interior {
@@ -204,13 +264,13 @@ impl Traversal {
                     (None, Some(_)) => self.current = Some(right),
                     (None, None) => self.current = self.stack.pop(),
                 }
-                StepEvent::Interior {
+                LeanStep::Interior {
                     node: node_id,
                     child_hits,
                 }
             }
             NodeKind::Leaf { .. } => {
-                let mut tris_tested = Vec::new();
+                let before = self.stats.tri_tests;
                 let outcome = kernel::test_leaf_triangles(
                     bvh.leaf_triangles(node_id),
                     &mut |_| node_id,
@@ -218,15 +278,15 @@ impl Traversal {
                     &mut self.best,
                     &ray_eff,
                     &mut self.stats,
-                    Some(&mut tris_tested),
+                    tested,
                 );
                 self.current = match (self.kind, self.best) {
                     (TraversalKind::AnyHit, Some(_)) => None, // Algorithm 1 line 15
                     _ => self.stack.pop(),
                 };
-                StepEvent::Leaf {
+                LeanStep::Leaf {
                     node: node_id,
-                    tris_tested,
+                    tris_tested: (self.stats.tri_tests - before) as u32,
                     found: outcome.found,
                 }
             }
@@ -236,7 +296,7 @@ impl Traversal {
     /// Runs the traversal to completion.
     pub fn run(&mut self, bvh: &Bvh, ray: &Ray) -> TraversalResult {
         while self.current.is_some() {
-            self.step(bvh, ray);
+            self.advance(bvh, ray, None);
         }
         TraversalResult {
             hit: self.best,
@@ -340,6 +400,63 @@ mod tests {
         }
         assert!(tr.is_done());
         assert_eq!(tr.step(&bvh, &ray), StepEvent::Finished);
+    }
+
+    #[test]
+    fn step_lean_matches_step_exactly() {
+        let bvh = two_walls();
+        for kind in [TraversalKind::AnyHit, TraversalKind::ClosestHit] {
+            for (ox, oy) in [(0.5f32, 0.5), (2.2, 2.2), (3.7, 1.1), (5.0, 5.0)] {
+                let ray = Ray::new(Vec3::new(ox, oy, 0.0), Vec3::Z);
+                let mut fat = Traversal::new(kind);
+                let mut lean = Traversal::new(kind);
+                loop {
+                    let fe = fat.step(&bvh, &ray);
+                    let le = lean.step_lean(&bvh, &ray);
+                    match (&fe, &le) {
+                        (
+                            StepEvent::Interior {
+                                node: a,
+                                child_hits: ha,
+                            },
+                            LeanStep::Interior {
+                                node: b,
+                                child_hits: hb,
+                            },
+                        ) => {
+                            assert_eq!((a, ha), (b, hb));
+                        }
+                        (
+                            StepEvent::Leaf {
+                                node: a,
+                                tris_tested,
+                                found: fa,
+                            },
+                            LeanStep::Leaf {
+                                node: b,
+                                tris_tested: count,
+                                found: fb,
+                            },
+                        ) => {
+                            assert_eq!((a, fa), (b, fb));
+                            assert_eq!(tris_tested.len() as u32, *count);
+                            // The count-only encoding assumes tested
+                            // triangles are a prefix of the leaf order.
+                            let prefix: Vec<u32> = bvh
+                                .leaf_triangles(*a)
+                                .take(tris_tested.len())
+                                .map(|(t, _)| t)
+                                .collect();
+                            assert_eq!(tris_tested, &prefix);
+                        }
+                        (StepEvent::Finished, LeanStep::Finished) => break,
+                        other => panic!("divergent steps: {other:?}"),
+                    }
+                }
+                assert_eq!(fat.best_hit(), lean.best_hit());
+                assert_eq!(fat.stats(), lean.stats());
+            }
+        }
     }
 
     #[test]

@@ -143,6 +143,41 @@ impl RayHasher {
         self.function
     }
 
+    /// A stable identity for this hasher: two hashers with equal
+    /// fingerprints produce equal hashes for every ray. Batch drivers key
+    /// precomputed per-workload hash streams on this (plus the batch's
+    /// own content digest).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u32| {
+            h = (h ^ u64::from(v)).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        match self.function {
+            HashFunction::GridSpherical {
+                origin_bits,
+                direction_bits,
+            } => {
+                mix(1);
+                mix(origin_bits);
+                mix(direction_bits);
+            }
+            HashFunction::TwoPoint {
+                origin_bits,
+                length_ratio,
+            } => {
+                mix(2);
+                mix(origin_bits);
+                mix(length_ratio.to_bits());
+            }
+        }
+        for v in [self.scene_bounds.min, self.scene_bounds.max] {
+            mix(v.x.to_bits());
+            mix(v.y.to_bits());
+            mix(v.z.to_bits());
+        }
+        h
+    }
+
     /// Hashes a ray to `bits()` bits.
     pub fn hash(&self, ray: &Ray) -> u32 {
         match self.function {

@@ -71,6 +71,7 @@ pub use sim::{FunctionalReport, FunctionalSim, SimOptions};
 pub use stats::PredictionStats;
 pub use table::{NodeCandidates, PredictorTable, TableStats, INLINE_CANDIDATES};
 pub use traverse::{
-    trace_closest, trace_closest_with, trace_occlusion, trace_occlusion_with, PredictedTrace,
-    RayOutcome,
+    eval_probe, trace_closest, trace_closest_with, trace_closest_with_hash,
+    trace_closest_with_probe, trace_occlusion, trace_occlusion_with, trace_occlusion_with_hash,
+    trace_occlusion_with_probe, PredictedTrace, RayOutcome,
 };

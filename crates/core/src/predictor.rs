@@ -210,6 +210,14 @@ impl Predictor {
     /// [`Predictor::oracle_lookup`].
     pub fn lookup(&mut self, ray: &Ray) -> Option<Prediction> {
         let hash = self.hash_ray(ray);
+        self.lookup_hashed(hash)
+    }
+
+    /// [`Predictor::lookup`] for an already-computed ray hash. The
+    /// spherical hash costs real trigonometry, so the per-ray flow
+    /// hashes once and shares the value between lookup and training —
+    /// exactly as the hardware unit computes it a single time per ray.
+    pub fn lookup_hashed(&mut self, hash: u32) -> Option<Prediction> {
         self.table
             .lookup(hash)
             .map(|nodes| Prediction { hash, nodes })

@@ -7,10 +7,14 @@
 //! `rip-gpusim`.
 
 use crate::{
-    trace_closest, trace_occlusion, Eq1Model, PredictionStats, Predictor, PredictorConfig,
+    eval_probe, trace_closest_with_hash, trace_closest_with_probe, trace_occlusion_with_hash,
+    trace_occlusion_with_probe, Eq1Model, PredictionStats, Predictor, PredictorConfig, RayHasher,
     RayOutcome,
 };
-use rip_bvh::{Bvh, NodeKind, RayBatch, Traversal, TraversalKind, TraversalStats};
+use rip_bvh::ript::{RayTraceSet, RecordedKernel};
+use rip_bvh::{
+    Bvh, NodeId, NodeKind, RayBatch, Traversal, TraversalKind, TraversalStats, WhileWhileKernel,
+};
 use rip_math::Ray;
 
 /// Options orthogonal to the predictor configuration.
@@ -187,7 +191,105 @@ impl FunctionalSim {
 
     /// Runs an occlusion (any-hit) workload over an SoA ray batch.
     pub fn run_batch(&self, bvh: &Bvh, batch: &RayBatch) -> FunctionalReport {
-        self.run_kind(bvh, batch, TraversalKind::AnyHit)
+        self.run_kind(bvh, batch, TraversalKind::AnyHit, None, None)
+    }
+
+    /// The ray hasher this simulator's predictors use over `bvh`'s scene
+    /// bounds. Exposed so batch drivers can precompute and memoize a
+    /// workload's hash stream (see [`FunctionalSim::hash_batch`]) keyed
+    /// by [`RayHasher::fingerprint`].
+    pub fn hasher(&self, bvh: &Bvh) -> RayHasher {
+        RayHasher::new(self.config.hash, bvh.bounds())
+    }
+
+    /// Hashes every ray of `batch` with this simulator's hasher — the
+    /// stream accepted by the `*_hashed` run entry points. The hash is a
+    /// pure per-ray function, so one stream serves every run of the same
+    /// workload under the same hash configuration (a parameter sweep
+    /// re-hashes nothing).
+    pub fn hash_batch(&self, bvh: &Bvh, batch: &RayBatch) -> Vec<u32> {
+        let hasher = self.hasher(bvh);
+        (0..batch.len())
+            .map(|i| hasher.hash(&batch.ray(i)))
+            .collect()
+    }
+
+    /// [`FunctionalSim::run_batch`] with a precomputed hash stream from
+    /// [`FunctionalSim::hash_batch`]. The report is byte-identical to the
+    /// unhashed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hashes` does not cover the batch.
+    pub fn run_batch_hashed(
+        &self,
+        bvh: &Bvh,
+        batch: &RayBatch,
+        hashes: &[u32],
+    ) -> FunctionalReport {
+        self.check_hashes(bvh, batch, hashes);
+        self.run_kind(bvh, batch, TraversalKind::AnyHit, None, Some(hashes))
+    }
+
+    fn check_hashes(&self, bvh: &Bvh, batch: &RayBatch, hashes: &[u32]) {
+        assert_eq!(
+            hashes.len(),
+            batch.len(),
+            "hash stream does not cover the batch"
+        );
+        // Spot-check the stream against this simulator's hasher; a full
+        // check would cost what the precomputation saved.
+        if let Some(first) = hashes.first() {
+            debug_assert_eq!(
+                *first,
+                self.hasher(bvh).hash(&batch.ray(0)),
+                "hash stream was computed by a different hasher"
+            );
+        }
+    }
+
+    /// [`FunctionalSim::run_batch`] with every full traversal — the
+    /// baseline and the not-predicted / mispredicted fallbacks — replayed
+    /// from a recorded [`RayTraceSet`] instead of stepping the BVH. The
+    /// report is byte-identical to the live run (the trace records the
+    /// exact node/triangle streams); only prediction probes and trimmed
+    /// legs, which depend on live predictor state, still traverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch when `trace` was not captured for any-hit
+    /// over exactly this BVH and batch.
+    pub fn run_batch_replay(
+        &self,
+        bvh: &Bvh,
+        batch: &RayBatch,
+        trace: &RayTraceSet,
+    ) -> Result<FunctionalReport, String> {
+        self.check_trace(bvh, batch, trace, TraversalKind::AnyHit)?;
+        Ok(self.run_kind(bvh, batch, TraversalKind::AnyHit, Some(trace), None))
+    }
+
+    /// [`FunctionalSim::run_batch_replay`] with a precomputed hash stream
+    /// (see [`FunctionalSim::run_batch_hashed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch when `trace` was not captured for any-hit
+    /// over exactly this BVH and batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hashes` does not cover the batch.
+    pub fn run_batch_replay_hashed(
+        &self,
+        bvh: &Bvh,
+        batch: &RayBatch,
+        trace: &RayTraceSet,
+        hashes: &[u32],
+    ) -> Result<FunctionalReport, String> {
+        self.check_hashes(bvh, batch, hashes);
+        self.check_trace(bvh, batch, trace, TraversalKind::AnyHit)?;
+        Ok(self.run_kind(bvh, batch, TraversalKind::AnyHit, Some(trace), Some(hashes)))
     }
 
     /// Runs a closest-hit workload with prediction-based ray trimming
@@ -199,10 +301,54 @@ impl FunctionalSim {
 
     /// Runs a closest-hit workload over an SoA ray batch.
     pub fn run_closest_batch(&self, bvh: &Bvh, batch: &RayBatch) -> FunctionalReport {
-        self.run_kind(bvh, batch, TraversalKind::ClosestHit)
+        self.run_kind(bvh, batch, TraversalKind::ClosestHit, None, None)
     }
 
-    fn run_kind(&self, bvh: &Bvh, batch: &RayBatch, kind: TraversalKind) -> FunctionalReport {
+    /// [`FunctionalSim::run_closest_batch`] replaying full traversals
+    /// from a recorded closest-hit [`RayTraceSet`] (see
+    /// [`FunctionalSim::run_batch_replay`]). Trimmed verified legs carry
+    /// a live-state-dependent `t_max` no trace can record; they fall back
+    /// to live traversal inside the kernel, keeping the report
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch when `trace` was not captured for closest-hit
+    /// over exactly this BVH and batch.
+    pub fn run_closest_batch_replay(
+        &self,
+        bvh: &Bvh,
+        batch: &RayBatch,
+        trace: &RayTraceSet,
+    ) -> Result<FunctionalReport, String> {
+        self.check_trace(bvh, batch, trace, TraversalKind::ClosestHit)?;
+        Ok(self.run_kind(bvh, batch, TraversalKind::ClosestHit, Some(trace), None))
+    }
+
+    fn check_trace(
+        &self,
+        bvh: &Bvh,
+        batch: &RayBatch,
+        trace: &RayTraceSet,
+        kind: TraversalKind,
+    ) -> Result<(), String> {
+        if trace.kind() != kind {
+            return Err(format!(
+                "trace records {:?} but the workload is {kind:?}",
+                trace.kind()
+            ));
+        }
+        trace.attach(bvh, batch)
+    }
+
+    fn run_kind(
+        &self,
+        bvh: &Bvh,
+        batch: &RayBatch,
+        kind: TraversalKind,
+        replay: Option<&RayTraceSet>,
+        hashes: Option<&[u32]>,
+    ) -> FunctionalReport {
         let mut predictors: Vec<Predictor> = (0..self.options.num_predictors)
             .map(|_| Predictor::new(self.config, bvh.bounds()))
             .collect();
@@ -210,17 +356,47 @@ impl FunctionalSim {
             rays: batch.len() as u64,
             ..Default::default()
         };
-        let mut node_seen = vec![false; bvh.node_count()];
-        let mut tri_seen = vec![false; bvh.triangle_count()];
+        // First-touch tracking is only consulted when classification is
+        // on; skip zeroing scene-sized buffers otherwise.
+        let (mut node_seen, mut tri_seen) = if self.options.classify_accesses {
+            (
+                vec![false; bvh.node_count()],
+                vec![false; bvh.triangle_count()],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
 
         for i in 0..batch.len() {
             let ray = &batch.ray(i);
             let warp = i / self.options.warp_size;
             let predictor = &mut predictors[warp % self.options.num_predictors];
 
-            let trace = match kind {
-                TraversalKind::AnyHit => trace_occlusion(predictor, bvh, ray),
-                TraversalKind::ClosestHit => trace_closest(predictor, bvh, ray),
+            let hash = match hashes {
+                Some(h) => h[i],
+                None => predictor.hash_ray(ray),
+            };
+            let trace = match (kind, replay) {
+                (TraversalKind::AnyHit, None) => {
+                    let mut kernel = WhileWhileKernel::new(bvh);
+                    trace_occlusion_with_hash(predictor, bvh, &mut kernel, ray, hash)
+                }
+                (TraversalKind::ClosestHit, None) => {
+                    let mut kernel = WhileWhileKernel::new(bvh);
+                    trace_closest_with_hash(predictor, bvh, &mut kernel, ray, hash)
+                }
+                (TraversalKind::AnyHit, Some(set)) => {
+                    let mut kernel = RecordedKernel::new(bvh, set, i, ray);
+                    trace_occlusion_with_probe(predictor, bvh, &mut kernel, ray, hash, &mut |n| {
+                        memoized_probe(set, i, bvh, ray, n)
+                    })
+                }
+                (TraversalKind::ClosestHit, Some(set)) => {
+                    let mut kernel = RecordedKernel::new(bvh, set, i, ray);
+                    trace_closest_with_probe(predictor, bvh, &mut kernel, ray, hash, &mut |n| {
+                        memoized_probe(set, i, bvh, ray, n)
+                    })
+                }
             };
             report.with_predictor += trace.prediction_stats;
             report.with_predictor += trace.fallback_stats;
@@ -238,6 +414,36 @@ impl FunctionalSim {
                 && !self.options.classify_accesses
             {
                 trace.fallback_stats
+            } else if let Some(set) = replay {
+                // The recorded streams are the baseline traversal: walk
+                // them for first-touch classification without re-stepping.
+                if self.options.classify_accesses {
+                    let mut leaf_visit = 0usize;
+                    let counts = set.leaf_prefix_counts(i);
+                    for &raw in set.node_steps(i) {
+                        let node_id = NodeId::new(raw);
+                        let idx = node_id.index() as usize;
+                        if node_seen[idx] {
+                            report.repeated_node_fetches += 1;
+                        } else {
+                            node_seen[idx] = true;
+                            report.first_touch_node_fetches += 1;
+                        }
+                        if matches!(bvh.node(node_id).kind, NodeKind::Leaf { .. }) {
+                            let tested = counts[leaf_visit] as usize;
+                            leaf_visit += 1;
+                            for (t, _) in bvh.leaf_triangles(node_id).take(tested) {
+                                if tri_seen[t as usize] {
+                                    report.repeated_tri_fetches += 1;
+                                } else {
+                                    tri_seen[t as usize] = true;
+                                    report.first_touch_tri_fetches += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                set.full_result(i).stats
             } else {
                 let mut traversal = Traversal::new(kind);
                 if self.options.classify_accesses {
@@ -276,6 +482,25 @@ impl FunctionalSim {
             report.prediction += p.stats();
         }
         report
+    }
+}
+
+/// The replay-path probe evaluator: single-seed-node probes (the common
+/// shape — training stores one Go-Up-Level ancestor) are memoized on the
+/// trace set, because across a sweep the same ray is almost always handed
+/// the same predicted node. Multi-node candidate sets evaluate directly.
+/// Either way the returned result is exactly [`eval_probe`]'s, so
+/// replayed reports stay byte-identical to live runs.
+fn memoized_probe(
+    set: &RayTraceSet,
+    ray_index: usize,
+    bvh: &Bvh,
+    ray: &Ray,
+    nodes: &[NodeId],
+) -> rip_bvh::TraversalResult {
+    match nodes {
+        [node] => set.probe_cached(ray_index as u32, *node, || eval_probe(bvh, ray, nodes)),
+        _ => eval_probe(bvh, ray, nodes),
     }
 }
 
@@ -427,6 +652,52 @@ mod tests {
             many.prediction.verified_rate(),
             one.prediction.verified_rate()
         );
+    }
+
+    #[test]
+    fn replay_report_is_byte_identical_to_live() {
+        let bvh = floor_bvh();
+        let rays = ao_like_rays(2000, 31);
+        let batch = RayBatch::from_rays(&rays);
+        for classify in [false, true] {
+            let sim = FunctionalSim::new(
+                quick_config(),
+                SimOptions {
+                    classify_accesses: classify,
+                    ..SimOptions::default()
+                },
+            );
+            let live = sim.run_batch(&bvh, &batch);
+            let set = RayTraceSet::capture(&bvh, &batch, TraversalKind::AnyHit);
+            let replayed = sim.run_batch_replay(&bvh, &batch, &set).unwrap();
+            assert_eq!(
+                format!("{live:?}"),
+                format!("{replayed:?}"),
+                "replay diverged (classify_accesses: {classify})"
+            );
+
+            let live_closest = sim.run_closest_batch(&bvh, &batch);
+            let set = RayTraceSet::capture(&bvh, &batch, TraversalKind::ClosestHit);
+            let replayed = sim.run_closest_batch_replay(&bvh, &batch, &set).unwrap();
+            assert_eq!(
+                format!("{live_closest:?}"),
+                format!("{replayed:?}"),
+                "closest-hit replay diverged (classify_accesses: {classify})"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_rejects_mismatched_trace() {
+        let bvh = floor_bvh();
+        let batch = RayBatch::from_rays(&ao_like_rays(256, 37));
+        let other = RayBatch::from_rays(&ao_like_rays(256, 38));
+        let sim = FunctionalSim::new(quick_config(), SimOptions::default());
+        let wrong_rays = RayTraceSet::capture(&bvh, &other, TraversalKind::AnyHit);
+        assert!(sim.run_batch_replay(&bvh, &batch, &wrong_rays).is_err());
+        let wrong_kind = RayTraceSet::capture(&bvh, &batch, TraversalKind::ClosestHit);
+        let err = sim.run_batch_replay(&bvh, &batch, &wrong_kind).unwrap_err();
+        assert!(err.contains("ClosestHit"), "{err}");
     }
 
     #[test]

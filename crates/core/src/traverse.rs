@@ -11,7 +11,8 @@
 
 use crate::{OracleMode, Predictor};
 use rip_bvh::{
-    Bvh, Hit, NodeId, Traversal, TraversalKernel, TraversalKind, TraversalStats, WhileWhileKernel,
+    Bvh, Hit, NodeId, Traversal, TraversalKernel, TraversalKind, TraversalResult, TraversalStats,
+    WhileWhileKernel,
 };
 use rip_math::Ray;
 
@@ -54,6 +55,15 @@ impl PredictedTrace {
     pub fn total_memory_accesses(&self) -> u64 {
         self.prediction_stats.memory_accesses() + self.fallback_stats.memory_accesses()
     }
+}
+
+/// Evaluates a predicted probe: a seeded any-hit traversal of the
+/// predicted nodes (the hardware mechanism of §3 — predicted nodes are
+/// pushed onto the ray's traversal stack). Pure in `(bvh, ray, nodes)`;
+/// the replay path memoizes it per trace set.
+pub fn eval_probe(bvh: &Bvh, ray: &Ray, nodes: &[NodeId]) -> TraversalResult {
+    let mut ptrav = Traversal::from_nodes(TraversalKind::AnyHit, nodes);
+    ptrav.run(bvh, ray)
 }
 
 /// Builds the leaf-to-root ancestor chain (`chain[0]` = the leaf).
@@ -109,16 +119,50 @@ pub fn trace_occlusion_with(
     kernel: &mut dyn TraversalKernel,
     ray: &Ray,
 ) -> PredictedTrace {
+    // One hash per ray, shared between lookup and training (the
+    // spherical hash pays real trigonometry).
+    let hash = predictor.hash_ray(ray);
+    trace_occlusion_with_hash(predictor, bvh, kernel, ray, hash)
+}
+
+/// [`trace_occlusion_with`] for an already-computed ray hash. The hash is
+/// a pure function of the hasher configuration, the scene bounds and the
+/// ray, so batch drivers can compute a workload's hash stream once and
+/// share it across every configuration of a parameter sweep (the sweep
+/// varies table shape or SM count, not the hash function).
+pub fn trace_occlusion_with_hash(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+    hash: u32,
+) -> PredictedTrace {
+    trace_occlusion_with_probe(predictor, bvh, kernel, ray, hash, &mut |nodes| {
+        eval_probe(bvh, ray, nodes)
+    })
+}
+
+/// [`trace_occlusion_with_hash`] with an explicit probe evaluator. The
+/// evaluator must return exactly what [`eval_probe`] would — replay
+/// drivers pass a memoizing wrapper, which keeps reports byte-identical
+/// because the probe is pure.
+pub fn trace_occlusion_with_probe(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+    hash: u32,
+    probe: &mut dyn FnMut(&[NodeId]) -> TraversalResult,
+) -> PredictedTrace {
     predictor.begin_ray();
     let oracle = predictor.config().oracle;
     let trace = if oracle == OracleMode::None {
-        trace_occlusion_real(predictor, bvh, kernel, ray)
+        trace_occlusion_real(predictor, bvh, kernel, ray, hash, probe)
     } else {
         trace_occlusion_oracle(predictor, bvh, kernel, ray)
     };
     record(predictor, &trace);
     if let Some(hit) = trace.hit {
-        let hash = predictor.hash_ray(ray);
         predictor.train(bvh, hash, hit.leaf);
     }
     trace
@@ -126,15 +170,16 @@ pub fn trace_occlusion_with(
 
 fn trace_occlusion_real(
     predictor: &mut Predictor,
-    bvh: &Bvh,
+    _bvh: &Bvh,
     kernel: &mut dyn TraversalKernel,
     ray: &Ray,
+    hash: u32,
+    probe: &mut dyn FnMut(&[NodeId]) -> TraversalResult,
 ) -> PredictedTrace {
-    match predictor.lookup(ray) {
+    match predictor.lookup_hashed(hash) {
         Some(pred) => {
             let k = pred.nodes.len() as u32;
-            let mut ptrav = Traversal::from_nodes(TraversalKind::AnyHit, &pred.nodes);
-            let presult = ptrav.run(bvh, ray);
+            let presult = probe(&pred.nodes);
             if let Some(hit) = presult.hit {
                 predictor.reward(pred.hash, hit.leaf);
                 PredictedTrace {
@@ -223,8 +268,37 @@ pub fn trace_closest_with(
     kernel: &mut dyn TraversalKernel,
     ray: &Ray,
 ) -> PredictedTrace {
+    // One hash per ray, shared between lookup and training.
+    let hash = predictor.hash_ray(ray);
+    trace_closest_with_hash(predictor, bvh, kernel, ray, hash)
+}
+
+/// [`trace_closest_with`] for an already-computed ray hash (see
+/// [`trace_occlusion_with_hash`]).
+pub fn trace_closest_with_hash(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+    hash: u32,
+) -> PredictedTrace {
+    trace_closest_with_probe(predictor, bvh, kernel, ray, hash, &mut |nodes| {
+        eval_probe(bvh, ray, nodes)
+    })
+}
+
+/// [`trace_closest_with_hash`] with an explicit probe evaluator (see
+/// [`trace_occlusion_with_probe`]).
+pub fn trace_closest_with_probe(
+    predictor: &mut Predictor,
+    bvh: &Bvh,
+    kernel: &mut dyn TraversalKernel,
+    ray: &Ray,
+    hash: u32,
+    probe: &mut dyn FnMut(&[NodeId]) -> TraversalResult,
+) -> PredictedTrace {
     predictor.begin_ray();
-    let trace = match predictor.lookup(ray) {
+    let trace = match predictor.lookup_hashed(hash) {
         Some(pred) => {
             let k = pred.nodes.len() as u32;
             // Cheap any-hit probe of the predicted subtree: any intersection
@@ -232,8 +306,7 @@ pub fn trace_closest_with(
             // (conservative) trim for the authoritative traversal — the
             // paper trims "the ray's maximum length before traversal rather
             // than predicting the final hit point" (§6.4).
-            let mut ptrav = Traversal::from_nodes(TraversalKind::AnyHit, &pred.nodes);
-            let presult = ptrav.run(bvh, ray);
+            let presult = probe(&pred.nodes);
             match presult.hit {
                 Some(phit) => {
                     predictor.reward(pred.hash, phit.leaf);
@@ -277,7 +350,6 @@ pub fn trace_closest_with(
     };
     record(predictor, &trace);
     if let Some(hit) = trace.hit {
-        let hash = predictor.hash_ray(ray);
         predictor.train(bvh, hash, hit.leaf);
     }
     trace

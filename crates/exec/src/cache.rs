@@ -374,7 +374,7 @@ impl CaseCache {
             ))
             .emit();
         let id = scene.id;
-        Ok(Case { id, scene, bvh })
+        Ok(Case::from_parts(id, scene, bvh))
     }
 
     /// Moves the artifact(s) implicated by `error` aside as
@@ -482,7 +482,7 @@ impl std::fmt::Debug for CaseCache {
 /// Writes via a temp file + atomic rename so a killed process (or a
 /// concurrent one) can never leave a truncated artifact under the final
 /// name — readers see either the old complete file or the new one.
-fn write_atomic(obs: &Obs, path: &Path, bytes: &[u8]) -> bool {
+pub(crate) fn write_atomic(obs: &Obs, path: &Path, bytes: &[u8]) -> bool {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
     if let Err(e) = result {

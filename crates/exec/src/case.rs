@@ -4,6 +4,8 @@
 //! [`CaseCache`](crate::cache::CaseCache) can build, persist, and share
 //! cases across experiments without depending on the bench crate.
 
+use std::sync::{Arc, OnceLock};
+
 use rip_bvh::{Bvh, RayBatch};
 use rip_math::Triangle;
 use rip_render::{AoConfig, AoWorkload};
@@ -60,6 +62,10 @@ pub struct Case {
     pub scene: Scene,
     /// The acceleration structure.
     pub bvh: Bvh,
+    /// Lazily generated AO batch, shared across clones: the workload is a
+    /// pure function of the case, so a sweep running many configurations
+    /// over one case pays for ray generation once.
+    ao_batch: Arc<OnceLock<Arc<RayBatch>>>,
 }
 
 impl Case {
@@ -74,10 +80,17 @@ impl Case {
     pub fn from_scene(scene: Scene) -> Self {
         let tris: Vec<Triangle> = scene.mesh.triangles().collect();
         let bvh = Bvh::build(&tris);
+        Case::from_parts(scene.id, scene, bvh)
+    }
+
+    /// Assembles a case from an already-built scene and BVH (the artifact
+    /// cache's load path).
+    pub fn from_parts(id: SceneId, scene: Scene, bvh: Bvh) -> Self {
         Case {
-            id: scene.id,
+            id,
             scene,
             bvh,
+            ao_batch: Arc::new(OnceLock::new()),
         }
     }
 
@@ -87,9 +100,13 @@ impl Case {
     }
 
     /// The AO workload as a SoA [`RayBatch`], ready for the batched
-    /// simulator and kernel entry points.
-    pub fn ao_batch(&self) -> RayBatch {
-        self.ao_workload().batch()
+    /// simulator and kernel entry points. Generated on first call and
+    /// shared (including across clones of this case) after that.
+    pub fn ao_batch(&self) -> Arc<RayBatch> {
+        Arc::clone(
+            self.ao_batch
+                .get_or_init(|| Arc::new(self.ao_workload().batch())),
+        )
     }
 }
 

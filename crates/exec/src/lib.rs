@@ -20,6 +20,10 @@
 //!   hook.
 //! - [`journal`]: a crash-safe checkpoint journal of completed units so a
 //!   killed sweep resumes where it left off.
+//! - [`trace_store`]: a capture-once [`TraceStore`](trace_store::TraceStore)
+//!   of recorded RIPT ray-trace sets keyed by workload label, honoring
+//!   `$RIP_TRACE_DIR`, with the same quarantine-and-recapture fault
+//!   contract as the artifact store.
 //!
 //! Every diagnostic that used to be a raw `eprintln!` is now a
 //! structured [`rip_obs`] event: the stderr text is printed verbatim
@@ -36,6 +40,7 @@ pub mod fault;
 pub mod journal;
 pub mod pool;
 pub mod runner;
+pub mod trace_store;
 
 pub use artifact::MappedArtifact;
 pub use cache::{CacheError, CacheStats, CaseCache};
@@ -46,3 +51,4 @@ pub use fault::{
 pub use journal::{Journal, JournalEntry};
 pub use pool::{available_parallelism, global_budget, set_global_budget, JobPool};
 pub use runner::{ShardedRunner, UnitReport};
+pub use trace_store::{TraceStore, TraceStoreStats};

@@ -171,6 +171,17 @@ impl Cache {
         false
     }
 
+    /// Looks up `addr` without recording an access: no statistics, no
+    /// LRU reordering, no fill. This is the read-only view the parallel
+    /// per-SM engine takes of the epoch-frozen shared L2 — contents only
+    /// change at epoch barriers, where the authoritative [`Cache::access`]
+    /// replays the merged traffic.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        self.sets[set_idx].contains_key(&line)
+    }
+
     /// Empties the cache, keeping statistics.
     pub fn clear(&mut self) {
         for set in &mut self.sets {
@@ -276,6 +287,25 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn probe_is_invisible() {
+        let mut c = tiny(2); // 2 ways, 2 sets
+        assert!(!c.probe(0));
+        c.access(0);
+        assert!(c.probe(0));
+        assert!(c.probe(64), "same line");
+        assert!(!c.probe(2 * 128), "other set untouched");
+        // Probes leave no trace: stats unchanged, LRU order unchanged.
+        assert_eq!(c.stats().accesses, 1);
+        c.access(2 * 128); // set 0: lines {0, 2}
+        for _ in 0..8 {
+            assert!(c.probe(0));
+        }
+        c.access(4 * 128); // set 0 full: evicts LRU line 0 (probes don't refresh)
+        assert!(!c.probe(0), "probe must not have refreshed line 0");
+        assert!(c.probe(2 * 128));
     }
 
     #[test]

@@ -88,7 +88,8 @@ impl SimReport {
     /// of `obs` (adding, so repeated runs accumulate).
     ///
     /// The mapping is total: each scalar field lands under exactly one
-    /// dotted path, and per-SM cache vectors land as their sums —
+    /// dotted path, and per-SM cache vectors land both as their sums
+    /// (`gpusim.cache.*`) and per SM under `gpusim.sm<N>.cache.*` —
     /// `rip-testkit`'s differential test holds the registry to this.
     pub fn mirror_into(&self, obs: &rip_obs::Obs) {
         obs.add("gpusim.cycles", self.cycles);
@@ -129,6 +130,14 @@ impl SimReport {
         obs.add("gpusim.cache.l1.hit", l1.hits);
         obs.add("gpusim.cache.l2.access", m.l2.accesses);
         obs.add("gpusim.cache.l2.hit", m.l2.hits);
+        for (sm, s) in m.l1.iter().enumerate() {
+            obs.add(&format!("gpusim.sm{sm}.cache.l1.access"), s.accesses);
+            obs.add(&format!("gpusim.sm{sm}.cache.l1.hit"), s.hits);
+        }
+        for (sm, s) in m.rt_cache.iter().enumerate() {
+            obs.add(&format!("gpusim.sm{sm}.cache.rt.access"), s.accesses);
+            obs.add(&format!("gpusim.sm{sm}.cache.rt.hit"), s.hits);
+        }
         obs.add("gpusim.dram.access", m.dram.accesses);
         obs.add("gpusim.dram.bank_wait_cycles", m.dram.bank_wait_cycles);
 

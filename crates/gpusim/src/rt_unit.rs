@@ -1,10 +1,12 @@
 //! RT-unit state: per-ray work items, warps and per-SM state (Figure 10).
 
 use crate::PartialWarpCollector;
-use rip_bvh::{Hit, Traversal, TraversalKind, TraversalStats};
+use rip_bvh::ript::{RayTraceSet, ReplayCursor};
+use rip_bvh::{Bvh, Hit, NodeId, StepEvent, Traversal, TraversalKind, TraversalStats};
 use rip_core::{Prediction, Predictor};
 use rip_math::Ray;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Which leg of the §3 flow a ray is executing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,11 +22,64 @@ pub(crate) enum RayPhase {
     Done,
 }
 
+/// One traversal leg as the RT unit drives it: either a live stepped
+/// [`Traversal`] or a [`ReplayCursor`] over a recorded full traversal.
+/// Both expose the same request/step/done/hit/stats surface, so the warp
+/// machinery is oblivious to which one it is feeding.
+///
+/// Predicted legs are always [`Live`](TraversalLeg::Live) (they start
+/// from predictor-supplied nodes, which no trace records); full legs —
+/// the baseline leg, the not-predicted leg and misprediction recovery —
+/// are virgin root traversals and replay from the trace when one is
+/// attached.
+#[derive(Clone, Debug)]
+pub(crate) enum TraversalLeg {
+    Live(Traversal),
+    Replay(ReplayCursor),
+}
+
+impl TraversalLeg {
+    pub fn current_request(&self) -> Option<NodeId> {
+        match self {
+            TraversalLeg::Live(t) => t.current_request(),
+            TraversalLeg::Replay(c) => c.current_request(),
+        }
+    }
+
+    pub fn step(&mut self, bvh: &Bvh, ray: &Ray) -> StepEvent {
+        match self {
+            TraversalLeg::Live(t) => t.step(bvh, ray),
+            TraversalLeg::Replay(c) => c.step(bvh),
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        match self {
+            TraversalLeg::Live(t) => t.is_done(),
+            TraversalLeg::Replay(c) => c.is_done(),
+        }
+    }
+
+    pub fn best_hit(&self) -> Option<Hit> {
+        match self {
+            TraversalLeg::Live(t) => t.best_hit(),
+            TraversalLeg::Replay(c) => c.best_hit(),
+        }
+    }
+
+    pub fn stats(&self) -> TraversalStats {
+        match self {
+            TraversalLeg::Live(t) => t.stats(),
+            TraversalLeg::Replay(c) => c.stats(),
+        }
+    }
+}
+
 /// Per-ray bookkeeping inside the RT unit (one ray buffer slot).
 #[derive(Clone, Debug)]
 pub(crate) struct RayWork {
     pub ray: Ray,
-    pub traversal: Traversal,
+    pub traversal: TraversalLeg,
     pub phase: RayPhase,
     pub hash: u32,
     /// SM currently servicing this ray.
@@ -39,6 +94,9 @@ pub(crate) struct RayWork {
     pub hit: Option<Hit>,
     /// Stats of completed traversal legs (accumulated at leg boundaries).
     pub finished_stats: TraversalStats,
+    /// Recorded trace backing this ray's full legs (replay mode), with
+    /// the ray's index into the set.
+    pub trace: Option<(Arc<RayTraceSet>, usize)>,
 }
 
 impl RayWork {
@@ -47,7 +105,7 @@ impl RayWork {
     pub fn new(ray: Ray, needs_lookup: bool) -> Self {
         RayWork {
             ray,
-            traversal: Traversal::new(TraversalKind::AnyHit),
+            traversal: TraversalLeg::Live(Traversal::new(TraversalKind::AnyHit)),
             phase: if needs_lookup {
                 RayPhase::AwaitingLookup
             } else {
@@ -62,6 +120,25 @@ impl RayWork {
             prediction_fetches: 0,
             hit: None,
             finished_stats: TraversalStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Backs this ray's full legs with a recorded trace. Replaces the
+    /// current leg when it is an (unstarted) full traversal.
+    pub fn attach_trace(&mut self, set: Arc<RayTraceSet>, index: usize) {
+        self.trace = Some((set, index));
+        if self.phase == RayPhase::Full {
+            self.traversal = self.fresh_full_leg();
+        }
+    }
+
+    /// A virgin full-traversal leg: a replay cursor when a trace is
+    /// attached, a live root traversal otherwise.
+    pub fn fresh_full_leg(&self) -> TraversalLeg {
+        match &self.trace {
+            Some((set, index)) => TraversalLeg::Replay(ReplayCursor::new(Arc::clone(set), *index)),
+            None => TraversalLeg::Live(Traversal::new(TraversalKind::AnyHit)),
         }
     }
 
@@ -73,11 +150,12 @@ impl RayWork {
             Some(pred) => {
                 self.was_predicted = true;
                 self.prediction_k = pred.nodes.len() as u32;
-                self.traversal = Traversal::from_nodes(TraversalKind::AnyHit, &pred.nodes);
+                self.traversal =
+                    TraversalLeg::Live(Traversal::from_nodes(TraversalKind::AnyHit, &pred.nodes));
                 self.phase = RayPhase::Predicted;
             }
             None => {
-                self.traversal = Traversal::new(TraversalKind::AnyHit);
+                self.traversal = self.fresh_full_leg();
                 self.phase = RayPhase::Full;
             }
         }

@@ -7,14 +7,51 @@
 //! trip), and the warp advances once the slowest request returns and the
 //! pipelined intersection units finish. A warp therefore takes as long as
 //! its slowest thread (§4.4) — the divergence that warp repacking removes.
+//!
+//! # Parallel per-SM epochs
+//!
+//! SMs couple only through the shared L2 and DRAM, so each SM runs as its
+//! own discrete-event engine ([`SmEngine`]) and the simulation advances in
+//! **epochs** of [`GpuConfig::epoch_cycles`]: within an epoch every SM
+//! processes its private event heap against (a) its live private RT/L1
+//! caches and (b) an epoch-frozen snapshot of the shared L2 (read with the
+//! non-mutating [`Cache::probe`]) plus a private clone of the DRAM bank
+//! timeline. Every request that misses the private levels is appended to a
+//! per-SM log; at the epoch barrier the logs are merged in the canonical
+//! `(issue time, SM id, sequence)` order and replayed through the
+//! authoritative shared L2/DRAM, which alone own the shared-level
+//! statistics and the bank timeline seen by the next epoch.
+//!
+//! Because each SM's epoch depends only on its own state and the frozen
+//! snapshot, and the barrier merge is a deterministic function of the
+//! per-SM logs, the report is **byte-identical at any `--jobs` count**
+//! (the serial path runs the exact same code). The epoch length is a
+//! timing-model parameter like any cache latency: it bounds how stale a
+//! remote SM's L2 fills and bank pressure may be within an epoch, but it
+//! never affects determinism or functional results.
+//!
+//! # Trace replay
+//!
+//! With [`Simulator::with_trace`], full-traversal legs (the baseline leg,
+//! not-predicted rays, and misprediction recovery — all virgin root
+//! traversals) are fed from a recorded [`RayTraceSet`] instead of stepping
+//! the BVH, byte-identical to the live run; predicted legs (the `k·m`
+//! verification work) still run live because they start from
+//! predictor-supplied nodes that no trace records.
 
 use crate::rt_unit::{RayPhase, RayWork, SmState, WarpState};
-use crate::{GpuConfig, MemoryHierarchy, PartialWarpCollector, SimReport};
-use rip_bvh::{Bvh, RayBatch, StepEvent, Traversal, TraversalKind};
+use crate::{
+    ActivityCounts, Cache, Dram, GpuConfig, LatencyConfig, MemoryStats, PartialWarpCollector,
+    SimReport,
+};
+use rip_bvh::ript::RayTraceSet;
+use rip_bvh::{Bvh, RayBatch, StepEvent, TraversalKind};
 use rip_core::Predictor;
+use rip_exec::JobPool;
 use rip_math::Ray;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// Event kinds, ordered inside the heap tuple after time.
 const EV_WARP_ITER: u8 = 0;
@@ -48,6 +85,8 @@ const EV_COLLECTOR: u8 = 2;
 pub struct Simulator {
     config: GpuConfig,
     obs: std::sync::Arc<rip_obs::Obs>,
+    jobs: usize,
+    trace: Option<Arc<RayTraceSet>>,
 }
 
 impl Simulator {
@@ -61,6 +100,8 @@ impl Simulator {
         Simulator {
             config,
             obs: std::sync::Arc::clone(rip_obs::Obs::global()),
+            jobs: 1,
+            trace: None,
         }
     }
 
@@ -68,6 +109,28 @@ impl Simulator {
     /// `obs` instead of the process-wide default instance.
     pub fn with_obs(mut self, obs: std::sync::Arc<rip_obs::Obs>) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Steps SMs in parallel across up to `jobs` worker threads (drawn
+    /// from the `rip-exec` process-wide budget). The report is
+    /// byte-identical at any job count; `1` (the default) runs the same
+    /// epoch machinery inline.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Replays recorded full traversals instead of stepping the BVH.
+    ///
+    /// The trace must have been captured with
+    /// [`RayTraceSet::capture`] for **any-hit** over exactly the workload
+    /// later passed to [`Simulator::run`] / [`Simulator::run_batch`]; a
+    /// mismatched trace (wrong BVH, rays or kind) is rejected at run time
+    /// — the run falls back to live traversal and increments
+    /// `gpusim.trace.rejected`.
+    pub fn with_trace(mut self, trace: Arc<RayTraceSet>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -83,18 +146,35 @@ impl Simulator {
     /// ([`SimReport::mirror_into`]); the run is wrapped in a
     /// `gpusim`/`run` span when tracing is enabled.
     pub fn run(&self, bvh: &Bvh, rays: &[Ray]) -> SimReport {
-        self.observe(rays.len() as u64, || {
-            Engine::new(&self.config, bvh, rays.iter().copied()).run()
-        })
+        self.run_batch(bvh, &RayBatch::from_rays(rays))
     }
 
     /// Simulates an occlusion workload supplied as an SoA ray batch — the
     /// RT unit consumes the stream in batch order, so `run_batch(bvh,
     /// &RayBatch::from_rays(rays))` is identical to `run(bvh, rays)`.
     pub fn run_batch(&self, bvh: &Bvh, batch: &RayBatch) -> SimReport {
+        let trace = self.validated_trace(bvh, batch);
         self.observe(batch.len() as u64, || {
-            Engine::new(&self.config, bvh, batch.iter()).run()
+            Engine::new(&self.config, bvh, batch.iter(), trace, self.jobs).run()
         })
+    }
+
+    /// Cross-checks the attached trace against the live workload; a
+    /// mismatch is counted and the run proceeds live.
+    fn validated_trace(&self, bvh: &Bvh, batch: &RayBatch) -> Option<Arc<RayTraceSet>> {
+        let set = self.trace.as_ref()?;
+        let problem = if set.kind() != TraversalKind::AnyHit {
+            Some("closest-hit trace on an occlusion workload".to_string())
+        } else {
+            set.attach(bvh, batch).err()
+        };
+        match problem {
+            None => Some(Arc::clone(set)),
+            Some(_) => {
+                self.obs.add("gpusim.trace.rejected", 1);
+                None
+            }
+        }
     }
 
     fn observe(&self, rays: u64, run: impl FnOnce() -> SimReport) -> SimReport {
@@ -114,38 +194,78 @@ impl Simulator {
     }
 }
 
-struct Engine<'a> {
+/// One shared-level request logged during an epoch: issue time, per-SM
+/// sequence number, byte address.
+type LoggedRequest = (u64, u32, u64);
+
+/// The authoritative shared memory levels, mutated only at epoch
+/// barriers on the coordinating thread.
+struct SharedMemory {
+    l2: Cache,
+    dram: Dram,
+    latency: LatencyConfig,
+}
+
+impl SharedMemory {
+    /// Replays one epoch's merged request log in canonical order. The
+    /// shared-level statistics and the DRAM bank timeline the next epoch
+    /// snapshots are produced here and only here, so they are identical
+    /// no matter how many threads stepped the SMs.
+    fn replay(&mut self, mut log: Vec<(u64, usize, u32, u64)>) {
+        log.sort_unstable_by_key(|&(t, sm, seq, _)| (t, sm, seq));
+        for (t_issue, _, _, addr) in log {
+            if !self.l2.access(addr) {
+                let l2_miss_time = t_issue + self.latency.l1_hit + self.latency.l2_hit;
+                self.dram.access(addr, l2_miss_time);
+            }
+        }
+    }
+}
+
+/// One SM's private discrete-event engine: its rays, warp slots,
+/// predictor, collector, MSHR, RT/L1 caches and event heap.
+struct SmEngine<'a> {
+    sm_id: usize,
     config: &'a GpuConfig,
     bvh: &'a Bvh,
-    rays: Vec<RayWork>,
-    sms: Vec<SmState>,
-    /// Repacked warps awaiting a free slot, per SM.
-    repacked_queue: Vec<VecDeque<Vec<u32>>>,
-    /// Pending collector-timeout event per SM (time it was scheduled for).
-    collector_event: Vec<Option<u64>>,
-    /// Per-SM MSHR: line address → in-flight fill completion time.
-    mshr: Vec<HashMap<u64, u64>>,
-    memory: MemoryHierarchy,
-    /// (time, sm, kind, payload): payload = ray id or slot index.
-    events: BinaryHeap<Reverse<(u64, usize, u8, u32)>>,
+    /// Rays owned by this SM, keyed by global ray id (warps never
+    /// migrate between SMs).
+    rays: HashMap<u32, RayWork>,
+    sm: SmState,
+    /// Repacked warps awaiting a free slot.
+    repacked_queue: VecDeque<Vec<u32>>,
+    /// Pending collector-timeout event (time it was scheduled for).
+    collector_event: Option<u64>,
+    /// MSHR: line address → in-flight fill completion time.
+    mshr: HashMap<u64, u64>,
+    rt_cache: Option<Cache>,
+    l1: Cache,
+    /// Lines this SM filled into the (frozen) shared L2 this epoch —
+    /// treated as L2 hits by the local latency view, matching what the
+    /// barrier replay will install.
+    epoch_lines: HashSet<u64>,
+    /// Local DRAM bank-timeline view, re-seeded from the authoritative
+    /// state at each barrier; its statistics are discarded.
+    local_dram: Dram,
+    /// Shared-level requests issued this epoch, in issue order.
+    shared_log: Vec<LoggedRequest>,
+    /// Monotonic per-SM request sequence (merge tie-breaker).
+    seq: u32,
+    /// (time, kind, payload): payload = slot index (or 0).
+    events: BinaryHeap<Reverse<(u64, u8, u32)>>,
+    /// Per-SM partial report; shared-level fields are filled at merge.
     report: SimReport,
 }
 
-impl<'a> Engine<'a> {
-    fn new(config: &'a GpuConfig, bvh: &'a Bvh, rays: impl Iterator<Item = Ray>) -> Self {
-        let needs_lookup = config.predictor.is_some();
-        let ray_works: Vec<RayWork> = rays.map(|r| RayWork::new(r, needs_lookup)).collect();
-        let memory = MemoryHierarchy::new(
-            config.num_sms,
-            config.rt_cache,
-            config.l1,
-            config.l2,
-            config.dram,
-            config.latency,
-        );
+impl<'a> SmEngine<'a> {
+    fn new(sm_id: usize, config: &'a GpuConfig, bvh: &'a Bvh) -> Self {
         let total_slots = config.max_warps_per_rt + config.repack.extra_warps() as usize;
-        let sms = (0..config.num_sms)
-            .map(|_| SmState {
+        SmEngine {
+            sm_id,
+            config,
+            bvh,
+            rays: HashMap::new(),
+            sm: SmState {
                 slots: (0..total_slots).map(|_| None).collect(),
                 pending: VecDeque::new(),
                 predictor: config.predictor.map(|pc| Predictor::new(pc, bvh.bounds())),
@@ -158,80 +278,74 @@ impl<'a> Engine<'a> {
                 }),
                 issue_free_at: 0,
                 base_warp_limit: config.max_warps_per_rt,
-            })
-            .collect();
-        Engine {
-            config,
-            bvh,
-            rays: ray_works,
-            sms,
-            repacked_queue: vec![VecDeque::new(); config.num_sms],
-            collector_event: vec![None; config.num_sms],
-            mshr: vec![HashMap::new(); config.num_sms],
-            memory,
+            },
+            repacked_queue: VecDeque::new(),
+            collector_event: None,
+            mshr: HashMap::new(),
+            rt_cache: config.rt_cache.map(Cache::new),
+            l1: Cache::new(config.l1),
+            epoch_lines: HashSet::new(),
+            local_dram: Dram::new(config.dram),
+            shared_log: Vec::new(),
+            seq: 0,
             events: BinaryHeap::new(),
             report: SimReport::default(),
         }
     }
 
-    fn run(mut self) -> SimReport {
-        // Chunk rays into warps, distribute round-robin over SMs.
-        let warp_size = self.config.warp_size;
-        let mut warp_lists: Vec<VecDeque<Vec<u32>>> = vec![VecDeque::new(); self.config.num_sms];
-        for (w, chunk) in (0..self.rays.len() as u32)
-            .collect::<Vec<_>>()
-            .chunks(warp_size)
-            .enumerate()
-        {
-            warp_lists[w % self.config.num_sms].push_back(chunk.to_vec());
+    /// Dispatches the initial warp list (excess warps queue as pending).
+    fn seed(&mut self, warps: VecDeque<Vec<u32>>) {
+        for ids in warps {
+            self.dispatch(ids, false, 0);
         }
-        for (sm_id, mut list) in warp_lists.into_iter().enumerate() {
-            while self.sms[sm_id].free_slot(false).is_some() {
-                match list.pop_front() {
-                    Some(ids) => self.dispatch(sm_id, ids, false, 0),
-                    None => break,
-                }
-            }
-            self.sms[sm_id].pending = list;
-        }
+    }
 
-        while let Some(Reverse((now, sm_id, kind, payload))) = self.events.pop() {
+    /// Time of this SM's next event, if any.
+    fn peek_time(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Processes every event strictly before `epoch_end` against the
+    /// frozen `shared` snapshot; returns the epoch's shared-request log.
+    fn run_epoch(&mut self, epoch_end: u64, shared: &SharedMemory) -> Vec<LoggedRequest> {
+        self.local_dram = shared.dram.clone();
+        self.epoch_lines.clear();
+        while let Some(&Reverse((t, _, _))) = self.events.peek() {
+            if t >= epoch_end {
+                break;
+            }
+            let Reverse((now, kind, payload)) = self.events.pop().expect("peeked event");
             match kind {
-                EV_WARP_ITER => self.warp_iteration(sm_id, payload as usize, now),
-                EV_WARP_LOOKUP => self.lookup_phase(sm_id, payload as usize, now),
-                EV_COLLECTOR => self.collector_tick(sm_id, now),
+                EV_WARP_ITER => self.warp_iteration(payload as usize, now, shared),
+                EV_WARP_LOOKUP => self.lookup_phase(payload as usize, now),
+                EV_COLLECTOR => self.collector_tick(now),
                 _ => unreachable!("unknown event kind"),
             }
         }
-
-        debug_assert_eq!(self.report.completed_rays as usize, self.rays.len());
-        self.report.memory = self.memory.stats();
-        self.report.activity.l2_accesses = self.report.memory.l2.accesses;
-        self.report.activity.dram_accesses = self.report.memory.dram.accesses;
-        self.report
+        std::mem::take(&mut self.shared_log)
     }
 
     /// Places a warp into a slot (or queues it) and schedules its first
     /// event.
-    fn dispatch(&mut self, sm_id: usize, ray_ids: Vec<u32>, repacked: bool, now: u64) {
-        let Some(slot) = self.sms[sm_id].free_slot(repacked) else {
+    fn dispatch(&mut self, ray_ids: Vec<u32>, repacked: bool, now: u64) {
+        let Some(slot) = self.sm.free_slot(repacked) else {
             if repacked {
-                self.repacked_queue[sm_id].push_back(ray_ids);
+                self.repacked_queue.push_back(ray_ids);
             } else {
-                self.sms[sm_id].pending.push_back(ray_ids);
+                self.sm.pending.push_back(ray_ids);
             }
             return;
         };
         let start = now + self.config.latency.queue;
         for &rid in &ray_ids {
-            let rw = &mut self.rays[rid as usize];
-            rw.sm = sm_id as u32;
+            let rw = self.rays.get_mut(&rid).expect("dispatched ray owned by SM");
+            rw.sm = self.sm_id as u32;
             rw.slot = slot as u32;
         }
         let needs_lookup = self.config.predictor.is_some() && !repacked;
-        self.sms[sm_id].slots[slot] = Some(WarpState {
+        self.sm.slots[slot] = Some(WarpState {
             active: ray_ids.len() as u32,
-            rays: ray_ids.clone(),
+            rays: ray_ids,
             repacked,
         });
         let kind = if needs_lookup {
@@ -239,46 +353,42 @@ impl<'a> Engine<'a> {
         } else {
             EV_WARP_ITER
         };
-        self.events.push(Reverse((start, sm_id, kind, slot as u32)));
+        self.events.push(Reverse((start, kind, slot as u32)));
     }
 
     /// Handles a collector-timeout event.
-    fn collector_tick(&mut self, sm_id: usize, now: u64) {
-        if self.collector_event[sm_id] != Some(now) {
+    fn collector_tick(&mut self, now: u64) {
+        if self.collector_event != Some(now) {
             return; // stale event
         }
-        self.collector_event[sm_id] = None;
-        let Some(collector) = self.sms[sm_id].collector.as_mut() else {
+        self.collector_event = None;
+        let Some(collector) = self.sm.collector.as_mut() else {
             return;
         };
         if let Some(warp) = collector.take_ready(now) {
             self.report.activity.collector_ops += warp.len() as u64;
-            self.dispatch(sm_id, warp, true, now);
+            self.dispatch(warp, true, now);
         }
-        self.ensure_collector_event(sm_id, now);
+        self.ensure_collector_event(now);
     }
 
     /// Guarantees a timeout event is pending whenever the collector holds
     /// rays.
-    fn ensure_collector_event(&mut self, sm_id: usize, now: u64) {
-        if self.collector_event[sm_id].is_some() {
+    fn ensure_collector_event(&mut self, now: u64) {
+        if self.collector_event.is_some() {
             return;
         }
-        if let Some(deadline) = self.sms[sm_id]
-            .collector
-            .as_ref()
-            .and_then(|c| c.deadline())
-        {
+        if let Some(deadline) = self.sm.collector.as_ref().and_then(|c| c.deadline()) {
             let at = deadline.max(now + 1);
-            self.collector_event[sm_id] = Some(at);
-            self.events.push(Reverse((at, sm_id, EV_COLLECTOR, 0)));
+            self.collector_event = Some(at);
+            self.events.push(Reverse((at, EV_COLLECTOR, 0)));
         }
     }
 
     /// All rays of a freshly dispatched warp perform their predictor table
     /// lookup through the ported lookup queue (§4.1), then repack (§4.4).
-    fn lookup_phase(&mut self, sm_id: usize, slot: usize, now: u64) {
-        let warp_rays = self.sms[sm_id].slots[slot]
+    fn lookup_phase(&mut self, slot: usize, now: u64) {
+        let warp_rays = self.sm.slots[slot]
             .as_ref()
             .expect("warp present")
             .rays
@@ -291,12 +401,13 @@ impl<'a> Engine<'a> {
         let mut remaining = Vec::with_capacity(warp_rays.len());
         let mut predicted = Vec::new();
         {
-            let predictor = self.sms[sm_id]
+            let predictor = self
+                .sm
                 .predictor
                 .as_mut()
                 .expect("lookup phase requires predictor");
             for &rid in &warp_rays {
-                let rw = &mut self.rays[rid as usize];
+                let rw = self.rays.get_mut(&rid).expect("warp ray owned by SM");
                 predictor.begin_ray();
                 let hash = predictor.hash_ray(&rw.ray);
                 let pred = predictor.lookup(&rw.ray);
@@ -316,10 +427,7 @@ impl<'a> Engine<'a> {
             let removed = predicted.len() as u32;
             let mut formed: Vec<Vec<u32>> = Vec::new();
             {
-                let collector = self.sms[sm_id]
-                    .collector
-                    .as_mut()
-                    .expect("repack has collector");
+                let collector = self.sm.collector.as_mut().expect("repack has collector");
                 for rid in predicted {
                     if collector.free_slots() == 0 {
                         if let Some(w) = collector.take_ready(ready) {
@@ -338,22 +446,22 @@ impl<'a> Engine<'a> {
             }
             for w in formed {
                 self.report.activity.collector_ops += w.len() as u64;
-                self.dispatch(sm_id, w, true, ready);
+                self.dispatch(w, true, ready);
             }
-            self.ensure_collector_event(sm_id, ready);
+            self.ensure_collector_event(ready);
 
-            let warp = self.sms[sm_id].slots[slot].as_mut().expect("warp present");
+            let warp = self.sm.slots[slot].as_mut().expect("warp present");
             warp.active -= removed;
             warp.rays = remaining.clone();
             if remaining.is_empty() {
-                self.retire_warp(sm_id, slot, ready);
+                self.retire_warp(slot, ready);
                 return;
             }
         }
         // Without repacking, predicted and not-predicted rays stay together
         // (the "Default" configuration of Figure 15).
         self.events
-            .push(Reverse((ready, sm_id, EV_WARP_ITER, slot as u32)));
+            .push(Reverse((ready, EV_WARP_ITER, slot as u32)));
     }
 
     /// Issues one line request at `now`, merging with any in-flight fill
@@ -361,29 +469,56 @@ impl<'a> Engine<'a> {
     /// outstanding fill instead of re-accessing DRAM, but still occupies
     /// one memory-scheduler slot ("requested from the L1 cache in thread
     /// order"). Returns the data-ready time.
-    fn request_line(&mut self, sm_id: usize, addr: u64, now: u64) -> u64 {
-        let t_issue = now.max(self.sms[sm_id].issue_free_at);
-        self.sms[sm_id].issue_free_at = t_issue + 1;
+    fn request_line(&mut self, addr: u64, now: u64, shared: &SharedMemory) -> u64 {
+        let t_issue = now.max(self.sm.issue_free_at);
+        self.sm.issue_free_at = t_issue + 1;
         self.report.activity.l1_accesses += 1;
         let line = addr / 128;
-        if let Some(&fill) = self.mshr[sm_id].get(&line) {
+        if let Some(&fill) = self.mshr.get(&line) {
             if fill > t_issue {
                 // Merged into the outstanding fill: no second DRAM trip.
                 self.report.activity.mshr_merges += 1;
                 return fill;
             }
         }
-        let done = self.memory.access(sm_id, addr, t_issue);
-        self.mshr[sm_id].insert(line, done);
+        let done = self.mem_access(addr, t_issue, shared);
+        self.mshr.insert(line, done);
         done
+    }
+
+    /// The private-cache cascade: RT cache → L1 live; on an L1 miss the
+    /// request is logged for the barrier replay (which owns all
+    /// shared-level statistics) and its latency is decided against the
+    /// epoch-frozen shared L2 plus this SM's own fills this epoch, with
+    /// DRAM timing from the local bank-timeline view.
+    fn mem_access(&mut self, addr: u64, now: u64, shared: &SharedMemory) -> u64 {
+        let latency = &self.config.latency;
+        if let Some(rt) = self.rt_cache.as_mut() {
+            if rt.access(addr) {
+                return now + latency.l1_hit; // same fast-path latency
+            }
+        }
+        if self.l1.access(addr) {
+            return now + latency.l1_hit;
+        }
+        self.shared_log.push((now, self.seq, addr));
+        self.seq += 1;
+        let l1_miss_time = now + latency.l1_hit;
+        let line = addr / self.config.l2.line_bytes as u64;
+        if shared.l2.probe(addr) || self.epoch_lines.contains(&line) {
+            return l1_miss_time + latency.l2_hit;
+        }
+        self.epoch_lines.insert(line);
+        let l2_miss_time = l1_miss_time + latency.l2_hit;
+        self.local_dram.access(addr, l2_miss_time)
     }
 
     /// One SIMT warp iteration: issue every active ray's next node
     /// request in thread order, step each ray once the data returns, fetch
     /// leaf triangles, run the pipelined intersection tests, and advance
     /// the warp at the pace of its slowest thread.
-    fn warp_iteration(&mut self, sm_id: usize, slot: usize, now: u64) {
-        let warp_rays = self.sms[sm_id].slots[slot]
+    fn warp_iteration(&mut self, slot: usize, now: u64, shared: &SharedMemory) {
+        let warp_rays = self.sm.slots[slot]
             .as_ref()
             .expect("warp present")
             .rays
@@ -394,7 +529,7 @@ impl<'a> Engine<'a> {
         // in-flight lines share their fill via the MSHR).
         let mut node_ready: Vec<(u32, u64)> = Vec::with_capacity(warp_rays.len());
         for &rid in &warp_rays {
-            let rw = &self.rays[rid as usize];
+            let rw = &self.rays[&rid];
             if !rw.is_active() {
                 continue;
             }
@@ -402,12 +537,12 @@ impl<'a> Engine<'a> {
                 .traversal
                 .current_request()
                 .expect("active ray must want a node");
-            let done = self.request_line(sm_id, layout.node_address(node), now);
+            let done = self.request_line(layout.node_address(node), now, shared);
             self.report.activity.ray_buffer_accesses += 1;
             node_ready.push((rid, done));
         }
         if node_ready.is_empty() {
-            self.retire_warp(sm_id, slot, now);
+            self.retire_warp(slot, now);
             return;
         }
 
@@ -418,7 +553,7 @@ impl<'a> Engine<'a> {
             data_ready = data_ready.max(ready);
             let mut tri_addrs: Vec<u64> = Vec::new();
             {
-                let rw = &mut self.rays[rid as usize];
+                let rw = self.rays.get_mut(&rid).expect("warp ray owned by SM");
                 let event = rw.traversal.step(self.bvh, &rw.ray);
                 self.report.activity.stack_ops += 2;
                 if rw.phase == RayPhase::Predicted {
@@ -446,7 +581,7 @@ impl<'a> Engine<'a> {
                             } else {
                                 // Misprediction: restart from the root (§3).
                                 rw.phase = RayPhase::Full;
-                                rw.traversal = Traversal::new(TraversalKind::AnyHit);
+                                rw.traversal = rw.fresh_full_leg();
                             }
                         }
                         RayPhase::Full => {
@@ -462,28 +597,27 @@ impl<'a> Engine<'a> {
             tri_addrs.sort_unstable();
             tri_addrs.dedup();
             for addr in tri_addrs {
-                data_ready = data_ready.max(self.request_line(sm_id, addr, ready));
+                data_ready = data_ready.max(self.request_line(addr, ready, shared));
             }
         }
 
         let next = data_ready + self.config.latency.intersection;
         let mut warp_done = false;
         for rid in retirements {
-            if self.retire_ray(rid, sm_id, next) {
+            if self.retire_ray(rid, next) {
                 warp_done = true;
             }
         }
         if !warp_done {
-            self.events
-                .push(Reverse((next, sm_id, EV_WARP_ITER, slot as u32)));
+            self.events.push(Reverse((next, EV_WARP_ITER, slot as u32)));
         }
     }
 
     /// Records a ray's final outcome, trains the predictor and updates the
     /// report; retires the warp (returning `true`) when this was its last
     /// active ray.
-    fn retire_ray(&mut self, rid: u32, sm_id: usize, now: u64) -> bool {
-        let rw = &mut self.rays[rid as usize];
+    fn retire_ray(&mut self, rid: u32, now: u64) -> bool {
+        let rw = self.rays.get_mut(&rid).expect("retiring ray owned by SM");
         self.report.completed_rays += 1;
         self.report.cycles = self.report.cycles.max(now);
         self.report.traversal += rw.finished_stats;
@@ -505,7 +639,7 @@ impl<'a> Engine<'a> {
             }
         }
         let (hash, verified, slot) = (rw.hash, rw.was_verified, rw.slot as usize);
-        if let (Some(predictor), Some(hit)) = (self.sms[sm_id].predictor.as_mut(), hit) {
+        if let (Some(predictor), Some(hit)) = (self.sm.predictor.as_mut(), hit) {
             if verified {
                 predictor.reward(hash, hit.leaf);
             }
@@ -513,20 +647,20 @@ impl<'a> Engine<'a> {
             self.report.activity.predictor_updates += 1;
         }
         // Warp completion bookkeeping.
-        let warp = self.sms[sm_id].slots[slot]
+        let warp = self.sm.slots[slot]
             .as_mut()
             .expect("retiring ray's warp must be resident");
         warp.active -= 1;
         if warp.active == 0 {
-            self.retire_warp(sm_id, slot, now);
+            self.retire_warp(slot, now);
             return true;
         }
         false
     }
 
     /// Frees a warp slot and dispatches queued work.
-    fn retire_warp(&mut self, sm_id: usize, slot: usize, now: u64) {
-        let warp = self.sms[sm_id].slots[slot].take().expect("warp present");
+    fn retire_warp(&mut self, slot: usize, now: u64) {
+        let warp = self.sm.slots[slot].take().expect("warp present");
         self.report.warps_executed += 1;
         if warp.repacked {
             self.report.repacked_warps += 1;
@@ -534,19 +668,176 @@ impl<'a> Engine<'a> {
         self.report.cycles = self.report.cycles.max(now);
         // Repacked warps may use any slot; normal warps only base slots.
         loop {
-            if !self.repacked_queue[sm_id].is_empty() && self.sms[sm_id].free_slot(true).is_some() {
-                let ids = self.repacked_queue[sm_id].pop_front().expect("nonempty");
-                self.dispatch(sm_id, ids, true, now);
+            if !self.repacked_queue.is_empty() && self.sm.free_slot(true).is_some() {
+                let ids = self.repacked_queue.pop_front().expect("nonempty");
+                self.dispatch(ids, true, now);
                 continue;
             }
-            if !self.sms[sm_id].pending.is_empty() && self.sms[sm_id].free_slot(false).is_some() {
-                let ids = self.sms[sm_id].pending.pop_front().expect("nonempty");
-                self.dispatch(sm_id, ids, false, now);
+            if !self.sm.pending.is_empty() && self.sm.free_slot(false).is_some() {
+                let ids = self.sm.pending.pop_front().expect("nonempty");
+                self.dispatch(ids, false, now);
                 continue;
             }
             break;
         }
     }
+}
+
+/// The epoch coordinator: owns the per-SM engines, the authoritative
+/// shared memory, and the worker pool.
+struct Engine<'a> {
+    config: &'a GpuConfig,
+    engines: Vec<Mutex<SmEngine<'a>>>,
+    shared: SharedMemory,
+    pool: JobPool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        config: &'a GpuConfig,
+        bvh: &'a Bvh,
+        rays: impl Iterator<Item = Ray>,
+        trace: Option<Arc<RayTraceSet>>,
+        jobs: usize,
+    ) -> Self {
+        let needs_lookup = config.predictor.is_some();
+        let mut ray_works: Vec<Option<RayWork>> = rays
+            .enumerate()
+            .map(|(i, r)| {
+                let mut rw = RayWork::new(r, needs_lookup);
+                if let Some(set) = &trace {
+                    rw.attach_trace(Arc::clone(set), i);
+                }
+                Some(rw)
+            })
+            .collect();
+
+        let mut engines: Vec<SmEngine<'a>> = (0..config.num_sms)
+            .map(|sm_id| SmEngine::new(sm_id, config, bvh))
+            .collect();
+
+        // Chunk rays into warps, distribute round-robin over SMs. Warps
+        // never migrate, so each SM takes ownership of its rays.
+        let mut warp_lists: Vec<VecDeque<Vec<u32>>> = vec![VecDeque::new(); config.num_sms];
+        for (w, chunk) in (0..ray_works.len() as u32)
+            .collect::<Vec<_>>()
+            .chunks(config.warp_size)
+            .enumerate()
+        {
+            let sm_id = w % config.num_sms;
+            for &rid in chunk {
+                let rw = ray_works[rid as usize].take().expect("ray assigned once");
+                engines[sm_id].rays.insert(rid, rw);
+            }
+            warp_lists[sm_id].push_back(chunk.to_vec());
+        }
+        for (engine, list) in engines.iter_mut().zip(warp_lists) {
+            engine.seed(list);
+        }
+
+        Engine {
+            config,
+            engines: engines.into_iter().map(Mutex::new).collect(),
+            shared: SharedMemory {
+                l2: Cache::new(config.l2),
+                dram: Dram::new(config.dram),
+                latency: config.latency,
+            },
+            pool: JobPool::new(jobs),
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        let indices: Vec<usize> = (0..self.engines.len()).collect();
+        let epoch = self.config.epoch_cycles;
+        loop {
+            let t_min = self
+                .engines
+                .iter_mut()
+                .filter_map(|e| e.get_mut().expect("sm engine lock").peek_time())
+                .min();
+            let Some(t_min) = t_min else { break };
+            let epoch_end = t_min.saturating_add(epoch);
+
+            let logs: Vec<Vec<LoggedRequest>> = if indices.len() == 1 || self.pool.jobs() == 1 {
+                // Serial path: identical code against identical state, so
+                // identical results — no threads, no pool overhead.
+                let shared = &self.shared;
+                self.engines
+                    .iter_mut()
+                    .map(|e| {
+                        e.get_mut()
+                            .expect("sm engine lock")
+                            .run_epoch(epoch_end, shared)
+                    })
+                    .collect()
+            } else {
+                let engines = &self.engines;
+                let shared = &self.shared;
+                self.pool.map(&indices, |&i| {
+                    engines[i]
+                        .lock()
+                        .expect("sm engine lock")
+                        .run_epoch(epoch_end, shared)
+                })
+            };
+
+            let mut merged: Vec<(u64, usize, u32, u64)> = Vec::new();
+            for (sm_id, log) in logs.into_iter().enumerate() {
+                merged.extend(log.into_iter().map(|(t, seq, addr)| (t, sm_id, seq, addr)));
+            }
+            self.shared.replay(merged);
+        }
+
+        // Deterministic merge of the per-SM partial reports.
+        let mut report = SimReport::default();
+        let mut rt_stats = Vec::new();
+        let mut l1_stats = Vec::new();
+        let mut total_rays = 0usize;
+        for engine in self.engines {
+            let e = engine.into_inner().expect("sm engine lock");
+            let r = e.report;
+            report.cycles = report.cycles.max(r.cycles);
+            report.completed_rays += r.completed_rays;
+            report.hits += r.hits;
+            report.traversal += r.traversal;
+            report.prediction += r.prediction;
+            add_activity(&mut report.activity, &r.activity);
+            report.warps_executed += r.warps_executed;
+            report.repacked_warps += r.repacked_warps;
+            if let Some(rt) = &e.rt_cache {
+                rt_stats.push(rt.stats());
+            }
+            l1_stats.push(e.l1.stats());
+            total_rays += e.rays.len();
+        }
+        debug_assert_eq!(report.completed_rays as usize, total_rays);
+        report.memory = MemoryStats {
+            rt_cache: rt_stats,
+            l1: l1_stats,
+            l2: self.shared.l2.stats(),
+            dram: self.shared.dram.stats().clone(),
+        };
+        report.activity.l2_accesses = report.memory.l2.accesses;
+        report.activity.dram_accesses = report.memory.dram.accesses;
+        report
+    }
+}
+
+/// Field-wise accumulation of per-SM activity counts (the shared-level
+/// `l2_accesses`/`dram_accesses` are zero per SM and filled at merge).
+fn add_activity(total: &mut ActivityCounts, part: &ActivityCounts) {
+    total.l1_accesses += part.l1_accesses;
+    total.l2_accesses += part.l2_accesses;
+    total.dram_accesses += part.dram_accesses;
+    total.box_tests += part.box_tests;
+    total.tri_tests += part.tri_tests;
+    total.predictor_lookups += part.predictor_lookups;
+    total.predictor_updates += part.predictor_updates;
+    total.ray_buffer_accesses += part.ray_buffer_accesses;
+    total.stack_ops += part.stack_ops;
+    total.collector_ops += part.collector_ops;
+    total.mshr_merges += part.mshr_merges;
 }
 
 #[cfg(test)]
@@ -698,12 +989,20 @@ mod tests {
         let bvh = occluder_bvh();
         let rays = ao_rays(1024, 11);
         let fast = Simulator::new(GpuConfig::baseline()).run(&bvh, &rays);
+        // The AO workload is memory-bound, so a small bump disappears into
+        // bank-scheduling noise; 200 cycles per test puts the intersection
+        // pipe firmly on the critical path.
         let slow = {
             let mut c = GpuConfig::baseline();
-            c.latency.intersection = 20;
+            c.latency.intersection = 200;
             Simulator::new(c).run(&bvh, &rays)
         };
-        assert!(slow.cycles > fast.cycles);
+        assert!(
+            slow.cycles > fast.cycles,
+            "slow {} vs fast {}",
+            slow.cycles,
+            fast.cycles
+        );
     }
 
     #[test]
@@ -760,5 +1059,65 @@ mod tests {
         // Merged fills never re-access DRAM: far fewer memory-side
         // transactions than issued requests.
         assert!(report.memory.l2.accesses < report.activity.l1_accesses);
+    }
+
+    /// Every field that `SimReport` mirrors, flattened for byte-for-byte
+    /// comparison across job counts and live/replay paths.
+    fn fingerprint(r: &SimReport) -> String {
+        format!("{r:?}")
+    }
+
+    #[test]
+    fn reports_are_identical_at_any_job_count() {
+        let bvh = occluder_bvh();
+        let rays = ao_rays(2048, 23);
+        let mut c = GpuConfig::with_predictor();
+        c.num_sms = 4;
+        let serial = Simulator::new(c.clone()).run(&bvh, &rays);
+        for jobs in [2, 4, 8] {
+            let parallel = Simulator::new(c.clone()).with_jobs(jobs).run(&bvh, &rays);
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&parallel),
+                "report diverged at --jobs {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_byte_identical_to_live() {
+        let bvh = occluder_bvh();
+        let rays = ao_rays(1024, 29);
+        let batch = RayBatch::from_rays(&rays);
+        let trace = Arc::new(RayTraceSet::capture(&bvh, &batch, TraversalKind::AnyHit));
+        for config in [GpuConfig::baseline(), GpuConfig::with_predictor()] {
+            let live = Simulator::new(config.clone()).run_batch(&bvh, &batch);
+            let replayed = Simulator::new(config.clone())
+                .with_trace(Arc::clone(&trace))
+                .run_batch(&bvh, &batch);
+            assert_eq!(
+                fingerprint(&live),
+                fingerprint(&replayed),
+                "replay diverged from live (predictor: {})",
+                config.predictor.is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_trace_is_rejected_and_run_falls_back_live() {
+        let bvh = occluder_bvh();
+        let rays = ao_rays(256, 31);
+        let batch = RayBatch::from_rays(&rays);
+        let other = RayBatch::from_rays(&ao_rays(256, 32));
+        let trace = Arc::new(RayTraceSet::capture(&bvh, &other, TraversalKind::AnyHit));
+        let obs = std::sync::Arc::new(rip_obs::Obs::new(rip_obs::ClockMode::Logical));
+        let live = Simulator::new(GpuConfig::baseline()).run_batch(&bvh, &batch);
+        let fallback = Simulator::new(GpuConfig::baseline())
+            .with_obs(std::sync::Arc::clone(&obs))
+            .with_trace(trace)
+            .run_batch(&bvh, &batch);
+        assert_eq!(fingerprint(&live), fingerprint(&fallback));
+        assert_eq!(obs.get("gpusim.trace.rejected"), 1);
     }
 }
